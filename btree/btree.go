@@ -1,0 +1,437 @@
+// Package btree implements a disk-resident B+-tree over a turbobp.DB —
+// the non-clustered index whose lookups are exactly the random page reads
+// the paper's SSD admission policy targets, and whose node splits create
+// pages on the fly (the access pattern §4.2 notes TAC never caches).
+//
+// Keys and values are int64. Node pages use the DB page payload:
+//
+//	offset  size  field
+//	0       1     node type (1 = leaf, 2 = internal)
+//	1       2     key count
+//	3       8     leaf: right-sibling page id (+1; 0 = none)
+//	3+      ...   leaf: {key (8), value (8)} pairs, sorted by key
+//	              internal: child0 (8), then {key (8), child (8)} pairs
+//
+// Deletion removes the key from its leaf without rebalancing (lazy
+// deletion, as most production B-trees do); underfull leaves are absorbed
+// by later inserts.
+package btree
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sort"
+
+	"turbobp"
+)
+
+const (
+	typeLeaf     = 1
+	typeInternal = 2
+	nodeHeader   = 11 // type(1) + nkeys(2) + next/child0(8)
+	pairSize     = 16
+	metaMagic    = 0x42545245 // "BTRE"
+)
+
+// ErrNotFound is returned by Search for absent keys.
+var ErrNotFound = errors.New("btree: key not found")
+
+// Tree is an open B+-tree. A Tree must not be used concurrently with
+// itself (the underlying DB is safe for concurrent use; two Trees over
+// distinct meta pages are independent).
+type Tree struct {
+	db       *turbobp.DB
+	meta     int64
+	cap      int    // max pairs per node
+	opSplits uint64 // splits performed by the current Insert
+}
+
+// meta page payload: magic(4) root(8) height(8) size(8) splits(8)
+
+// Create allocates an empty tree.
+func Create(db *turbobp.DB) (*Tree, error) {
+	capacity := (db.PageSize() - nodeHeader) / pairSize
+	if capacity < 3 {
+		return nil, fmt.Errorf("btree: page size %d holds only %d pairs; need >= 3", db.PageSize(), capacity)
+	}
+	metaPid, err := db.AllocPage()
+	if err != nil {
+		return nil, err
+	}
+	rootPid, err := db.AllocPage()
+	if err != nil {
+		return nil, err
+	}
+	if err := db.Update(rootPid, func(pl []byte) {
+		pl[0] = typeLeaf
+	}); err != nil {
+		return nil, err
+	}
+	if err := db.Update(metaPid, func(pl []byte) {
+		binary.LittleEndian.PutUint32(pl[0:4], metaMagic)
+		binary.LittleEndian.PutUint64(pl[4:12], uint64(rootPid+1))
+		binary.LittleEndian.PutUint64(pl[12:20], 1) // height
+	}); err != nil {
+		return nil, err
+	}
+	return &Tree{db: db, meta: metaPid, cap: capacity}, nil
+}
+
+// Open reopens a tree by its Meta() page.
+func Open(db *turbobp.DB, metaPid int64) (*Tree, error) {
+	buf := make([]byte, db.PageSize())
+	if _, err := db.Read(metaPid, buf); err != nil {
+		return nil, err
+	}
+	if binary.LittleEndian.Uint32(buf[0:4]) != metaMagic {
+		return nil, fmt.Errorf("btree: page %d is not a btree", metaPid)
+	}
+	return &Tree{db: db, meta: metaPid, cap: (db.PageSize() - nodeHeader) / pairSize}, nil
+}
+
+// Meta returns the metadata page id.
+func (t *Tree) Meta() int64 { return t.meta }
+
+func (t *Tree) readMeta() (root int64, height, size, splits uint64, err error) {
+	buf := make([]byte, t.db.PageSize())
+	if _, err = t.db.Read(t.meta, buf); err != nil {
+		return
+	}
+	root = int64(binary.LittleEndian.Uint64(buf[4:12])) - 1
+	height = binary.LittleEndian.Uint64(buf[12:20])
+	size = binary.LittleEndian.Uint64(buf[20:28])
+	splits = binary.LittleEndian.Uint64(buf[28:36])
+	return
+}
+
+// Size returns the number of keys.
+func (t *Tree) Size() (uint64, error) {
+	_, _, n, _, err := t.readMeta()
+	return n, err
+}
+
+// Height returns the tree height (1 = a single leaf).
+func (t *Tree) Height() (uint64, error) {
+	_, h, _, _, err := t.readMeta()
+	return h, err
+}
+
+// Splits returns the number of node splits performed — each one created a
+// page "on the fly", the pattern §4.2 highlights.
+func (t *Tree) Splits() (uint64, error) {
+	_, _, _, s, err := t.readMeta()
+	return s, err
+}
+
+// node is a decoded page.
+type node struct {
+	pid      int64
+	leaf     bool
+	keys     []int64
+	vals     []int64 // leaf values
+	children []int64 // internal children (len = len(keys)+1)
+	next     int64   // leaf sibling (-1 = none)
+}
+
+func (t *Tree) readNode(pid int64) (*node, error) {
+	buf := make([]byte, t.db.PageSize())
+	if _, err := t.db.Read(pid, buf); err != nil {
+		return nil, err
+	}
+	return decodeNode(pid, buf)
+}
+
+func decodeNode(pid int64, pl []byte) (*node, error) {
+	n := &node{pid: pid, next: -1}
+	switch pl[0] {
+	case typeLeaf:
+		n.leaf = true
+	case typeInternal:
+	default:
+		return nil, fmt.Errorf("btree: page %d has node type %d", pid, pl[0])
+	}
+	nkeys := int(binary.LittleEndian.Uint16(pl[1:3]))
+	if n.leaf {
+		n.next = int64(binary.LittleEndian.Uint64(pl[3:11])) - 1
+		for i := 0; i < nkeys; i++ {
+			off := nodeHeader + i*pairSize
+			n.keys = append(n.keys, int64(binary.LittleEndian.Uint64(pl[off:])))
+			n.vals = append(n.vals, int64(binary.LittleEndian.Uint64(pl[off+8:])))
+		}
+		return n, nil
+	}
+	n.children = append(n.children, int64(binary.LittleEndian.Uint64(pl[3:11])))
+	for i := 0; i < nkeys; i++ {
+		off := nodeHeader + i*pairSize
+		n.keys = append(n.keys, int64(binary.LittleEndian.Uint64(pl[off:])))
+		n.children = append(n.children, int64(binary.LittleEndian.Uint64(pl[off+8:])))
+	}
+	return n, nil
+}
+
+func (n *node) encode(pl []byte) {
+	for i := range pl {
+		pl[i] = 0
+	}
+	if n.leaf {
+		pl[0] = typeLeaf
+		binary.LittleEndian.PutUint16(pl[1:3], uint16(len(n.keys)))
+		binary.LittleEndian.PutUint64(pl[3:11], uint64(n.next+1))
+		for i, k := range n.keys {
+			off := nodeHeader + i*pairSize
+			binary.LittleEndian.PutUint64(pl[off:], uint64(k))
+			binary.LittleEndian.PutUint64(pl[off+8:], uint64(n.vals[i]))
+		}
+		return
+	}
+	pl[0] = typeInternal
+	binary.LittleEndian.PutUint16(pl[1:3], uint16(len(n.keys)))
+	binary.LittleEndian.PutUint64(pl[3:11], uint64(n.children[0]))
+	for i, k := range n.keys {
+		off := nodeHeader + i*pairSize
+		binary.LittleEndian.PutUint64(pl[off:], uint64(k))
+		binary.LittleEndian.PutUint64(pl[off+8:], uint64(n.children[i+1]))
+	}
+}
+
+func (t *Tree) writeNode(n *node) error {
+	return t.db.Update(n.pid, n.encode)
+}
+
+// Search returns the value stored under key.
+func (t *Tree) Search(key int64) (int64, error) {
+	root, _, _, _, err := t.readMeta()
+	if err != nil {
+		return 0, err
+	}
+	n, err := t.readNode(root)
+	if err != nil {
+		return 0, err
+	}
+	for !n.leaf {
+		n, err = t.readNode(n.childFor(key))
+		if err != nil {
+			return 0, err
+		}
+	}
+	i := sort.Search(len(n.keys), func(i int) bool { return n.keys[i] >= key })
+	if i < len(n.keys) && n.keys[i] == key {
+		return n.vals[i], nil
+	}
+	return 0, fmt.Errorf("%w: %d", ErrNotFound, key)
+}
+
+// childFor returns the child page covering key.
+func (n *node) childFor(key int64) int64 {
+	i := sort.Search(len(n.keys), func(i int) bool { return key < n.keys[i] })
+	return n.children[i]
+}
+
+// Insert stores value under key, replacing any existing value.
+func (t *Tree) Insert(key, value int64) error {
+	root, height, size, splits, err := t.readMeta()
+	if err != nil {
+		return err
+	}
+	t.opSplits = 0
+	sep, rightPid, grew, replaced, err := t.insertInto(root, key, value)
+	if err != nil {
+		return err
+	}
+	newSplits := splits + t.opSplits
+	if grew {
+		// Root split: a new root with two children.
+		newRootPid, err := t.db.AllocPage()
+		if err != nil {
+			return err
+		}
+		newRoot := &node{
+			pid:      newRootPid,
+			keys:     []int64{sep},
+			children: []int64{root, rightPid},
+		}
+		if err := t.writeNode(newRoot); err != nil {
+			return err
+		}
+		root = newRootPid
+		height++
+	}
+	if !replaced {
+		size++
+	}
+	return t.db.Update(t.meta, func(pl []byte) {
+		binary.LittleEndian.PutUint64(pl[4:12], uint64(root+1))
+		binary.LittleEndian.PutUint64(pl[12:20], height)
+		binary.LittleEndian.PutUint64(pl[20:28], size)
+		binary.LittleEndian.PutUint64(pl[28:36], newSplits)
+	})
+}
+
+// insertInto descends into pid; on split it returns the separator key and
+// new right sibling.
+func (t *Tree) insertInto(pid int64, key, value int64) (sep int64, rightPid int64, split, replaced bool, err error) {
+	n, err := t.readNode(pid)
+	if err != nil {
+		return 0, 0, false, false, err
+	}
+	if n.leaf {
+		i := sort.Search(len(n.keys), func(i int) bool { return n.keys[i] >= key })
+		if i < len(n.keys) && n.keys[i] == key {
+			n.vals[i] = value
+			return 0, 0, false, true, t.writeNode(n)
+		}
+		n.keys = append(n.keys, 0)
+		copy(n.keys[i+1:], n.keys[i:])
+		n.keys[i] = key
+		n.vals = append(n.vals, 0)
+		copy(n.vals[i+1:], n.vals[i:])
+		n.vals[i] = value
+		if len(n.keys) <= t.cap {
+			return 0, 0, false, false, t.writeNode(n)
+		}
+		return t.splitLeaf(n)
+	}
+
+	childSep, childRight, childSplit, replaced, err := t.insertInto(n.childFor(key), key, value)
+	if err != nil || !childSplit {
+		return 0, 0, false, replaced, err
+	}
+	i := sort.Search(len(n.keys), func(i int) bool { return childSep < n.keys[i] })
+	n.keys = append(n.keys, 0)
+	copy(n.keys[i+1:], n.keys[i:])
+	n.keys[i] = childSep
+	n.children = append(n.children, 0)
+	copy(n.children[i+2:], n.children[i+1:])
+	n.children[i+1] = childRight
+	if len(n.keys) <= t.cap {
+		return 0, 0, false, replaced, t.writeNode(n)
+	}
+	sep, rightPid, err = t.splitInternal(n)
+	return sep, rightPid, err == nil, replaced, err
+}
+
+// splitLeaf splits an over-full leaf, creating the right sibling page.
+func (t *Tree) splitLeaf(n *node) (int64, int64, bool, bool, error) {
+	mid := len(n.keys) / 2
+	rightPid, err := t.db.AllocPage()
+	if err != nil {
+		return 0, 0, false, false, err
+	}
+	t.opSplits++
+	right := &node{
+		pid:  rightPid,
+		leaf: true,
+		keys: append([]int64(nil), n.keys[mid:]...),
+		vals: append([]int64(nil), n.vals[mid:]...),
+		next: n.next,
+	}
+	n.keys = n.keys[:mid]
+	n.vals = n.vals[:mid]
+	n.next = rightPid
+	if err := t.writeNode(right); err != nil {
+		return 0, 0, false, false, err
+	}
+	if err := t.writeNode(n); err != nil {
+		return 0, 0, false, false, err
+	}
+	return right.keys[0], rightPid, true, false, nil
+}
+
+// splitInternal splits an over-full internal node; the middle key moves up.
+func (t *Tree) splitInternal(n *node) (int64, int64, error) {
+	mid := len(n.keys) / 2
+	sep := n.keys[mid]
+	rightPid, err := t.db.AllocPage()
+	if err != nil {
+		return 0, 0, err
+	}
+	t.opSplits++
+	right := &node{
+		pid:      rightPid,
+		keys:     append([]int64(nil), n.keys[mid+1:]...),
+		children: append([]int64(nil), n.children[mid+1:]...),
+	}
+	n.keys = n.keys[:mid]
+	n.children = n.children[:mid+1]
+	if err := t.writeNode(right); err != nil {
+		return 0, 0, err
+	}
+	if err := t.writeNode(n); err != nil {
+		return 0, 0, err
+	}
+	return sep, rightPid, nil
+}
+
+// Delete removes key (lazy: no rebalancing). It returns ErrNotFound when
+// the key is absent.
+func (t *Tree) Delete(key int64) error {
+	root, _, size, _, err := t.readMeta()
+	if err != nil {
+		return err
+	}
+	n, err := t.readNode(root)
+	if err != nil {
+		return err
+	}
+	for !n.leaf {
+		n, err = t.readNode(n.childFor(key))
+		if err != nil {
+			return err
+		}
+	}
+	i := sort.Search(len(n.keys), func(i int) bool { return n.keys[i] >= key })
+	if i >= len(n.keys) || n.keys[i] != key {
+		return fmt.Errorf("%w: %d", ErrNotFound, key)
+	}
+	n.keys = append(n.keys[:i], n.keys[i+1:]...)
+	n.vals = append(n.vals[:i], n.vals[i+1:]...)
+	if err := t.writeNode(n); err != nil {
+		return err
+	}
+	return t.db.Update(t.meta, func(pl []byte) {
+		binary.LittleEndian.PutUint64(pl[20:28], size-1)
+	})
+}
+
+// Range visits keys in [lo, hi] in ascending order via the leaf chain.
+// Returning an error from fn stops the traversal.
+func (t *Tree) Range(lo, hi int64, fn func(key, value int64) error) error {
+	if hi < lo {
+		return nil
+	}
+	root, _, _, _, err := t.readMeta()
+	if err != nil {
+		return err
+	}
+	n, err := t.readNode(root)
+	if err != nil {
+		return err
+	}
+	for !n.leaf {
+		n, err = t.readNode(n.childFor(lo))
+		if err != nil {
+			return err
+		}
+	}
+	for {
+		for i, k := range n.keys {
+			if k < lo {
+				continue
+			}
+			if k > hi {
+				return nil
+			}
+			if err := fn(k, n.vals[i]); err != nil {
+				return err
+			}
+		}
+		if n.next < 0 {
+			return nil
+		}
+		n, err = t.readNode(n.next)
+		if err != nil {
+			return err
+		}
+	}
+}

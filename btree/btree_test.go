@@ -1,0 +1,340 @@
+package btree
+
+import (
+	"errors"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"turbobp"
+)
+
+func openDB(t *testing.T, pages int64) *turbobp.DB {
+	t.Helper()
+	db, err := turbobp.Open(turbobp.Options{
+		Design: turbobp.LC, DBPages: pages, PoolPages: 32, SSDFrames: 128, PageSize: 128,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { db.Close() })
+	return db
+}
+
+func TestEmptyTree(t *testing.T) {
+	tr, err := Create(openDB(t, 256))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tr.Search(7); !errors.Is(err, ErrNotFound) {
+		t.Errorf("Search on empty = %v", err)
+	}
+	n, _ := tr.Size()
+	if n != 0 {
+		t.Errorf("Size = %d", n)
+	}
+	h, _ := tr.Height()
+	if h != 1 {
+		t.Errorf("Height = %d", h)
+	}
+}
+
+func TestInsertSearch(t *testing.T) {
+	tr, _ := Create(openDB(t, 256))
+	for k := int64(0); k < 20; k++ {
+		if err := tr.Insert(k, k*100); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for k := int64(0); k < 20; k++ {
+		v, err := tr.Search(k)
+		if err != nil || v != k*100 {
+			t.Errorf("Search(%d) = %d, %v", k, v, err)
+		}
+	}
+	if _, err := tr.Search(99); !errors.Is(err, ErrNotFound) {
+		t.Errorf("absent key: %v", err)
+	}
+}
+
+func TestInsertReplaces(t *testing.T) {
+	tr, _ := Create(openDB(t, 256))
+	tr.Insert(5, 1)
+	tr.Insert(5, 2)
+	v, err := tr.Search(5)
+	if err != nil || v != 2 {
+		t.Errorf("Search = %d, %v", v, err)
+	}
+	n, _ := tr.Size()
+	if n != 1 {
+		t.Errorf("Size = %d after replace", n)
+	}
+}
+
+func TestSplitsGrowTree(t *testing.T) {
+	tr, _ := Create(openDB(t, 4096))
+	const n = 2000
+	for k := int64(0); k < n; k++ {
+		if err := tr.Insert(k, -k); err != nil {
+			t.Fatalf("insert %d: %v", k, err)
+		}
+	}
+	h, _ := tr.Height()
+	if h < 3 {
+		t.Errorf("Height = %d after %d inserts (cap 7/node)", h, n)
+	}
+	splits, _ := tr.Splits()
+	if splits == 0 {
+		t.Error("no splits recorded")
+	}
+	size, _ := tr.Size()
+	if size != n {
+		t.Errorf("Size = %d, want %d", size, n)
+	}
+	for _, k := range []int64{0, 1, 999, 1998, 1999} {
+		v, err := tr.Search(k)
+		if err != nil || v != -k {
+			t.Errorf("Search(%d) = %d, %v", k, v, err)
+		}
+	}
+}
+
+func TestDescendingInserts(t *testing.T) {
+	tr, _ := Create(openDB(t, 2048))
+	for k := int64(500); k > 0; k-- {
+		if err := tr.Insert(k, k); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for k := int64(1); k <= 500; k++ {
+		if v, err := tr.Search(k); err != nil || v != k {
+			t.Fatalf("Search(%d) = %d, %v", k, v, err)
+		}
+	}
+}
+
+func TestDelete(t *testing.T) {
+	tr, _ := Create(openDB(t, 1024))
+	for k := int64(0); k < 100; k++ {
+		tr.Insert(k, k)
+	}
+	for k := int64(0); k < 100; k += 2 {
+		if err := tr.Delete(k); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for k := int64(0); k < 100; k++ {
+		v, err := tr.Search(k)
+		if k%2 == 0 {
+			if !errors.Is(err, ErrNotFound) {
+				t.Errorf("deleted key %d still found", k)
+			}
+		} else if err != nil || v != k {
+			t.Errorf("Search(%d) = %d, %v", k, v, err)
+		}
+	}
+	if err := tr.Delete(0); !errors.Is(err, ErrNotFound) {
+		t.Errorf("double delete: %v", err)
+	}
+	n, _ := tr.Size()
+	if n != 50 {
+		t.Errorf("Size = %d", n)
+	}
+}
+
+func TestRange(t *testing.T) {
+	tr, _ := Create(openDB(t, 2048))
+	for k := int64(0); k < 300; k += 3 {
+		tr.Insert(k, k*2)
+	}
+	var got []int64
+	err := tr.Range(10, 50, func(k, v int64) error {
+		if v != k*2 {
+			t.Errorf("value for %d = %d", k, v)
+		}
+		got = append(got, k)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int64{12, 15, 18, 21, 24, 27, 30, 33, 36, 39, 42, 45, 48}
+	if len(got) != len(want) {
+		t.Fatalf("Range = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Range = %v, want %v", got, want)
+		}
+	}
+	// Empty and inverted ranges.
+	if err := tr.Range(1000, 2000, func(int64, int64) error { t.Error("hit"); return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Range(50, 10, func(int64, int64) error { t.Error("hit"); return nil }); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRangeEarlyStop(t *testing.T) {
+	tr, _ := Create(openDB(t, 1024))
+	for k := int64(0); k < 50; k++ {
+		tr.Insert(k, k)
+	}
+	boom := errors.New("enough")
+	n := 0
+	err := tr.Range(0, 49, func(int64, int64) error {
+		n++
+		if n == 5 {
+			return boom
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) || n != 5 {
+		t.Errorf("err=%v n=%d", err, n)
+	}
+}
+
+func TestOpenExisting(t *testing.T) {
+	db := openDB(t, 1024)
+	tr, _ := Create(db)
+	for k := int64(0); k < 50; k++ {
+		tr.Insert(k, k+7)
+	}
+	tr2, err := Open(db, tr.Meta())
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := tr2.Search(30)
+	if err != nil || v != 37 {
+		t.Errorf("Search = %d, %v", v, err)
+	}
+	if _, err := Open(db, 1); err == nil {
+		t.Error("Open on non-meta page succeeded")
+	}
+}
+
+func TestSurvivesCrashRecovery(t *testing.T) {
+	db := openDB(t, 4096)
+	tr, _ := Create(db)
+	for k := int64(0); k < 800; k++ {
+		if err := tr.Insert(k*7%1000, k); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want := map[int64]int64{}
+	for k := int64(0); k < 800; k++ {
+		want[k*7%1000] = k
+	}
+	alloc := db.Allocated()
+	db.Crash()
+	if err := db.Recover(); err != nil {
+		t.Fatal(err)
+	}
+	db.SetAllocated(alloc)
+	tr2, err := Open(db, tr.Meta())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k, v := range want {
+		got, err := tr2.Search(k)
+		if err != nil || got != v {
+			t.Fatalf("Search(%d) = %d, %v after recovery", k, got, err)
+		}
+	}
+}
+
+// Property: the tree agrees with a shadow map under random interleaved
+// inserts, replaces and deletes, and Range(min,max) yields the sorted keys.
+func TestShadowMapProperty(t *testing.T) {
+	type op struct {
+		Key    int16
+		Val    int32
+		Delete bool
+	}
+	prop := func(ops []op) bool {
+		if len(ops) > 400 {
+			ops = ops[:400]
+		}
+		db, err := turbobp.Open(turbobp.Options{
+			Design: turbobp.DW, DBPages: 8192, PoolPages: 24, SSDFrames: 96, PageSize: 128,
+		})
+		if err != nil {
+			return false
+		}
+		defer db.Close()
+		tr, err := Create(db)
+		if err != nil {
+			return false
+		}
+		shadow := map[int64]int64{}
+		for _, o := range ops {
+			k := int64(o.Key % 200)
+			if o.Delete {
+				_, exists := shadow[k]
+				err := tr.Delete(k)
+				if exists != (err == nil) {
+					return false
+				}
+				delete(shadow, k)
+			} else {
+				if tr.Insert(k, int64(o.Val)) != nil {
+					return false
+				}
+				shadow[k] = int64(o.Val)
+			}
+		}
+		if n, err := tr.Size(); err != nil || int(n) != len(shadow) {
+			return false
+		}
+		for k, v := range shadow {
+			got, err := tr.Search(k)
+			if err != nil || got != v {
+				return false
+			}
+		}
+		var keys []int64
+		if err := tr.Range(-1000, 1000, func(k, v int64) error {
+			if shadow[k] != v {
+				return errors.New("bad value")
+			}
+			keys = append(keys, k)
+			return nil
+		}); err != nil {
+			return false
+		}
+		if len(keys) != len(shadow) {
+			return false
+		}
+		return sort.SliceIsSorted(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 15}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRandomBulk(t *testing.T) {
+	db := openDB(t, 16384)
+	tr, _ := Create(db)
+	rng := rand.New(rand.NewSource(99))
+	want := map[int64]int64{}
+	for i := 0; i < 5000; i++ {
+		k := rng.Int63n(10000)
+		v := rng.Int63()
+		if err := tr.Insert(k, v); err != nil {
+			t.Fatal(err)
+		}
+		want[k] = v
+	}
+	for k, v := range want {
+		got, err := tr.Search(k)
+		if err != nil || got != v {
+			t.Fatalf("Search(%d) = %d, %v", k, got, err)
+		}
+	}
+	n, _ := tr.Size()
+	if int(n) != len(want) {
+		t.Errorf("Size = %d, want %d", n, len(want))
+	}
+}

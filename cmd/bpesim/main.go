@@ -1,0 +1,84 @@
+// Command bpesim runs the paper-reproduction experiments: one id per table
+// or figure of "Turbocharging DBMS Buffer Pool Using SSDs" (SIGMOD 2011).
+//
+// Usage:
+//
+//	bpesim -list
+//	bpesim [-divisor N] <experiment-id> [<experiment-id>...]
+//	bpesim all
+//
+// The divisor scales the paper's sizes and clock down together (default
+// 1024); smaller divisors are slower but closer to paper scale.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"turbobp/internal/harness"
+)
+
+func main() {
+	divisor := flag.Int64("divisor", harness.Default.Divisor, "scale divisor (1 = paper scale)")
+	list := flag.Bool("list", false, "list experiment ids and exit")
+	csvOut := flag.Bool("csv", false, "emit figure data as CSV instead of rendered text (figure experiments only)")
+	flag.Usage = usage
+	flag.Parse()
+
+	if *list {
+		printList()
+		return
+	}
+	args := flag.Args()
+	if len(args) == 0 {
+		usage()
+		os.Exit(2)
+	}
+	if len(args) == 1 && args[0] == "all" {
+		args = nil
+		for _, e := range harness.Experiments() {
+			args = append(args, e.ID)
+		}
+	}
+	scale := harness.Scale{Divisor: *divisor}
+	csvRunners := harness.CSVExperiments()
+	for _, id := range args {
+		if *csvOut {
+			run, ok := csvRunners[id]
+			if !ok {
+				fmt.Fprintf(os.Stderr, "bpesim: experiment %q has no CSV form\n", id)
+				os.Exit(2)
+			}
+			if err := run(scale, os.Stdout); err != nil {
+				fmt.Fprintf(os.Stderr, "bpesim: %s: %v\n", id, err)
+				os.Exit(1)
+			}
+			continue
+		}
+		exp, ok := harness.FindExperiment(id)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "bpesim: unknown experiment %q (try -list)\n", id)
+			os.Exit(2)
+		}
+		fmt.Printf("== %s — %s (divisor %d) ==\n", exp.ID, exp.Description, scale.Divisor)
+		start := time.Now()
+		if err := exp.Run(scale, os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "bpesim: %s: %v\n", id, err)
+			os.Exit(1)
+		}
+		fmt.Printf("-- %s done in %v --\n\n", exp.ID, time.Since(start).Round(time.Millisecond))
+	}
+}
+
+func printList() {
+	for _, e := range harness.Experiments() {
+		fmt.Printf("%-12s %s\n", e.ID, e.Description)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: bpesim [-divisor N] <experiment-id>... | all | -list")
+	printList()
+}

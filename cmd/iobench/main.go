@@ -1,0 +1,19 @@
+// Command iobench regenerates the paper's Table 1: the maximum sustainable
+// IOPS of the simulated device models with page-sized (8 KB) I/Os, the way
+// Iometer measured the paper's physical hardware.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"turbobp/internal/harness"
+)
+
+func main() {
+	if len(os.Args) > 1 {
+		fmt.Fprintln(os.Stderr, "usage: iobench")
+		os.Exit(2)
+	}
+	harness.RunTable1().Print(os.Stdout)
+}

@@ -1,0 +1,164 @@
+// Command tracer generates, inspects and replays page-access traces —
+// the trace-driven-simulation companion to cmd/bpesim.
+//
+// Usage:
+//
+//	tracer gen  -profile tpcc|tpce -pages N -txs N -out file.trace
+//	tracer info -in file.trace
+//	tracer replay -in file.trace [-design noSSD|CW|DW|LC|TAC] [-pool N] [-ssd N]
+//
+// Replay runs against the simulated paper hardware and reports virtual
+// elapsed time and cache behaviour, so the same trace can be compared
+// across designs.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"turbobp/internal/engine"
+	"turbobp/internal/sim"
+	"turbobp/internal/ssd"
+	"turbobp/internal/trace"
+	"turbobp/internal/workload"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	var err error
+	switch os.Args[1] {
+	case "gen":
+		err = runGen(os.Args[2:])
+	case "info":
+		err = runInfo(os.Args[2:])
+	case "replay":
+		err = runReplay(os.Args[2:])
+	default:
+		usage()
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tracer:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage:
+  tracer gen  -profile tpcc|tpce -pages N -txs N -out file.trace
+  tracer info -in file.trace
+  tracer replay -in file.trace [-design DESIGN] [-pool N] [-ssd N]`)
+	os.Exit(2)
+}
+
+func runGen(args []string) error {
+	fs := flag.NewFlagSet("gen", flag.ExitOnError)
+	profile := fs.String("profile", "tpcc", "workload profile: tpcc or tpce")
+	pages := fs.Int64("pages", 1<<16, "database size in pages")
+	txs := fs.Int("txs", 10000, "transactions to generate")
+	seed := fs.Int64("seed", 1, "random seed")
+	out := fs.String("out", "workload.trace", "output file")
+	fs.Parse(args)
+
+	var wl workload.OLTP
+	switch *profile {
+	case "tpcc":
+		wl = workload.TPCC(*pages)
+	case "tpce":
+		wl = workload.TPCE(*pages)
+	default:
+		return fmt.Errorf("unknown profile %q", *profile)
+	}
+	wl.Seed = *seed
+	tr := wl.GenerateTrace(*txs)
+	if err := tr.Save(*out); err != nil {
+		return err
+	}
+	s := tr.Stats()
+	fmt.Printf("wrote %s: %d events (%d reads, %d updates, %d commits), %d distinct pages\n",
+		*out, tr.Len(), s.Reads, s.Updates, s.Commits, s.DistinctPages)
+	return nil
+}
+
+func runInfo(args []string) error {
+	fs := flag.NewFlagSet("info", flag.ExitOnError)
+	in := fs.String("in", "", "trace file")
+	fs.Parse(args)
+	tr, err := trace.Load(*in)
+	if err != nil {
+		return err
+	}
+	s := tr.Stats()
+	fmt.Printf("events:         %d\n", tr.Len())
+	fmt.Printf("reads:          %d\n", s.Reads)
+	fmt.Printf("updates:        %d\n", s.Updates)
+	fmt.Printf("commits:        %d\n", s.Commits)
+	fmt.Printf("scans:          %d (%d pages)\n", s.Scans, s.ScanPages)
+	fmt.Printf("distinct pages: %d\n", s.DistinctPages)
+	fmt.Printf("max page:       %d\n", s.MaxPage)
+	return nil
+}
+
+func runReplay(args []string) error {
+	fs := flag.NewFlagSet("replay", flag.ExitOnError)
+	in := fs.String("in", "", "trace file")
+	designName := fs.String("design", "LC", "noSSD, CW, DW, LC or TAC")
+	pool := fs.Int("pool", 2560, "memory pool frames")
+	ssdFrames := fs.Int("ssd", 17920, "SSD frames")
+	fs.Parse(args)
+
+	tr, err := trace.Load(*in)
+	if err != nil {
+		return err
+	}
+	design, err := parseDesign(*designName)
+	if err != nil {
+		return err
+	}
+	st := tr.Stats()
+	env := sim.NewEnv()
+	e := engine.New(env, engine.Config{
+		Design:    design,
+		DBPages:   int64(st.MaxPage) + 1,
+		PoolPages: *pool,
+		SSDFrames: *ssdFrames,
+	})
+	if err := e.FormatDB(); err != nil {
+		return err
+	}
+	var res *trace.ReplayResult
+	done := false
+	env.Go("replay", func(p *sim.Proc) {
+		res, err = trace.Replay(p, e, tr)
+		done = true
+	})
+	for !done {
+		env.Run(env.Now() + time.Second)
+	}
+	e.StopBackground()
+	env.Run(env.Now() + time.Second)
+	env.Shutdown()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("design:        %s\n", design)
+	fmt.Printf("events:        %d\n", res.Events)
+	fmt.Printf("virtual time:  %.3fs\n", res.ElapsedSec)
+	fmt.Printf("pool hits:     %d / %d reads\n", res.Engine.PoolHits, res.Engine.Reads)
+	fmt.Printf("ssd hits:      %d (misses %d)\n", res.SSDHits, res.SSDMisses)
+	fmt.Printf("commits:       %d\n", res.Engine.Commits)
+	return nil
+}
+
+func parseDesign(s string) (ssd.Design, error) {
+	for _, d := range []ssd.Design{ssd.NoSSD, ssd.CW, ssd.DW, ssd.LC, ssd.TAC} {
+		if strings.EqualFold(d.String(), s) {
+			return d, nil
+		}
+	}
+	return 0, fmt.Errorf("unknown design %q", s)
+}

@@ -1,0 +1,3 @@
+module turbobp
+
+go 1.22

@@ -1,0 +1,297 @@
+// Package heapfile implements slotted-page record storage over a
+// turbobp.DB: variable-length records addressed by RID (page, slot), the
+// classic DBMS heap file that table data lives in. Together with package
+// btree it forms the access-method layer above the SSD-extended buffer
+// pool.
+//
+// Layout. Each heap page's payload is:
+//
+//	offset  size  field
+//	0       8     next heap page id (+1; 0 = none)
+//	8       2     slot count
+//	10      2     data start (records grow down from the payload end)
+//	12      4·n   slot directory: {record offset (2), record length (2)}
+//
+// Deleted records leave a tombstone slot (length 0); space is reclaimed
+// only page-locally when the deleted record was the lowest one.
+package heapfile
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"turbobp"
+)
+
+const (
+	pageHeader = 12
+	slotSize   = 4
+	metaMagic  = 0x48454150 // "HEAP"
+)
+
+// RID addresses one record.
+type RID struct {
+	Page int64
+	Slot int
+}
+
+// String formats the RID.
+func (r RID) String() string { return fmt.Sprintf("(%d,%d)", r.Page, r.Slot) }
+
+// ErrNotFound is returned for missing or deleted records.
+var ErrNotFound = errors.New("heapfile: record not found")
+
+// ErrTooLarge is returned when a record cannot fit in any page.
+var ErrTooLarge = errors.New("heapfile: record too large for the page size")
+
+// File is an open heap file.
+type File struct {
+	db   *turbobp.DB
+	meta int64 // metadata page id
+}
+
+// meta page payload: magic(4) first(8) last(8) count(8)
+
+// Create allocates a new heap file in db and returns it; Meta() identifies
+// it for reopening.
+func Create(db *turbobp.DB) (*File, error) {
+	if db.PageSize() < pageHeader+slotSize+8 {
+		return nil, fmt.Errorf("heapfile: page size %d too small", db.PageSize())
+	}
+	metaPid, err := db.AllocPage()
+	if err != nil {
+		return nil, err
+	}
+	firstPid, err := db.AllocPage()
+	if err != nil {
+		return nil, err
+	}
+	if err := db.Update(metaPid, func(pl []byte) {
+		binary.LittleEndian.PutUint32(pl[0:4], metaMagic)
+		binary.LittleEndian.PutUint64(pl[4:12], uint64(firstPid+1))
+		binary.LittleEndian.PutUint64(pl[12:20], uint64(firstPid+1))
+		binary.LittleEndian.PutUint64(pl[20:28], 0)
+	}); err != nil {
+		return nil, err
+	}
+	if err := db.Update(firstPid, initHeapPage); err != nil {
+		return nil, err
+	}
+	return &File{db: db, meta: metaPid}, nil
+}
+
+// Open reopens the heap file whose Meta() is metaPid.
+func Open(db *turbobp.DB, metaPid int64) (*File, error) {
+	buf := make([]byte, db.PageSize())
+	if _, err := db.Read(metaPid, buf); err != nil {
+		return nil, err
+	}
+	if binary.LittleEndian.Uint32(buf[0:4]) != metaMagic {
+		return nil, fmt.Errorf("heapfile: page %d is not a heap file", metaPid)
+	}
+	return &File{db: db, meta: metaPid}, nil
+}
+
+// Meta returns the metadata page id used by Open.
+func (f *File) Meta() int64 { return f.meta }
+
+func initHeapPage(pl []byte) {
+	binary.LittleEndian.PutUint64(pl[0:8], 0)                 // no next
+	binary.LittleEndian.PutUint16(pl[8:10], 0)                // no slots
+	binary.LittleEndian.PutUint16(pl[10:12], uint16(len(pl))) // data start at end
+}
+
+func (f *File) readMeta() (first, last int64, count uint64, err error) {
+	buf := make([]byte, f.db.PageSize())
+	if _, err = f.db.Read(f.meta, buf); err != nil {
+		return
+	}
+	first = int64(binary.LittleEndian.Uint64(buf[4:12])) - 1
+	last = int64(binary.LittleEndian.Uint64(buf[12:20])) - 1
+	count = binary.LittleEndian.Uint64(buf[20:28])
+	return
+}
+
+// Count returns the number of live records.
+func (f *File) Count() (uint64, error) {
+	_, _, n, err := f.readMeta()
+	return n, err
+}
+
+// freeIn reports the insertable bytes of an encoded heap page.
+func freeIn(pl []byte) int {
+	nslots := int(binary.LittleEndian.Uint16(pl[8:10]))
+	dataStart := int(binary.LittleEndian.Uint16(pl[10:12]))
+	return dataStart - (pageHeader + nslots*slotSize) - slotSize
+}
+
+// Insert appends rec and returns its RID.
+func (f *File) Insert(rec []byte) (RID, error) {
+	maxRec := f.db.PageSize() - pageHeader - slotSize
+	if len(rec) > maxRec {
+		return RID{}, fmt.Errorf("%w: %d > %d", ErrTooLarge, len(rec), maxRec)
+	}
+	_, last, count, err := f.readMeta()
+	if err != nil {
+		return RID{}, err
+	}
+	// Try the last page; grow the chain if it cannot fit the record.
+	buf := make([]byte, f.db.PageSize())
+	if _, err := f.db.Read(last, buf); err != nil {
+		return RID{}, err
+	}
+	target := last
+	if freeIn(buf) < len(rec) {
+		newPid, err := f.db.AllocPage()
+		if err != nil {
+			return RID{}, err
+		}
+		if err := f.db.Update(newPid, initHeapPage); err != nil {
+			return RID{}, err
+		}
+		if err := f.db.Update(last, func(pl []byte) {
+			binary.LittleEndian.PutUint64(pl[0:8], uint64(newPid+1))
+		}); err != nil {
+			return RID{}, err
+		}
+		target = newPid
+	}
+	var slot int
+	if err := f.db.Update(target, func(pl []byte) {
+		nslots := int(binary.LittleEndian.Uint16(pl[8:10]))
+		dataStart := int(binary.LittleEndian.Uint16(pl[10:12]))
+		dataStart -= len(rec)
+		copy(pl[dataStart:], rec)
+		slotOff := pageHeader + nslots*slotSize
+		binary.LittleEndian.PutUint16(pl[slotOff:], uint16(dataStart))
+		binary.LittleEndian.PutUint16(pl[slotOff+2:], uint16(len(rec)))
+		binary.LittleEndian.PutUint16(pl[8:10], uint16(nslots+1))
+		binary.LittleEndian.PutUint16(pl[10:12], uint16(dataStart))
+		slot = nslots
+	}); err != nil {
+		return RID{}, err
+	}
+	if err := f.db.Update(f.meta, func(pl []byte) {
+		binary.LittleEndian.PutUint64(pl[12:20], uint64(target+1))
+		binary.LittleEndian.PutUint64(pl[20:28], count+1)
+	}); err != nil {
+		return RID{}, err
+	}
+	return RID{Page: target, Slot: slot}, nil
+}
+
+// slotAt decodes slot s of an encoded page.
+func slotAt(pl []byte, s int) (off, length int, ok bool) {
+	nslots := int(binary.LittleEndian.Uint16(pl[8:10]))
+	if s < 0 || s >= nslots {
+		return 0, 0, false
+	}
+	base := pageHeader + s*slotSize
+	return int(binary.LittleEndian.Uint16(pl[base:])),
+		int(binary.LittleEndian.Uint16(pl[base+2:])), true
+}
+
+// Get returns a copy of the record at rid.
+func (f *File) Get(rid RID) ([]byte, error) {
+	buf := make([]byte, f.db.PageSize())
+	if _, err := f.db.Read(rid.Page, buf); err != nil {
+		return nil, err
+	}
+	off, length, ok := slotAt(buf, rid.Slot)
+	if !ok || length == 0 {
+		return nil, fmt.Errorf("%w: %v", ErrNotFound, rid)
+	}
+	return append([]byte(nil), buf[off:off+length]...), nil
+}
+
+// Delete tombstones the record at rid.
+func (f *File) Delete(rid RID) error {
+	found := false
+	if err := f.db.Update(rid.Page, func(pl []byte) {
+		base := pageHeader + rid.Slot*slotSize
+		nslots := int(binary.LittleEndian.Uint16(pl[8:10]))
+		if rid.Slot < 0 || rid.Slot >= nslots {
+			return
+		}
+		if binary.LittleEndian.Uint16(pl[base+2:]) == 0 {
+			return
+		}
+		off := int(binary.LittleEndian.Uint16(pl[base:]))
+		length := int(binary.LittleEndian.Uint16(pl[base+2:]))
+		binary.LittleEndian.PutUint16(pl[base+2:], 0)
+		// Reclaim space when this was the lowest record on the page.
+		dataStart := int(binary.LittleEndian.Uint16(pl[10:12]))
+		if off == dataStart {
+			binary.LittleEndian.PutUint16(pl[10:12], uint16(dataStart+length))
+		}
+		found = true
+	}); err != nil {
+		return err
+	}
+	if !found {
+		return fmt.Errorf("%w: %v", ErrNotFound, rid)
+	}
+	return f.db.Update(f.meta, func(pl []byte) {
+		count := binary.LittleEndian.Uint64(pl[20:28])
+		binary.LittleEndian.PutUint64(pl[20:28], count-1)
+	})
+}
+
+// UpdateRecord overwrites the record at rid in place; the new record must
+// not be longer than the existing one.
+func (f *File) UpdateRecord(rid RID, rec []byte) error {
+	var fail error
+	found := false
+	if err := f.db.Update(rid.Page, func(pl []byte) {
+		off, length, ok := slotAt(pl, rid.Slot)
+		if !ok || length == 0 {
+			return
+		}
+		if len(rec) > length {
+			fail = fmt.Errorf("heapfile: in-place update of %d bytes over a %d-byte record", len(rec), length)
+			return
+		}
+		copy(pl[off:off+length], make([]byte, length))
+		copy(pl[off:], rec)
+		base := pageHeader + rid.Slot*slotSize
+		binary.LittleEndian.PutUint16(pl[base+2:], uint16(len(rec)))
+		found = true
+	}); err != nil {
+		return err
+	}
+	if fail != nil {
+		return fail
+	}
+	if !found {
+		return fmt.Errorf("%w: %v", ErrNotFound, rid)
+	}
+	return nil
+}
+
+// Scan visits every live record in file order. Returning an error from fn
+// stops the scan and propagates the error.
+func (f *File) Scan(fn func(rid RID, rec []byte) error) error {
+	first, _, _, err := f.readMeta()
+	if err != nil {
+		return err
+	}
+	buf := make([]byte, f.db.PageSize())
+	for pid := first; pid >= 0; {
+		if _, err := f.db.Read(pid, buf); err != nil {
+			return err
+		}
+		nslots := int(binary.LittleEndian.Uint16(buf[8:10]))
+		for s := 0; s < nslots; s++ {
+			off, length, _ := slotAt(buf, s)
+			if length == 0 {
+				continue
+			}
+			if err := fn(RID{Page: pid, Slot: s}, buf[off:off+length]); err != nil {
+				return err
+			}
+		}
+		pid = int64(binary.LittleEndian.Uint64(buf[0:8])) - 1
+	}
+	return nil
+}

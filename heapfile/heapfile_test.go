@@ -1,0 +1,319 @@
+package heapfile
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"turbobp"
+)
+
+func openDB(t *testing.T) *turbobp.DB {
+	t.Helper()
+	db, err := turbobp.Open(turbobp.Options{
+		Design: turbobp.LC, DBPages: 1024, PoolPages: 32, SSDFrames: 128, PageSize: 128,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { db.Close() })
+	return db
+}
+
+func TestCreateInsertGet(t *testing.T) {
+	db := openDB(t)
+	f, err := Create(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rid, err := f.Insert([]byte("hello heap"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := f.Get(rid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "hello heap" {
+		t.Errorf("got %q", got)
+	}
+	n, _ := f.Count()
+	if n != 1 {
+		t.Errorf("Count = %d", n)
+	}
+}
+
+func TestInsertSpillsAcrossPages(t *testing.T) {
+	db := openDB(t)
+	f, err := Create(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := bytes.Repeat([]byte{7}, 100) // ~1 per 128-byte page
+	var rids []RID
+	for i := 0; i < 20; i++ {
+		rid, err := f.Insert(rec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rids = append(rids, rid)
+	}
+	pages := map[int64]bool{}
+	for _, r := range rids {
+		pages[r.Page] = true
+	}
+	if len(pages) < 10 {
+		t.Errorf("20 big records landed on %d pages", len(pages))
+	}
+	for i, r := range rids {
+		got, err := f.Get(r)
+		if err != nil {
+			t.Fatalf("record %d: %v", i, err)
+		}
+		if !bytes.Equal(got, rec) {
+			t.Fatalf("record %d corrupted", i)
+		}
+	}
+}
+
+func TestRecordTooLarge(t *testing.T) {
+	db := openDB(t)
+	f, _ := Create(db)
+	if _, err := f.Insert(make([]byte, 128)); !errors.Is(err, ErrTooLarge) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestDelete(t *testing.T) {
+	db := openDB(t)
+	f, _ := Create(db)
+	rid, _ := f.Insert([]byte("doomed"))
+	keep, _ := f.Insert([]byte("kept"))
+	if err := f.Delete(rid); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Get(rid); !errors.Is(err, ErrNotFound) {
+		t.Errorf("Get deleted = %v", err)
+	}
+	if err := f.Delete(rid); !errors.Is(err, ErrNotFound) {
+		t.Errorf("double delete = %v", err)
+	}
+	got, err := f.Get(keep)
+	if err != nil || string(got) != "kept" {
+		t.Errorf("neighbour damaged: %q %v", got, err)
+	}
+	n, _ := f.Count()
+	if n != 1 {
+		t.Errorf("Count = %d", n)
+	}
+}
+
+func TestUpdateRecordInPlace(t *testing.T) {
+	db := openDB(t)
+	f, _ := Create(db)
+	rid, _ := f.Insert([]byte("0123456789"))
+	if err := f.UpdateRecord(rid, []byte("abc")); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := f.Get(rid)
+	if string(got) != "abc" {
+		t.Errorf("got %q", got)
+	}
+	if err := f.UpdateRecord(rid, make([]byte, 50)); err == nil {
+		t.Error("oversized in-place update accepted")
+	}
+}
+
+func TestScanOrderAndSkipsDeleted(t *testing.T) {
+	db := openDB(t)
+	f, _ := Create(db)
+	var rids []RID
+	for i := 0; i < 30; i++ {
+		rid, err := f.Insert([]byte(fmt.Sprintf("rec-%02d", i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		rids = append(rids, rid)
+	}
+	f.Delete(rids[3])
+	f.Delete(rids[17])
+	var seen []string
+	err := f.Scan(func(_ RID, rec []byte) error {
+		seen = append(seen, string(rec))
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seen) != 28 {
+		t.Fatalf("scanned %d records, want 28", len(seen))
+	}
+	if seen[0] != "rec-00" || seen[2] != "rec-02" || seen[3] != "rec-04" {
+		t.Errorf("scan order wrong: %v", seen[:5])
+	}
+}
+
+func TestScanEarlyStop(t *testing.T) {
+	db := openDB(t)
+	f, _ := Create(db)
+	for i := 0; i < 10; i++ {
+		f.Insert([]byte{byte(i)})
+	}
+	boom := errors.New("stop")
+	n := 0
+	err := f.Scan(func(RID, []byte) error {
+		n++
+		if n == 3 {
+			return boom
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) || n != 3 {
+		t.Errorf("err=%v n=%d", err, n)
+	}
+}
+
+func TestOpenExisting(t *testing.T) {
+	db := openDB(t)
+	f, _ := Create(db)
+	rid, _ := f.Insert([]byte("persisted"))
+	f2, err := Open(db, f.Meta())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := f2.Get(rid)
+	if err != nil || string(got) != "persisted" {
+		t.Errorf("got %q, %v", got, err)
+	}
+	if _, err := Open(db, rid.Page); err == nil {
+		t.Error("Open on a non-meta page succeeded")
+	}
+}
+
+func TestSurvivesCrashRecovery(t *testing.T) {
+	db := openDB(t)
+	f, _ := Create(db)
+	var rids []RID
+	for i := 0; i < 25; i++ {
+		rid, err := f.Insert([]byte(fmt.Sprintf("durable-%d", i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		rids = append(rids, rid)
+	}
+	alloc := db.Allocated()
+	if err := db.Crash(); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Recover(); err != nil {
+		t.Fatal(err)
+	}
+	db.SetAllocated(alloc)
+	f2, err := Open(db, f.Meta())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, rid := range rids {
+		got, err := f2.Get(rid)
+		if err != nil {
+			t.Fatalf("record %d lost: %v", i, err)
+		}
+		if string(got) != fmt.Sprintf("durable-%d", i) {
+			t.Fatalf("record %d corrupted: %q", i, got)
+		}
+	}
+}
+
+// Property: a random interleaving of inserts, deletes and updates matches
+// a shadow map exactly (contents, Count and Scan set).
+func TestShadowModelProperty(t *testing.T) {
+	type op struct {
+		Kind uint8
+		Idx  uint8
+		Len  uint8
+	}
+	prop := func(ops []op) bool {
+		if len(ops) > 120 {
+			ops = ops[:120]
+		}
+		db, err := turbobp.Open(turbobp.Options{
+			Design: turbobp.DW, DBPages: 2048, PoolPages: 16, SSDFrames: 64, PageSize: 96,
+		})
+		if err != nil {
+			return false
+		}
+		defer db.Close()
+		f, err := Create(db)
+		if err != nil {
+			return false
+		}
+		shadow := map[RID][]byte{}
+		var live []RID
+		rng := rand.New(rand.NewSource(1))
+		for i, o := range ops {
+			switch o.Kind % 3 {
+			case 0: // insert
+				rec := bytes.Repeat([]byte{byte(i + 1)}, int(o.Len%60)+1)
+				rid, err := f.Insert(rec)
+				if err != nil {
+					return false
+				}
+				shadow[rid] = rec
+				live = append(live, rid)
+			case 1: // delete
+				if len(live) == 0 {
+					continue
+				}
+				k := int(o.Idx) % len(live)
+				rid := live[k]
+				live = append(live[:k], live[k+1:]...)
+				if err := f.Delete(rid); err != nil {
+					return false
+				}
+				delete(shadow, rid)
+			case 2: // shrink-update
+				if len(live) == 0 {
+					continue
+				}
+				rid := live[int(o.Idx)%len(live)]
+				n := len(shadow[rid])
+				rec := bytes.Repeat([]byte{byte(rng.Intn(256))}, (n+1)/2)
+				if err := f.UpdateRecord(rid, rec); err != nil {
+					return false
+				}
+				shadow[rid] = rec
+			}
+		}
+		// Verify via Get.
+		for rid, want := range shadow {
+			got, err := f.Get(rid)
+			if err != nil || !bytes.Equal(got, want) {
+				return false
+			}
+		}
+		// Verify via Scan.
+		seen := map[RID][]byte{}
+		if err := f.Scan(func(rid RID, rec []byte) error {
+			seen[rid] = append([]byte(nil), rec...)
+			return nil
+		}); err != nil {
+			return false
+		}
+		if len(seen) != len(shadow) {
+			return false
+		}
+		for rid, want := range shadow {
+			if !bytes.Equal(seen[rid], want) {
+				return false
+			}
+		}
+		n, err := f.Count()
+		return err == nil && int(n) == len(shadow)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,198 @@
+// Package bufpool implements the in-memory buffer pool: a fixed set of page
+// frames with a hash table for lookup and LRU-2 victim selection.
+//
+// The pool is a passive structure — it performs no I/O and charges no time.
+// The storage engine (internal/engine) drives the §2.2 data flow: on a miss
+// it takes a frame from here, fills it from the SSD manager or the disk, and
+// inserts it; on pressure it pops a victim and routes the evicted page
+// according to the active SSD design.
+package bufpool
+
+import (
+	"fmt"
+	"time"
+
+	"turbobp/internal/lru2"
+	"turbobp/internal/page"
+)
+
+// Frame holds one resident page and its bookkeeping bits.
+type Frame struct {
+	Pg    page.Page
+	Dirty bool
+	// Seq records how the page came into memory: true if it was fetched by
+	// the read-ahead (sequential) path. The SSD admission policy consults it
+	// when the page is later evicted.
+	Seq bool
+	// RecLSN is the LSN of the first update that dirtied the page since it
+	// was last clean (used by checkpointing bookkeeping; the page header LSN
+	// is the last update).
+	RecLSN uint64
+}
+
+// Pool is the memory buffer pool. It is not safe for wall-clock-concurrent
+// use; under the simulation kernel, accesses are naturally serialized.
+type Pool struct {
+	payload int
+	frames  []Frame
+	table   map[page.ID]*Frame
+	repl    *lru2.Cache
+	free    []*Frame
+}
+
+// New returns a pool of capacity frames holding payloadSize-byte payloads.
+func New(capacity, payloadSize int) *Pool {
+	if capacity < 1 {
+		panic(fmt.Sprintf("bufpool: capacity %d", capacity))
+	}
+	p := &Pool{
+		payload: payloadSize,
+		frames:  make([]Frame, capacity),
+		table:   make(map[page.ID]*Frame, capacity),
+		repl:    lru2.New(),
+	}
+	p.free = make([]*Frame, 0, capacity)
+	for i := capacity - 1; i >= 0; i-- {
+		p.frames[i].Pg.Payload = make([]byte, payloadSize)
+		p.free = append(p.free, &p.frames[i])
+	}
+	return p
+}
+
+// Capacity returns the total number of frames.
+func (p *Pool) Capacity() int { return len(p.frames) }
+
+// Resident returns the number of pages currently in the table.
+func (p *Pool) Resident() int { return len(p.table) }
+
+// FreeFrames returns the number of unused frames.
+func (p *Pool) FreeFrames() int { return len(p.free) }
+
+// PayloadSize returns the configured payload size.
+func (p *Pool) PayloadSize() int { return p.payload }
+
+// Lookup returns the resident frame for id and records an access at now, or
+// nil on a miss.
+func (p *Pool) Lookup(id page.ID, now time.Duration) *Frame {
+	f, ok := p.table[id]
+	if !ok {
+		return nil
+	}
+	p.repl.Touch(int64(id), now)
+	return f
+}
+
+// Peek returns the resident frame without touching replacement state.
+func (p *Pool) Peek(id page.ID) *Frame {
+	return p.table[id]
+}
+
+// TakeFree removes and returns a free frame, or nil if none remain.
+func (p *Pool) TakeFree() *Frame {
+	if len(p.free) == 0 {
+		return nil
+	}
+	f := p.free[len(p.free)-1]
+	p.free = p.free[:len(p.free)-1]
+	return f
+}
+
+// PopVictim selects the LRU-2 victim, removes it from the table and
+// replacement structures, and returns it. The caller owns the frame: it must
+// write out the page if dirty and then either Insert it under a new id or
+// Release it. Returns nil if the pool is empty.
+func (p *Pool) PopVictim() *Frame {
+	key, ok := p.repl.Pop()
+	if !ok {
+		return nil
+	}
+	f := p.table[page.ID(key)]
+	if f == nil {
+		panic(fmt.Sprintf("bufpool: victim %d not in table", key))
+	}
+	delete(p.table, page.ID(key))
+	return f
+}
+
+// Insert publishes frame under f.Pg.ID, recording an access at now. If the
+// page is already resident (a concurrent fill won the race), Insert returns
+// the existing frame and false, and the caller's frame is returned to the
+// free list.
+func (p *Pool) Insert(f *Frame, now time.Duration) (*Frame, bool) {
+	id := f.Pg.ID
+	if existing, ok := p.table[id]; ok {
+		p.Release(f)
+		p.repl.Touch(int64(id), now)
+		return existing, false
+	}
+	p.table[id] = f
+	p.repl.Touch(int64(id), now)
+	return f, true
+}
+
+// Release returns a frame (not in the table) to the free list.
+func (p *Pool) Release(f *Frame) {
+	f.Dirty = false
+	f.Seq = false
+	f.RecLSN = 0
+	f.Pg.ID = 0
+	f.Pg.LSN = 0
+	p.free = append(p.free, f)
+}
+
+// Drop removes a resident page and frees its frame without any writeback
+// (used by the multi-page read path when a stale disk version must be
+// replaced by the SSD version, and by crash simulation).
+func (p *Pool) Drop(id page.ID) {
+	f, ok := p.table[id]
+	if !ok {
+		return
+	}
+	delete(p.table, id)
+	p.repl.Remove(int64(id))
+	p.Release(f)
+}
+
+// DirtyPages returns the ids of all dirty resident pages, unordered.
+func (p *Pool) DirtyPages() []page.ID {
+	var ids []page.ID
+	for id, f := range p.table {
+		if f.Dirty {
+			ids = append(ids, id)
+		}
+	}
+	return ids
+}
+
+// Pages returns the ids of all resident pages, unordered.
+func (p *Pool) Pages() []page.ID {
+	ids := make([]page.ID, 0, len(p.table))
+	for id := range p.table {
+		ids = append(ids, id)
+	}
+	return ids
+}
+
+// Reset empties the pool (crash simulation): every frame is freed and all
+// contents are discarded.
+func (p *Pool) Reset() {
+	for id := range p.table {
+		delete(p.table, id)
+	}
+	p.repl = lru2.New()
+	p.free = p.free[:0]
+	for i := len(p.frames) - 1; i >= 0; i-- {
+		f := &p.frames[i]
+		f.Dirty = false
+		f.Seq = false
+		f.RecLSN = 0
+		f.Pg.ID = 0
+		f.Pg.LSN = 0
+		p.free = append(p.free, f)
+	}
+}
+
+// ReplHistory exposes the LRU-2 history of a resident page (test hook).
+func (p *Pool) ReplHistory(id page.ID) (last, prev time.Duration, seen bool) {
+	return p.repl.History(int64(id))
+}

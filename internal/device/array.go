@@ -1,0 +1,167 @@
+package device
+
+import (
+	"fmt"
+
+	"turbobp/internal/sim"
+)
+
+// Array is a striped set of disks presenting one flat page space, like the
+// paper's eight-HDD file group. Pages are striped in units of StripeUnit
+// pages: global pages [k*u, (k+1)*u) live on disk k % len(disks), at local
+// pages [(k/len(disks))*u, ...). Requests that span several disks are issued
+// to those disks in parallel.
+type Array struct {
+	env        *sim.Env
+	disks      []*HDD
+	stripeUnit PageNum
+	capacity   PageNum
+	stats      Stats
+}
+
+// NewArray stripes capacity pages across n fresh disks with the given
+// profile. stripeUnit is in pages (the paper's SQL Server file groups use
+// 64-page, 512 KB extents-of-extents; anything >= 1 works).
+func NewArray(env *sim.Env, profile Profile, n int, stripeUnit, capacity PageNum) *Array {
+	if n < 1 || stripeUnit < 1 {
+		panic(fmt.Sprintf("device: bad array geometry n=%d unit=%d", n, stripeUnit))
+	}
+	perDisk := (capacity + PageNum(n) - 1) / PageNum(n)
+	// Round per-disk capacity up to whole stripe units.
+	perDisk = (perDisk + stripeUnit - 1) / stripeUnit * stripeUnit
+	disks := make([]*HDD, n)
+	for i := range disks {
+		disks[i] = NewHDD(env, profile, perDisk)
+	}
+	return &Array{env: env, disks: disks, stripeUnit: stripeUnit, capacity: capacity}
+}
+
+// Disks exposes the member disks (read-only use: per-disk stats).
+func (a *Array) Disks() []*HDD { return a.disks }
+
+// locate maps a global page to (disk index, local page).
+func (a *Array) locate(page PageNum) (int, PageNum) {
+	unit := page / a.stripeUnit
+	disk := int(unit % PageNum(len(a.disks)))
+	local := (unit/PageNum(len(a.disks)))*a.stripeUnit + page%a.stripeUnit
+	return disk, local
+}
+
+// run is one per-disk contiguous piece of a request.
+type run struct {
+	disk  int
+	local PageNum
+	bufs  [][]byte
+}
+
+// split carves a request into per-disk runs, preserving order.
+func (a *Array) split(page PageNum, bufs [][]byte) []run {
+	var runs []run
+	for len(bufs) > 0 {
+		disk, local := a.locate(page)
+		// Pages remaining in this stripe unit.
+		left := int(a.stripeUnit - page%a.stripeUnit)
+		if left > len(bufs) {
+			left = len(bufs)
+		}
+		runs = append(runs, run{disk: disk, local: local, bufs: bufs[:left]})
+		page += PageNum(left)
+		bufs = bufs[left:]
+	}
+	return runs
+}
+
+func (a *Array) do(p *sim.Proc, page PageNum, bufs [][]byte, write bool) error {
+	if err := checkRange(page, len(bufs), a.capacity); err != nil {
+		return err
+	}
+	if len(bufs) == 0 {
+		return nil
+	}
+	if write {
+		a.stats.WriteOps.Add(1)
+		a.stats.WritePages.Add(int64(len(bufs)))
+	} else {
+		a.stats.ReadOps.Add(1)
+		a.stats.ReadPages.Add(int64(len(bufs)))
+	}
+	op := func(p *sim.Proc, r run) error {
+		d := a.disks[r.disk]
+		if write {
+			return d.Write(p, r.local, r.bufs)
+		}
+		return d.Read(p, r.local, r.bufs)
+	}
+	runs := a.split(page, bufs)
+	if len(runs) == 1 {
+		return op(p, runs[0])
+	}
+	// Fan the runs out to their disks in parallel and join.
+	var firstErr error
+	remaining := len(runs)
+	done := sim.NewSignal(p.Env())
+	for _, r := range runs {
+		r := r
+		a.env.Go("array-io", func(child *sim.Proc) {
+			if err := op(child, r); err != nil && firstErr == nil {
+				firstErr = err
+			}
+			remaining--
+			if remaining == 0 {
+				done.Broadcast()
+			}
+		})
+	}
+	if remaining > 0 {
+		done.Wait(p)
+	}
+	return firstErr
+}
+
+// Read performs a (possibly multi-disk) page-run read.
+func (a *Array) Read(p *sim.Proc, page PageNum, bufs [][]byte) error {
+	return a.do(p, page, bufs, false)
+}
+
+// Write performs a (possibly multi-disk) page-run write.
+func (a *Array) Write(p *sim.Proc, page PageNum, bufs [][]byte) error {
+	return a.do(p, page, bufs, true)
+}
+
+// Preload stores data on the owning disk without charging time.
+func (a *Array) Preload(page PageNum, data []byte) error {
+	if err := checkRange(page, 1, a.capacity); err != nil {
+		return err
+	}
+	disk, local := a.locate(page)
+	return a.disks[disk].Preload(local, data)
+}
+
+// Pending sums the pending requests of the member disks.
+func (a *Array) Pending() int {
+	total := 0
+	for _, d := range a.disks {
+		total += d.Pending()
+	}
+	return total
+}
+
+// Stats returns array-level request counters. Service-time detail lives on
+// the member disks' Stats.
+func (a *Array) Stats() *Stats { return &a.stats }
+
+// BusySnapshot aggregates member-disk snapshots (busy time, sequentiality).
+func (a *Array) BusySnapshot() Snapshot {
+	var total Snapshot
+	for _, d := range a.disks {
+		s := d.Stats().Load()
+		total.ReadOps += s.ReadOps
+		total.WriteOps += s.WriteOps
+		total.ReadPages += s.ReadPages
+		total.WritePages += s.WritePages
+		total.SeqReads += s.SeqReads
+		total.SeqWrites += s.SeqWrites
+		total.BusyNanos += s.BusyNanos
+	}
+	return total
+}

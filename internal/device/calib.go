@@ -1,0 +1,41 @@
+package device
+
+// Calibration constants reproducing the paper's Table 1: maximum sustainable
+// IOPS with page-sized (8 KB) I/Os, disk write caching off.
+//
+//	READ        Ran.    Seq.   WRITE       Ran.    Seq.
+//	8 HDDs     1,015  26,370   8 HDDs       895   9,463
+//	SSD       12,182  15,980   SSD       12,374  14,965
+const (
+	// Aggregate IOPS of the paper's eight-disk striped HDD set.
+	HDDArrayRandReadIOPS  = 1015
+	HDDArraySeqReadIOPS   = 26370
+	HDDArrayRandWriteIOPS = 895
+	HDDArraySeqWriteIOPS  = 9463
+
+	// IOPS of the paper's 160 GB SLC Fusion ioDrive.
+	SSDRandReadIOPS  = 12182
+	SSDSeqReadIOPS   = 15980
+	SSDRandWriteIOPS = 12374
+	SSDSeqWriteIOPS  = 14965
+
+	// PaperArrayDisks is the number of data disks in the paper's stripe set.
+	PaperArrayDisks = 8
+)
+
+// PaperHDDProfile returns the latency profile of one of the paper's eight
+// 7,200 RPM SATA disks: the Table 1 aggregates divided evenly across disks.
+func PaperHDDProfile() Profile {
+	n := float64(PaperArrayDisks)
+	return ProfileFromIOPS(
+		HDDArrayRandReadIOPS/n,
+		HDDArraySeqReadIOPS/n,
+		HDDArrayRandWriteIOPS/n,
+		HDDArraySeqWriteIOPS/n,
+	)
+}
+
+// PaperSSDProfile returns the latency profile of the paper's SSD.
+func PaperSSDProfile() Profile {
+	return ProfileFromIOPS(SSDRandReadIOPS, SSDSeqReadIOPS, SSDRandWriteIOPS, SSDSeqWriteIOPS)
+}

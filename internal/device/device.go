@@ -1,0 +1,105 @@
+// Package device models the storage devices of the paper's testbed and the
+// I/O interface the storage engine uses to reach them.
+//
+// Two families of implementation exist behind the same Device interface:
+//
+//   - Simulated devices (HDD, Array, SSD) that charge virtual time on a
+//     sim.Env according to latency models calibrated to the paper's Table 1
+//     IOPS measurements, while storing page payloads in memory. These drive
+//     every experiment reproduction.
+//   - A real-file backend (File) that performs ordinary os.File I/O, used by
+//     the runnable examples and by durability tests.
+//
+// All devices are page-granular: a request names a starting page number and
+// a slice of page buffers for a contiguous run, matching the paper's
+// multi-page I/O optimization (§3.3.3).
+package device
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+
+	"turbobp/internal/sim"
+)
+
+// PageNum identifies a page on a device, starting at 0.
+type PageNum int64
+
+// ErrOutOfRange is returned for requests beyond a device's capacity.
+var ErrOutOfRange = errors.New("device: page out of range")
+
+// Device is a page-granular block device. Read and Write block the calling
+// simulation process for the modelled duration of the request; for the
+// real-file backend p may be nil and the call blocks the OS thread instead.
+//
+// bufs holds one page-sized buffer per page of a contiguous run starting at
+// page: Read fills them, Write persists copies of them.
+type Device interface {
+	Read(p *sim.Proc, page PageNum, bufs [][]byte) error
+	Write(p *sim.Proc, page PageNum, bufs [][]byte) error
+	// Pending reports the number of in-flight plus queued requests; the SSD
+	// throttle-control optimization (§3.3.2) polls this.
+	Pending() int
+	// Stats returns the device's cumulative I/O counters.
+	Stats() *Stats
+}
+
+// Preloader is implemented by devices that can be populated instantly
+// (outside of simulated time) when a database is being created.
+type Preloader interface {
+	Preload(page PageNum, data []byte) error
+}
+
+// Stats holds cumulative I/O counters for one device. All fields are
+// maintained atomically so samplers may read them while a simulation runs.
+type Stats struct {
+	ReadOps    atomic.Int64 // I/O requests (a multi-page request counts once)
+	WriteOps   atomic.Int64
+	ReadPages  atomic.Int64 // pages transferred
+	WritePages atomic.Int64
+	SeqReads   atomic.Int64 // requests served without a seek penalty
+	SeqWrites  atomic.Int64
+	BusyNanos  atomic.Int64 // total service time charged
+}
+
+// Snapshot is a plain-value copy of Stats at one instant.
+type Snapshot struct {
+	ReadOps, WriteOps     int64
+	ReadPages, WritePages int64
+	SeqReads, SeqWrites   int64
+	BusyNanos             int64
+}
+
+// Load returns a point-in-time copy of the counters.
+func (s *Stats) Load() Snapshot {
+	return Snapshot{
+		ReadOps:    s.ReadOps.Load(),
+		WriteOps:   s.WriteOps.Load(),
+		ReadPages:  s.ReadPages.Load(),
+		WritePages: s.WritePages.Load(),
+		SeqReads:   s.SeqReads.Load(),
+		SeqWrites:  s.SeqWrites.Load(),
+		BusyNanos:  s.BusyNanos.Load(),
+	}
+}
+
+// Sub returns the delta s minus prev, for per-interval bandwidth series.
+func (s Snapshot) Sub(prev Snapshot) Snapshot {
+	return Snapshot{
+		ReadOps:    s.ReadOps - prev.ReadOps,
+		WriteOps:   s.WriteOps - prev.WriteOps,
+		ReadPages:  s.ReadPages - prev.ReadPages,
+		WritePages: s.WritePages - prev.WritePages,
+		SeqReads:   s.SeqReads - prev.SeqReads,
+		SeqWrites:  s.SeqWrites - prev.SeqWrites,
+		BusyNanos:  s.BusyNanos - prev.BusyNanos,
+	}
+}
+
+func checkRange(page PageNum, n int, capacity PageNum) error {
+	if page < 0 || n < 0 || PageNum(int64(page)+int64(n)) > capacity {
+		return fmt.Errorf("%w: pages [%d,%d) of %d", ErrOutOfRange, page, int64(page)+int64(n), capacity)
+	}
+	return nil
+}

@@ -1,0 +1,109 @@
+package device
+
+import (
+	"fmt"
+	"os"
+	"sync/atomic"
+
+	"turbobp/internal/sim"
+)
+
+// File is a Device backed by an ordinary file, for running the engine
+// against real storage. The sim.Proc argument of Read/Write is ignored (pass
+// nil); calls block the OS thread for the duration of the real I/O.
+type File struct {
+	f        *os.File
+	pageSize int
+	capacity PageNum
+	pending  atomic.Int64
+	stats    Stats
+}
+
+// OpenFile creates (or truncates) path as a device of capacity pages of
+// pageSize bytes each.
+func OpenFile(path string, pageSize int, capacity PageNum) (*File, error) {
+	if pageSize <= 0 || capacity < 0 {
+		return nil, fmt.Errorf("device: bad file geometry pageSize=%d capacity=%d", pageSize, capacity)
+	}
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	if err := f.Truncate(int64(pageSize) * int64(capacity)); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return &File{f: f, pageSize: pageSize, capacity: capacity}, nil
+}
+
+// Read fills bufs from the file. Each buffer must be exactly one page.
+func (d *File) Read(_ *sim.Proc, page PageNum, bufs [][]byte) error {
+	if err := d.check(page, bufs); err != nil {
+		return err
+	}
+	d.pending.Add(1)
+	defer d.pending.Add(-1)
+	for i, buf := range bufs {
+		off := (int64(page) + int64(i)) * int64(d.pageSize)
+		if _, err := d.f.ReadAt(buf, off); err != nil {
+			return fmt.Errorf("device: read page %d: %w", int64(page)+int64(i), err)
+		}
+	}
+	d.stats.ReadOps.Add(1)
+	d.stats.ReadPages.Add(int64(len(bufs)))
+	return nil
+}
+
+// Write persists bufs to the file.
+func (d *File) Write(_ *sim.Proc, page PageNum, bufs [][]byte) error {
+	if err := d.check(page, bufs); err != nil {
+		return err
+	}
+	d.pending.Add(1)
+	defer d.pending.Add(-1)
+	for i, buf := range bufs {
+		off := (int64(page) + int64(i)) * int64(d.pageSize)
+		if _, err := d.f.WriteAt(buf, off); err != nil {
+			return fmt.Errorf("device: write page %d: %w", int64(page)+int64(i), err)
+		}
+	}
+	d.stats.WriteOps.Add(1)
+	d.stats.WritePages.Add(int64(len(bufs)))
+	return nil
+}
+
+func (d *File) check(page PageNum, bufs [][]byte) error {
+	if err := checkRange(page, len(bufs), d.capacity); err != nil {
+		return err
+	}
+	for _, buf := range bufs {
+		if len(buf) != d.pageSize {
+			return fmt.Errorf("device: buffer size %d != page size %d", len(buf), d.pageSize)
+		}
+	}
+	return nil
+}
+
+// Preload writes data to page without counting it in the stats.
+func (d *File) Preload(page PageNum, data []byte) error {
+	if err := checkRange(page, 1, d.capacity); err != nil {
+		return err
+	}
+	if len(data) != d.pageSize {
+		return fmt.Errorf("device: preload size %d != page size %d", len(data), d.pageSize)
+	}
+	_, err := d.f.WriteAt(data, int64(page)*int64(d.pageSize))
+	return err
+}
+
+// Sync flushes the file to stable storage.
+func (d *File) Sync() error { return d.f.Sync() }
+
+// Close closes the backing file.
+func (d *File) Close() error { return d.f.Close() }
+
+// Pending reports in-flight requests.
+func (d *File) Pending() int { return int(d.pending.Load()) }
+
+// Stats returns cumulative counters.
+func (d *File) Stats() *Stats { return &d.stats }

@@ -1,0 +1,40 @@
+package device
+
+// memstore is the persistent content of a simulated device: a sparse map of
+// page payload copies. Pages never written read back as zero-filled.
+type memstore struct {
+	pages map[PageNum][]byte
+}
+
+func newMemstore() *memstore {
+	return &memstore{pages: make(map[PageNum][]byte)}
+}
+
+// read copies the stored payload for page into buf (zero-fills if the page
+// was never written). Short or long buffers copy min(len).
+func (m *memstore) read(page PageNum, buf []byte) {
+	src, ok := m.pages[page]
+	if !ok {
+		for i := range buf {
+			buf[i] = 0
+		}
+		return
+	}
+	n := copy(buf, src)
+	for i := n; i < len(buf); i++ {
+		buf[i] = 0
+	}
+}
+
+// write stores a copy of buf as the content of page.
+func (m *memstore) write(page PageNum, buf []byte) {
+	dst, ok := m.pages[page]
+	if !ok || len(dst) != len(buf) {
+		dst = make([]byte, len(buf))
+		m.pages[page] = dst
+	}
+	copy(dst, buf)
+}
+
+// len reports the number of pages ever written.
+func (m *memstore) len() int { return len(m.pages) }

@@ -1,0 +1,145 @@
+package device
+
+import (
+	"time"
+
+	"turbobp/internal/sim"
+)
+
+// Profile is the latency model of one simulated device, expressed as the
+// service time of the first page of a request plus a per-page streaming time
+// for the remainder. A request is "sequential" when it starts where the
+// previous request on the device ended; sequential requests skip the
+// positioning cost of the first page.
+type Profile struct {
+	RandRead  time.Duration // first page of a non-sequential read
+	SeqRead   time.Duration // each subsequent / sequential page read
+	RandWrite time.Duration // first page of a non-sequential write
+	SeqWrite  time.Duration // each subsequent / sequential page written
+}
+
+// ProfileFromIOPS derives a Profile from sustained 1-page IOPS figures, as
+// reported in the paper's Table 1: the sequential per-page time is 1/seqIOPS
+// and the random first-page time is 1/randIOPS.
+func ProfileFromIOPS(randRead, seqRead, randWrite, seqWrite float64) Profile {
+	per := func(iops float64) time.Duration {
+		return time.Duration(float64(time.Second) / iops)
+	}
+	return Profile{
+		RandRead:  per(randRead),
+		SeqRead:   per(seqRead),
+		RandWrite: per(randWrite),
+		SeqWrite:  per(seqWrite),
+	}
+}
+
+// simDevice is a single-server queueing model of a storage device: requests
+// are served FIFO, one at a time, each charging virtual time according to
+// the Profile, with page payloads kept in a memstore.
+type simDevice struct {
+	res      *sim.Resource
+	profile  Profile
+	capacity PageNum
+	head     PageNum // page following the last request (for sequential detection)
+	store    *memstore
+	stats    Stats
+}
+
+func newSimDevice(env *sim.Env, profile Profile, capacity PageNum) *simDevice {
+	return &simDevice{
+		res:      sim.NewResource(env, 1),
+		profile:  profile,
+		capacity: capacity,
+		head:     -1,
+		store:    newMemstore(),
+	}
+}
+
+// cost returns the service time of an n-page request starting at page given
+// the current head position.
+func (d *simDevice) cost(page PageNum, n int, write bool) (time.Duration, bool) {
+	seq := page == d.head
+	first, rest := d.profile.RandRead, d.profile.SeqRead
+	if write {
+		first, rest = d.profile.RandWrite, d.profile.SeqWrite
+	}
+	if seq {
+		first = rest
+	}
+	return first + time.Duration(n-1)*rest, seq
+}
+
+func (d *simDevice) Read(p *sim.Proc, page PageNum, bufs [][]byte) error {
+	if err := checkRange(page, len(bufs), d.capacity); err != nil {
+		return err
+	}
+	if len(bufs) == 0 {
+		return nil
+	}
+	d.res.Acquire(p)
+	dur, seq := d.cost(page, len(bufs), false)
+	p.Sleep(dur)
+	for i, buf := range bufs {
+		d.store.read(page+PageNum(i), buf)
+	}
+	d.head = page + PageNum(len(bufs))
+	d.stats.ReadOps.Add(1)
+	d.stats.ReadPages.Add(int64(len(bufs)))
+	d.stats.BusyNanos.Add(int64(dur))
+	if seq {
+		d.stats.SeqReads.Add(1)
+	}
+	d.res.Release()
+	return nil
+}
+
+func (d *simDevice) Write(p *sim.Proc, page PageNum, bufs [][]byte) error {
+	if err := checkRange(page, len(bufs), d.capacity); err != nil {
+		return err
+	}
+	if len(bufs) == 0 {
+		return nil
+	}
+	d.res.Acquire(p)
+	dur, seq := d.cost(page, len(bufs), true)
+	p.Sleep(dur)
+	for i, buf := range bufs {
+		d.store.write(page+PageNum(i), buf)
+	}
+	d.head = page + PageNum(len(bufs))
+	d.stats.WriteOps.Add(1)
+	d.stats.WritePages.Add(int64(len(bufs)))
+	d.stats.BusyNanos.Add(int64(dur))
+	if seq {
+		d.stats.SeqWrites.Add(1)
+	}
+	d.res.Release()
+	return nil
+}
+
+func (d *simDevice) Preload(page PageNum, data []byte) error {
+	if err := checkRange(page, 1, d.capacity); err != nil {
+		return err
+	}
+	d.store.write(page, data)
+	return nil
+}
+
+func (d *simDevice) Pending() int  { return d.res.Pending() }
+func (d *simDevice) Stats() *Stats { return &d.stats }
+
+// HDD is a simulated single hard disk drive.
+type HDD struct{ simDevice }
+
+// NewHDD returns a disk with the given latency profile and capacity.
+func NewHDD(env *sim.Env, profile Profile, capacity PageNum) *HDD {
+	return &HDD{*newSimDevice(env, profile, capacity)}
+}
+
+// SSD is a simulated flash solid-state drive.
+type SSD struct{ simDevice }
+
+// NewSSD returns an SSD with the given latency profile and capacity.
+func NewSSD(env *sim.Env, profile Profile, capacity PageNum) *SSD {
+	return &SSD{*newSimDevice(env, profile, capacity)}
+}

@@ -1,0 +1,182 @@
+package engine
+
+import (
+	"turbobp/internal/device"
+	"turbobp/internal/page"
+	"turbobp/internal/sim"
+	"turbobp/internal/ssd"
+	"turbobp/internal/wal"
+)
+
+// checkpointBatch caps the pages per checkpoint disk write.
+const checkpointBatch = 32
+
+// Checkpoint performs a sharp checkpoint (§3.2): every dirty page in the
+// memory pool — and, under LC, every dirty page in the SSD — is flushed to
+// the disks, then a checkpoint record is logged. Recovery replays only log
+// records newer than the flush's starting LSN.
+func (e *Engine) Checkpoint(p *sim.Proc) error {
+	if e.cfg.FuzzyCheckpoints {
+		return e.fuzzyCheckpoint(p)
+	}
+	e.stats.Checkpoints++
+	startLSN := e.log.NextLSN() - 1
+	e.mgr.SetCheckpointing(true)
+	defer e.mgr.SetCheckpointing(false)
+
+	dirty := e.DirtyPoolPages()
+	i := 0
+	for i < len(dirty) {
+		// Group contiguous page ids into one write, up to checkpointBatch.
+		j := i + 1
+		for j < len(dirty) && j-i < checkpointBatch && dirty[j] == dirty[j-1]+1 {
+			j++
+		}
+		if err := e.checkpointRun(p, dirty[i:j]); err != nil {
+			return err
+		}
+		i = j
+	}
+
+	if e.cfg.Design == ssd.LC {
+		if err := e.mgr.FlushDirty(p); err != nil {
+			return err
+		}
+	}
+
+	// With warm restart enabled, the checkpoint record carries the SSD
+	// buffer table so a restart can reuse the cache (§6).
+	var tableBlob []byte
+	if e.cfg.WarmRestart {
+		tableBlob = e.mgr.SnapshotTable()
+	}
+	lsn := e.log.Append(wal.Record{Type: wal.TypeCheckpoint, StartLSN: startLSN, Payload: tableBlob})
+	e.log.Flush(p, lsn)
+	e.log.TruncateThrough(startLSN)
+	return nil
+}
+
+// fuzzyCheckpoint records the redo horizon without flushing anything: the
+// horizon is just below the oldest update still missing from the disks —
+// the minimum RecLSN over dirty pool pages and dirty SSD pages. Recovery
+// then redoes everything after it. Restart time grows with the dirty set,
+// which is exactly the λ tradeoff §2.3.3 describes.
+func (e *Engine) fuzzyCheckpoint(p *sim.Proc) error {
+	e.stats.Checkpoints++
+	horizon := e.log.NextLSN() - 1
+	for _, id := range e.pool.DirtyPages() {
+		if f := e.pool.Peek(id); f != nil && f.Dirty && f.RecLSN > 0 && f.RecLSN-1 < horizon {
+			horizon = f.RecLSN - 1
+		}
+	}
+	if min, ok := e.mgr.MinDirtyLSN(); ok && min > 0 && min-1 < horizon {
+		horizon = min - 1
+	}
+	var tableBlob []byte
+	if e.cfg.WarmRestart {
+		tableBlob = e.mgr.SnapshotTable()
+	}
+	lsn := e.log.Append(wal.Record{Type: wal.TypeCheckpoint, StartLSN: horizon, Payload: tableBlob})
+	e.log.Flush(p, lsn)
+	e.log.TruncateThrough(horizon)
+	return nil
+}
+
+// checkpointRun flushes one contiguous group of dirty pool pages.
+func (e *Engine) checkpointRun(p *sim.Proc, ids []page.ID) error {
+	bufs := make([][]byte, 0, len(ids))
+	kept := make([]page.ID, 0, len(ids))
+	lsns := make([]uint64, 0, len(ids))
+	randoms := make([]bool, 0, len(ids))
+	var maxLSN uint64
+	start := ids[0]
+	for _, id := range ids {
+		f := e.pool.Peek(id)
+		if f == nil || !f.Dirty {
+			// Evicted or cleaned since we listed it. A gap would break the
+			// contiguous write; fall back to singles from here.
+			return e.checkpointSingles(p, ids)
+		}
+		buf := make([]byte, e.bufSize())
+		if err := page.Encode(&f.Pg, buf); err != nil {
+			return err
+		}
+		bufs = append(bufs, buf)
+		kept = append(kept, id)
+		lsns = append(lsns, f.Pg.LSN)
+		randoms = append(randoms, !f.Seq)
+		if f.Pg.LSN > maxLSN {
+			maxLSN = f.Pg.LSN
+		}
+	}
+	// WAL: the log must be durable up to the newest page image written.
+	e.log.Flush(p, maxLSN)
+	if err := e.db.Write(p, device.PageNum(start), bufs); err != nil {
+		return err
+	}
+	for k, id := range kept {
+		e.finishCheckpointPage(p, id, lsns[k], randoms[k])
+	}
+	return nil
+}
+
+// checkpointSingles flushes pages one at a time (used when a planned
+// contiguous run was broken by concurrent activity).
+func (e *Engine) checkpointSingles(p *sim.Proc, ids []page.ID) error {
+	for _, id := range ids {
+		f := e.pool.Peek(id)
+		if f == nil || !f.Dirty {
+			continue
+		}
+		buf := make([]byte, e.bufSize())
+		if err := page.Encode(&f.Pg, buf); err != nil {
+			return err
+		}
+		lsn := f.Pg.LSN
+		random := !f.Seq
+		e.log.Flush(p, lsn)
+		if err := e.db.Write(p, device.PageNum(id), [][]byte{buf}); err != nil {
+			return err
+		}
+		e.finishCheckpointPage(p, id, lsn, random)
+	}
+	return nil
+}
+
+// finishCheckpointPage marks a flushed page clean (unless re-dirtied while
+// the write was in flight) and lets DW piggyback the flush into the SSD
+// (§3.2).
+func (e *Engine) finishCheckpointPage(p *sim.Proc, id page.ID, writtenLSN uint64, random bool) {
+	f := e.pool.Peek(id)
+	if f != nil && f.Dirty && f.Pg.LSN == writtenLSN {
+		f.Dirty = false
+		f.RecLSN = 0
+		if err := e.mgr.OnCheckpointFlush(p, &f.Pg, random); err != nil {
+			panic("engine: checkpoint ssd flush: " + err.Error())
+		}
+	}
+}
+
+// startCheckpointer spawns the periodic checkpoint process. A generation
+// counter retires stale checkpointers across crash/recover cycles.
+func (e *Engine) startCheckpointer() {
+	e.cpGen++
+	gen := e.cpGen
+	e.env.Go("checkpointer", func(p *sim.Proc) {
+		for {
+			p.Sleep(e.cfg.CheckpointInterval)
+			if e.checkpointStop || e.crashed || e.cpGen != gen {
+				return
+			}
+			if err := e.Checkpoint(p); err != nil {
+				panic("engine: checkpoint: " + err.Error())
+			}
+		}
+	})
+}
+
+// StopBackground asks background processes (checkpointer, cleaner) to exit.
+func (e *Engine) StopBackground() {
+	e.checkpointStop = true
+	e.mgr.StopCleaner()
+}

@@ -1,0 +1,600 @@
+// Package engine implements the DBMS storage engine that hosts the SSD
+// buffer-pool extension: the memory buffer pool, the disk manager over a
+// striped HDD array, the write-ahead log, sharp checkpointing, crash
+// recovery, and the §2.2 data flow between the buffer manager, SSD manager
+// and disk manager.
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+
+	"turbobp/internal/bufpool"
+	"turbobp/internal/device"
+	"turbobp/internal/metrics"
+	"turbobp/internal/page"
+	"turbobp/internal/sim"
+	"turbobp/internal/ssd"
+	"turbobp/internal/wal"
+)
+
+// Config describes one engine instance. Zero fields take the paper's
+// defaults (Table 2) where one exists.
+type Config struct {
+	Design ssd.Design
+
+	DBPages     int64 // database size in pages
+	PoolPages   int   // memory buffer pool frames
+	SSDFrames   int   // S: SSD buffer pool frames (0 disables)
+	PayloadSize int   // page payload bytes
+
+	Disks      int   // HDDs in the database stripe set (8 in the paper)
+	StripeUnit int64 // stripe unit in pages
+
+	// Paper knobs (Table 2).
+	Partitions    int     // N
+	FillThreshold float64 // τ
+	Throttle      int     // μ
+	GroupClean    int     // α
+	DirtyFraction float64 // λ
+
+	CheckpointInterval time.Duration // 0 = checkpointing off
+	ReadAhead          int           // read-ahead batch size in pages
+	ReadAheadRamp      int           // pages read individually before read-ahead kicks in
+	// ReadExpansion widens every single-page read to this many contiguous
+	// pages until the buffer pool first fills, mimicking the SQL Server
+	// 2008 R2 warm-up feature the paper observes in Figure 8 ("expands
+	// every single-page read request to an 8 page request until the
+	// buffer pool is filled"). 0 keeps the default of 8; negative
+	// disables it.
+	ReadExpansion int
+	// WarmRestart enables the paper's §6 extension: checkpoints persist
+	// the SSD buffer table, and recovery restores the (surviving) SSD
+	// cache contents instead of starting cold.
+	WarmRestart bool
+	// FuzzyCheckpoints switches Checkpoint from the paper's sharp policy
+	// (flush everything; fast restart) to a fuzzy one (flush nothing;
+	// record the redo horizon as the oldest unflushed update). §2.3.3
+	// discusses the tradeoff: fuzzy checkpoints are nearly free but make
+	// the restart time grow with λ and the dirty set.
+	FuzzyCheckpoints bool
+	Classifier       ClassifierKind
+
+	HDDProfile      device.Profile // zero value = paper calibration
+	SSDProfile      device.Profile
+	AsyncAdmitDelay time.Duration // TAC async admission gap
+
+	// CPU model: page accesses consume CPUPerAccess of one of CPUCores
+	// hardware contexts (the paper's box is a dual quad-core Nehalem with
+	// 16 contexts, saturating around 110k tpmC). Scan pages charge a
+	// eighth of the point-access cost. CPUPerAccess < 0 disables the
+	// model.
+	CPUCores     int
+	CPUPerAccess time.Duration
+
+	defaulted bool // setDefaults already ran (it is not idempotent on sentinels)
+}
+
+func (c *Config) setDefaults() {
+	if c.defaulted {
+		return
+	}
+	c.defaulted = true
+	if c.PayloadSize <= 0 {
+		c.PayloadSize = 64
+	}
+	if c.Disks <= 0 {
+		c.Disks = device.PaperArrayDisks
+	}
+	if c.StripeUnit <= 0 {
+		c.StripeUnit = 64
+	}
+	if c.ReadAhead <= 0 {
+		c.ReadAhead = 32
+	}
+	if c.ReadAheadRamp < 0 {
+		c.ReadAheadRamp = 0
+	} else if c.ReadAheadRamp == 0 {
+		c.ReadAheadRamp = 8
+	}
+	if c.ReadExpansion < 0 {
+		c.ReadExpansion = 0
+	} else if c.ReadExpansion == 0 {
+		c.ReadExpansion = 8
+	}
+	zero := device.Profile{}
+	if c.HDDProfile == zero {
+		c.HDDProfile = device.PaperHDDProfile()
+	}
+	if c.SSDProfile == zero {
+		c.SSDProfile = device.PaperSSDProfile()
+	}
+	if c.PoolPages <= 0 {
+		c.PoolPages = 256
+	}
+	if c.DBPages <= 0 {
+		c.DBPages = 4096
+	}
+	if c.CPUCores <= 0 {
+		c.CPUCores = 16
+	}
+	if c.CPUPerAccess == 0 {
+		c.CPUPerAccess = 1200 * time.Microsecond
+	}
+	// A read-ahead batch claims one frame per page; bound it so a single
+	// batch can never exhaust the pool.
+	if c.ReadAhead > c.PoolPages/2 {
+		c.ReadAhead = c.PoolPages / 2
+		if c.ReadAhead < 1 {
+			c.ReadAhead = 1
+		}
+	}
+}
+
+// logPageSize is the accounted size of one log page (8 KB, like the data
+// pages the paper's Table 1 measures); many small records pack per page.
+const logPageSize = 8192
+
+// Stats counts engine-level activity. Device- and SSD-manager-level
+// counters live on those components.
+type Stats struct {
+	Reads       int64 // page read requests
+	Updates     int64 // page updates
+	PoolHits    int64
+	PoolMisses  int64
+	Commits     int64
+	Evictions   int64
+	DirtyEvicts int64
+	Checkpoints int64
+	ScanPages   int64
+	RedoApplied int64
+	RedoSkipped int64
+	// Classification accuracy counts for disk reads: Truth<X>Label<Y>
+	// counts reads truly of kind X that the classifier labelled Y (truth =
+	// whether the read-ahead mechanism issued the read).
+	TruthSeqLabelSeq   int64
+	TruthSeqLabelRand  int64
+	TruthRandLabelSeq  int64
+	TruthRandLabelRand int64
+}
+
+// Latencies holds per-tier operation latency histograms: reads broken down
+// by the level of the hierarchy that served them, plus update and commit
+// latencies. All times are virtual (simulated backend) or wall-clock (file
+// backend).
+type Latencies struct {
+	PoolHit  metrics.Histogram // reads served from the memory pool
+	SSDHit   metrics.Histogram // reads served from the SSD cache
+	DiskRead metrics.Histogram // reads that went to the disks
+	Commit   metrics.Histogram // commit (log force) waits
+}
+
+// Latencies returns the engine's latency histograms (live; callers must
+// not mutate concurrently with engine use).
+func (e *Engine) Latencies() *Latencies { return &e.lat }
+
+// noteClassification records one disk read's truth/label pair.
+func (e *Engine) noteClassification(truthSeq, labelSeq bool) {
+	switch {
+	case truthSeq && labelSeq:
+		e.stats.TruthSeqLabelSeq++
+	case truthSeq && !labelSeq:
+		e.stats.TruthSeqLabelRand++
+	case !truthSeq && labelSeq:
+		e.stats.TruthRandLabelSeq++
+	default:
+		e.stats.TruthRandLabelRand++
+	}
+}
+
+// Engine is one DBMS instance. It normally runs over simulated devices
+// (New); NewWithDevices accepts any Device implementations, e.g. real
+// files.
+type Engine struct {
+	env *sim.Env
+	cfg Config
+
+	db     device.Device
+	dbArr  *device.Array // non-nil when db is a simulated array
+	ssdDev device.Device
+	logDev device.Device
+
+	pool *bufpool.Pool
+	mgr  *ssd.Manager
+	log  *wal.Log
+
+	classifier classifier
+	cpu        *sim.Resource
+	stats      Stats
+	lat        Latencies
+	nextTx     uint64
+
+	checkpointStop bool
+	cpGen          uint64
+	crashed        bool
+	poolFilled     bool // the buffer pool has filled at least once
+}
+
+// New builds an engine (and its simulated devices) inside env.
+func New(env *sim.Env, cfg Config) *Engine {
+	cfg.setDefaults()
+	arr := device.NewArray(env, cfg.HDDProfile, cfg.Disks, device.PageNum(cfg.StripeUnit), device.PageNum(cfg.DBPages))
+	var ssdDev device.Device
+	if cfg.SSDFrames > 0 && cfg.Design != ssd.NoSSD {
+		ssdDev = device.NewSSD(env, cfg.SSDProfile, device.PageNum(cfg.SSDFrames))
+	}
+	logDev := device.NewHDD(env, cfg.HDDProfile, 1<<30)
+	e := NewWithDevices(env, cfg, arr, ssdDev, logDev)
+	e.dbArr = arr
+	return e
+}
+
+// NewWithDevices builds an engine over caller-provided devices (the
+// real-file backend uses device.File instances). ssdDev may be nil for
+// NoSSD configurations.
+func NewWithDevices(env *sim.Env, cfg Config, dbDev, ssdDev, logDev device.Device) *Engine {
+	cfg.setDefaults()
+	e := &Engine{env: env, cfg: cfg, db: dbDev, ssdDev: ssdDev, logDev: logDev}
+	// The log packs records into full 8 KB pages; the device charges one
+	// page-write per log page, so the page size here is the accounted 8 KB
+	// regardless of the (small) simulated payloads.
+	e.log = wal.New(env, logDev, logPageSize, 1<<30)
+	e.pool = bufpool.New(cfg.PoolPages, cfg.PayloadSize)
+	e.mgr = e.newManager()
+	e.classifier = newClassifier(cfg.Classifier)
+	e.cpu = sim.NewResource(env, e.cfg.CPUCores)
+	e.mgr.StartCleaner()
+	if cfg.CheckpointInterval > 0 {
+		e.startCheckpointer()
+	}
+	return e
+}
+
+// newManager builds the SSD manager for the current devices. Temperature
+// savings for TAC derive from the device profiles.
+func (e *Engine) newManager() *ssd.Manager {
+	randSaved := float64(e.cfg.HDDProfile.RandRead-e.cfg.SSDProfile.RandRead) / float64(time.Millisecond)
+	seqSaved := float64(e.cfg.HDDProfile.SeqRead-e.cfg.SSDProfile.SeqRead) / float64(time.Millisecond)
+	if seqSaved < 0 {
+		seqSaved = 0
+	}
+	dev := e.ssdDev
+	frames := e.cfg.SSDFrames
+	if dev == nil || e.cfg.Design == ssd.NoSSD {
+		dev = device.NewSSD(e.env, e.cfg.SSDProfile, 0)
+		frames = 0
+	}
+	return ssd.NewManager(e.env, dev, (*diskWriter)(e), ssd.Config{
+		Design:          e.cfg.Design,
+		Frames:          frames,
+		Partitions:      e.cfg.Partitions,
+		FillThreshold:   e.cfg.FillThreshold,
+		Throttle:        e.cfg.Throttle,
+		GroupClean:      e.cfg.GroupClean,
+		DirtyFraction:   e.cfg.DirtyFraction,
+		PayloadSize:     e.cfg.PayloadSize,
+		RandSavedMs:     randSaved,
+		SeqSavedMs:      seqSaved,
+		AsyncAdmitDelay: e.cfg.AsyncAdmitDelay,
+	})
+}
+
+// diskWriter adapts the engine's database array to the SSD manager's Disk
+// interface (logical page ids map one-to-one onto array pages).
+type diskWriter Engine
+
+// WriteEncoded writes a run of encoded pages to the database disks.
+func (d *diskWriter) WriteEncoded(p *sim.Proc, start page.ID, bufs [][]byte) error {
+	return (*Engine)(d).db.Write(p, device.PageNum(start), bufs)
+}
+
+// Env returns the simulation environment.
+func (e *Engine) Env() *sim.Env { return e.env }
+
+// Config returns the effective configuration.
+func (e *Engine) Config() Config { return e.cfg }
+
+// Stats returns a copy of the engine counters.
+func (e *Engine) Stats() Stats { return e.stats }
+
+// SSD returns the SSD manager (for stats and tests).
+func (e *Engine) SSD() *ssd.Manager { return e.mgr }
+
+// Log returns the write-ahead log.
+func (e *Engine) Log() *wal.Log { return e.log }
+
+// Pool returns the memory buffer pool.
+func (e *Engine) Pool() *bufpool.Pool { return e.pool }
+
+// DiskArray returns the simulated database disk array, or nil when the
+// engine runs over caller-provided devices.
+func (e *Engine) DiskArray() *device.Array { return e.dbArr }
+
+// DBDevice returns the database device.
+func (e *Engine) DBDevice() device.Device { return e.db }
+
+// SSDDevice returns the SSD device, nil when the design has none.
+func (e *Engine) SSDDevice() device.Device { return e.ssdDev }
+
+// LogDevice returns the log device.
+func (e *Engine) LogDevice() device.Device { return e.logDev }
+
+// bufSize is the encoded page image size.
+func (e *Engine) bufSize() int { return page.HeaderSize + e.cfg.PayloadSize }
+
+// FormatDB initializes every database page (id stamped, LSN 0, zero
+// payload) directly on the disks, outside simulated time — the equivalent
+// of loading the benchmark database before the measured run.
+func (e *Engine) FormatDB() error {
+	pre, ok := e.db.(device.Preloader)
+	if !ok {
+		return errors.New("engine: database device does not support preloading")
+	}
+	buf := make([]byte, e.bufSize())
+	pl := make([]byte, e.cfg.PayloadSize)
+	for pid := int64(0); pid < e.cfg.DBPages; pid++ {
+		pg := page.Page{ID: page.ID(pid), LSN: 0, Payload: pl}
+		if err := page.Encode(&pg, buf); err != nil {
+			return err
+		}
+		if err := pre.Preload(device.PageNum(pid), buf); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ErrNoFrames indicates every buffer frame is busy mid-transfer — the pool
+// is too small for the offered concurrency.
+var ErrNoFrames = errors.New("engine: no reclaimable buffer frames")
+
+// ErrPageRange is returned for accesses beyond the database size.
+var ErrPageRange = errors.New("engine: page id out of range")
+
+// checkPage validates a page id against the database size.
+func (e *Engine) checkPage(pid page.ID) error {
+	if pid < 0 || int64(pid) >= e.cfg.DBPages {
+		return fmt.Errorf("%w: %d of %d", ErrPageRange, pid, e.cfg.DBPages)
+	}
+	return nil
+}
+
+// Begin starts a transaction and returns its id.
+func (e *Engine) Begin() uint64 {
+	e.nextTx++
+	return e.nextTx
+}
+
+// Commit forces the log for everything the transaction wrote (group
+// commit) and counts the commit.
+func (e *Engine) Commit(p *sim.Proc, _ uint64) error {
+	t0 := e.env.Now()
+	e.log.Flush(p, e.log.NextLSN()-1)
+	e.lat.Commit.Observe(e.env.Now() - t0)
+	e.stats.Commits++
+	return nil
+}
+
+// chargeCPU occupies one hardware context for d of processing time.
+func (e *Engine) chargeCPU(p *sim.Proc, d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	e.cpu.Acquire(p)
+	p.Sleep(d)
+	e.cpu.Release()
+}
+
+// Get reads a page with a random (point) access and returns its frame. The
+// frame contents are only valid until the caller next yields to the
+// simulator.
+func (e *Engine) Get(p *sim.Proc, pid page.ID) (*bufpool.Frame, error) {
+	if err := e.checkPage(pid); err != nil {
+		return nil, err
+	}
+	t0 := e.env.Now()
+	e.chargeCPU(p, e.cfg.CPUPerAccess)
+	e.stats.Reads++
+	if f := e.pool.Lookup(pid, e.env.Now()); f != nil {
+		e.stats.PoolHits++
+		e.lat.PoolHit.Observe(e.env.Now() - t0)
+		return f, nil
+	}
+	ssdHitsBefore := e.mgr.Stats().Hits
+	f, err := e.fetch(p, pid, false, false)
+	if err == nil {
+		if e.mgr.Stats().Hits > ssdHitsBefore {
+			e.lat.SSDHit.Observe(e.env.Now() - t0)
+		} else {
+			e.lat.DiskRead.Observe(e.env.Now() - t0)
+		}
+	}
+	return f, err
+}
+
+// Update applies mutate to the page's payload under a transaction,
+// logging the after-image.
+func (e *Engine) Update(p *sim.Proc, tx uint64, pid page.ID, mutate func(payload []byte)) error {
+	f, err := e.Get(p, pid)
+	if err != nil {
+		return err
+	}
+	if !f.Dirty {
+		f.Dirty = true
+		f.RecLSN = e.log.NextLSN()
+		// A clean page in memory being modified invalidates its SSD copy
+		// (§2.2).
+		e.mgr.Invalidate(pid)
+	}
+	mutate(f.Pg.Payload)
+	lsn := e.log.Append(wal.Record{
+		Type:    wal.TypeUpdate,
+		Page:    pid,
+		TxID:    tx,
+		Payload: append([]byte(nil), f.Pg.Payload...),
+	})
+	f.Pg.LSN = lsn
+	e.stats.Updates++
+	return nil
+}
+
+// fetch brings pid into the pool on a miss: SSD first, then disk.
+// viaReadAhead records whether the read-ahead mechanism issued the read;
+// truthScan records whether the read actually belongs to a sequential scan
+// (the ground truth for classification accuracy — a scan's ramp-up pages
+// are truly sequential yet read individually, which is exactly why the
+// paper's read-ahead classifier is ~82% rather than 100% accurate).
+func (e *Engine) fetch(p *sim.Proc, pid page.ID, viaReadAhead, truthScan bool) (*bufpool.Frame, error) {
+	e.stats.PoolMisses++
+	seqLabel := e.classifier.label(pid, viaReadAhead)
+	e.mgr.TACNoteMiss(pid, !seqLabel)
+
+	f, err := e.claimFrame(p)
+	if err != nil {
+		return nil, err
+	}
+	f.Pg.ID = pid
+
+	hit, err := e.mgr.Read(p, pid, &f.Pg)
+	if err != nil {
+		e.pool.Release(f)
+		return nil, err
+	}
+	if hit {
+		f.Seq = false // SSD-cached pages were random by admission
+		got, _ := e.pool.Insert(f, e.env.Now())
+		return got, nil
+	}
+
+	if err := e.diskReadInto(p, pid, f, viaReadAhead); err != nil {
+		e.pool.Release(f)
+		return nil, err
+	}
+	f.Seq = seqLabel
+	e.noteClassification(truthScan, seqLabel)
+	e.classifier.noteDiskRead(pid)
+	got, inserted := e.pool.Insert(f, e.env.Now())
+	if inserted {
+		e.mgr.TACOnDiskRead(&got.Pg, !seqLabel, e.stillCleanFn(pid, got))
+	}
+	return got, nil
+}
+
+// stillCleanFn returns TAC's race check: the admission proceeds only if
+// the page is still resident in the same frame and has not been dirtied.
+func (e *Engine) stillCleanFn(pid page.ID, f *bufpool.Frame) func() bool {
+	lsn := f.Pg.LSN
+	return func() bool {
+		cur := e.pool.Peek(pid)
+		return cur == f && !cur.Dirty && cur.Pg.LSN == lsn
+	}
+}
+
+// diskReadInto reads one page from the database disks into frame f.
+// During warm-up (the pool has never filled) single-page random reads are
+// widened to ReadExpansion contiguous pages — SQL Server 2008 R2's
+// start-up behaviour, visible as the initial read burst of the paper's
+// Figure 8. The extra pages land in free frames as sequential arrivals.
+func (e *Engine) diskReadInto(p *sim.Proc, pid page.ID, f *bufpool.Frame, viaReadAhead bool) error {
+	n := 1
+	if !viaReadAhead && e.cfg.ReadExpansion > 1 && !e.poolFilled &&
+		e.pool.FreeFrames() >= e.cfg.ReadExpansion {
+		n = e.cfg.ReadExpansion
+		if rest := e.cfg.DBPages - int64(pid); int64(n) > rest {
+			n = int(rest)
+		}
+	}
+	if e.pool.FreeFrames() == 0 {
+		e.poolFilled = true
+	}
+	bufs := make([][]byte, n)
+	for i := range bufs {
+		bufs[i] = make([]byte, e.bufSize())
+	}
+	if err := e.db.Read(p, device.PageNum(pid), bufs); err != nil {
+		return err
+	}
+	if err := e.decodeInto(pid, bufs[0], f); err != nil {
+		return err
+	}
+	// Stash the expansion tail into free frames; they arrived as part of
+	// one contiguous request, so they count as sequential for admission.
+	for i := 1; i < n; i++ {
+		id := pid + page.ID(i)
+		if e.pool.Peek(id) != nil || e.mgr.IsDirty(id) {
+			continue // resident, or the SSD holds a newer version
+		}
+		g := e.pool.TakeFree()
+		if g == nil {
+			e.poolFilled = true
+			break
+		}
+		if err := e.decodeInto(id, bufs[i], g); err != nil {
+			e.pool.Release(g)
+			return err
+		}
+		g.Seq = true
+		e.pool.Insert(g, e.env.Now())
+	}
+	return nil
+}
+
+// decodeInto fills frame f from an encoded page image, tolerating blank
+// (never-formatted) device space.
+func (e *Engine) decodeInto(pid page.ID, buf []byte, f *bufpool.Frame) error {
+	if page.Blank(buf) {
+		f.Pg.ID = pid
+		f.Pg.LSN = 0
+		for i := range f.Pg.Payload {
+			f.Pg.Payload[i] = 0
+		}
+		return nil
+	}
+	var got page.Page
+	if err := page.Decode(buf, &got); err != nil {
+		return fmt.Errorf("engine: page %d: %w", pid, err)
+	}
+	if got.ID != pid {
+		return fmt.Errorf("engine: disk page %d holds id %d", pid, got.ID)
+	}
+	f.Pg.ID = got.ID
+	f.Pg.LSN = got.LSN
+	copy(f.Pg.Payload, got.Payload)
+	return nil
+}
+
+// claimFrame obtains a frame: the free list, or by evicting the LRU-2
+// victim through the active SSD design.
+func (e *Engine) claimFrame(p *sim.Proc) (*bufpool.Frame, error) {
+	if f := e.pool.TakeFree(); f != nil {
+		return f, nil
+	}
+	v := e.pool.PopVictim()
+	if v == nil {
+		return nil, ErrNoFrames
+	}
+	e.stats.Evictions++
+	dirty := v.Dirty
+	if dirty {
+		e.stats.DirtyEvicts++
+		// WAL protocol: force the log before the page can be written to
+		// the SSD or the disk (§2.4).
+		e.log.Flush(p, v.Pg.LSN)
+	}
+	if err := e.mgr.OnEvict(p, &v.Pg, dirty, !v.Seq); err != nil {
+		return nil, err
+	}
+	v.Dirty = false
+	v.Seq = false
+	v.RecLSN = 0
+	return v, nil
+}
+
+// DirtyPoolPages returns the dirty page ids, sorted (checkpoint order).
+func (e *Engine) DirtyPoolPages() []page.ID {
+	ids := e.pool.DirtyPages()
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}

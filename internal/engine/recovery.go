@@ -1,0 +1,72 @@
+package engine
+
+import (
+	"turbobp/internal/sim"
+	"turbobp/internal/wal"
+)
+
+// Crash simulates a power failure: the memory buffer pool and all
+// non-durable log records vanish. The SSD's contents physically survive
+// but — as in the paper, where no design leverages the SSD across restarts
+// (§6) — the SSD buffer pool file is recreated at startup, so the manager
+// is rebuilt empty. Only the disks and the durable log carry state across.
+func (e *Engine) Crash() {
+	e.crashed = true
+	e.cpGen++ // retire any running checkpointer
+	e.pool.Reset()
+	e.log.Crash()
+	e.mgr.StopCleaner()
+	e.mgr = e.newManager()
+}
+
+// Recover restarts the engine after a Crash: redo every durable update
+// record newer than the last checkpoint's start LSN against the disk
+// image. Pages touched by redo are left dirty in the pool, exactly as a
+// redo pass leaves them. The time Recover charges is the paper's "restart
+// time".
+func (e *Engine) Recover(p *sim.Proc) error {
+	from := uint64(0)
+	if cp, ok := e.log.LastCheckpoint(); ok {
+		from = cp.StartLSN
+		// Warm restart (§6): rebuild the SSD cache metadata from the
+		// buffer table persisted in the checkpoint record. The device
+		// contents survived the crash; redo below invalidates any entry
+		// it supersedes, and the WAL protocol guarantees no other entry
+		// can be stale.
+		if e.cfg.WarmRestart && len(cp.Payload) > 0 {
+			if err := e.mgr.RestoreTable(cp.Payload); err != nil {
+				return err
+			}
+		}
+	}
+	for _, rec := range e.log.Durable() {
+		if rec.Type != wal.TypeUpdate || rec.LSN <= from {
+			continue
+		}
+		f, err := e.Get(p, rec.Page)
+		if err != nil {
+			return err
+		}
+		if f.Pg.LSN >= rec.LSN {
+			e.stats.RedoSkipped++
+			continue // the disk already has this update or a newer one
+		}
+		if !f.Dirty {
+			f.Dirty = true
+			f.RecLSN = rec.LSN
+			// Dirtying a page invalidates its SSD copy, during redo as in
+			// forward processing — a stale clean copy admitted earlier in
+			// this same redo pass must not survive.
+			e.mgr.Invalidate(rec.Page)
+		}
+		copy(f.Pg.Payload, rec.Payload)
+		f.Pg.LSN = rec.LSN
+		e.stats.RedoApplied++
+	}
+	e.crashed = false
+	e.mgr.StartCleaner()
+	if e.cfg.CheckpointInterval > 0 && !e.checkpointStop {
+		e.startCheckpointer()
+	}
+	return nil
+}

@@ -1,0 +1,220 @@
+package engine
+
+import (
+	"bytes"
+
+	"math/rand"
+	"testing"
+
+	"turbobp/internal/page"
+	"turbobp/internal/sim"
+	"turbobp/internal/ssd"
+)
+
+// TestWarmRestartRestoresCache verifies the §6 extension: after a
+// checkpoint and crash, recovery rebuilds the SSD cache and re-reads hit
+// the SSD instead of the disks.
+func TestWarmRestartRestoresCache(t *testing.T) {
+	cfg := testConfig(ssd.DW)
+	cfg.PoolPages = 4
+	cfg.WarmRestart = true
+	env, e := start(t, cfg)
+	defer finish(env, e)
+	drive(t, env, e, func(p *sim.Proc) {
+		// Populate the SSD with clean random pages.
+		for pid := page.ID(0); pid < 20; pid++ {
+			e.Get(p, pid)
+		}
+		if e.SSD().Occupied() == 0 {
+			t.Fatal("SSD never filled")
+		}
+		occupied := e.SSD().Occupied()
+		if err := e.Checkpoint(p); err != nil {
+			t.Fatal(err)
+		}
+		e.Crash()
+		if err := e.Recover(p); err != nil {
+			t.Fatal(err)
+		}
+		if got := e.SSD().Occupied(); got < occupied {
+			t.Errorf("restored SSD has %d pages, checkpoint had %d", got, occupied)
+		}
+		hitsBefore := e.SSD().Stats().Hits
+		e.Get(p, 0)
+		if e.SSD().Stats().Hits == hitsBefore {
+			t.Error("post-restart read missed the warm SSD cache")
+		}
+	})
+}
+
+// TestColdRestartStartsEmpty pins the default (paper) behaviour: the SSD
+// cache is discarded at restart.
+func TestColdRestartStartsEmpty(t *testing.T) {
+	cfg := testConfig(ssd.DW)
+	cfg.PoolPages = 4
+	env, e := start(t, cfg)
+	defer finish(env, e)
+	drive(t, env, e, func(p *sim.Proc) {
+		for pid := page.ID(0); pid < 20; pid++ {
+			e.Get(p, pid)
+		}
+		e.Checkpoint(p)
+		e.Crash()
+		if err := e.Recover(p); err != nil {
+			t.Fatal(err)
+		}
+		if got := e.SSD().Occupied(); got != 0 {
+			t.Errorf("cold restart restored %d pages", got)
+		}
+	})
+}
+
+// TestWarmRestartStaleEntryPurgedByRedo builds the adversarial case: a
+// page is checkpointed into the SSD table, then updated and flushed to
+// disk before the crash. The restored SSD entry is stale; redo must
+// supersede it with the after-image and invalidate the SSD copy.
+func TestWarmRestartStaleEntryPurgedByRedo(t *testing.T) {
+	cfg := testConfig(ssd.DW)
+	cfg.PoolPages = 4
+	cfg.WarmRestart = true
+	env, e := start(t, cfg)
+	defer finish(env, e)
+	drive(t, env, e, func(p *sim.Proc) {
+		// Page 1 enters the SSD clean (version A), checkpoint records it.
+		tx := e.Begin()
+		e.Update(p, tx, 1, func(pl []byte) { pl[0] = 0xAA })
+		e.Commit(p, tx)
+		for pid := page.ID(10); pid < 20; pid++ {
+			e.Get(p, pid)
+		}
+		e.Get(p, 1) // reload clean
+		for pid := page.ID(20); pid < 30; pid++ {
+			e.Get(p, pid)
+		}
+		if !e.SSD().Contains(1) {
+			t.Fatal("page 1 not cached before checkpoint")
+		}
+		if err := e.Checkpoint(p); err != nil {
+			t.Fatal(err)
+		}
+		// Now update it past the checkpoint (version B) and force both
+		// the log and the disk copy.
+		tx2 := e.Begin()
+		e.Update(p, tx2, 1, func(pl []byte) { pl[0] = 0xBB })
+		e.Commit(p, tx2)
+		for pid := page.ID(30); pid < 40; pid++ {
+			e.Get(p, pid) // evicts page 1 (dirty) to disk
+		}
+		e.Crash()
+		if err := e.Recover(p); err != nil {
+			t.Fatal(err)
+		}
+		f, err := e.Get(p, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if f.Pg.Payload[0] != 0xBB {
+			t.Errorf("read %#x after warm restart, want the post-checkpoint 0xBB", f.Pg.Payload[0])
+		}
+	})
+}
+
+// TestWarmRestartShadowModel repeats the crash-recovery shadow property
+// with warm restart enabled across designs.
+func TestWarmRestartShadowModel(t *testing.T) {
+	for _, design := range []ssd.Design{ssd.CW, ssd.DW, ssd.LC, ssd.TAC} {
+		t.Run(design.String(), func(t *testing.T) {
+			cfg := testConfig(design)
+			cfg.PoolPages = 8
+			cfg.SSDFrames = 24
+			cfg.DirtyFraction = 0.5
+			cfg.WarmRestart = true
+			env, e := start(t, cfg)
+			defer finish(env, e)
+			rng := rand.New(rand.NewSource(11))
+			shadow := &shadowHistory{}
+			drive(t, env, e, func(p *sim.Proc) {
+				for i := 0; i < 250; i++ {
+					tx := e.Begin()
+					for j := 0; j < 3; j++ {
+						pid := page.ID(rng.Intn(80))
+						if rng.Intn(2) == 0 {
+							v := byte(rng.Intn(256))
+							if err := e.Update(p, tx, pid, func(pl []byte) { pl[0] = v; pl[1]++ }); err != nil {
+								t.Fatal(err)
+							}
+							f := e.Pool().Peek(pid)
+							shadow.note(f.Pg.LSN, pid, f.Pg.Payload)
+						} else if _, err := e.Get(p, pid); err != nil {
+							t.Fatal(err)
+						}
+					}
+					e.Commit(p, tx)
+					if i%60 == 59 {
+						if err := e.Checkpoint(p); err != nil {
+							t.Fatal(err)
+						}
+					}
+				}
+				durable := e.Log().FlushedLSN()
+				e.Crash()
+				if err := e.Recover(p); err != nil {
+					t.Fatal(err)
+				}
+				want := shadow.expect(durable, cfg.PayloadSize)
+				for pid := page.ID(0); pid < 80; pid++ {
+					f, err := e.Get(p, pid)
+					if err != nil {
+						t.Fatal(err)
+					}
+					exp, ok := want[pid]
+					if !ok {
+						exp = make([]byte, cfg.PayloadSize)
+					}
+					if !bytes.Equal(f.Pg.Payload, exp) {
+						t.Errorf("page %d: got % x, want % x", pid, f.Pg.Payload[:4], exp[:4])
+					}
+				}
+			})
+		})
+	}
+}
+
+// TestWarmRestartFasterRampUp is the experiment motivation: after a
+// restart, the warm engine serves far more reads from the SSD than the
+// cold one.
+func TestWarmRestartFasterRampUp(t *testing.T) {
+	ssdHitsAfterRestart := func(warm bool) int64 {
+		cfg := testConfig(ssd.DW)
+		cfg.PoolPages = 8
+		cfg.SSDFrames = 128
+		cfg.WarmRestart = warm
+		env, e := start(t, cfg)
+		defer finish(env, e)
+		var hits int64
+		drive(t, env, e, func(p *sim.Proc) {
+			rng := rand.New(rand.NewSource(5))
+			for i := 0; i < 600; i++ {
+				e.Get(p, page.ID(rng.Intn(200)))
+			}
+			e.Checkpoint(p)
+			e.Crash()
+			if err := e.Recover(p); err != nil {
+				t.Fatal(err)
+			}
+			// Measure only the first reads after restart, before a cold
+			// cache has had a chance to refill.
+			base := e.SSD().Stats().Hits
+			for i := 0; i < 80; i++ {
+				e.Get(p, page.ID(rng.Intn(200)))
+			}
+			hits = e.SSD().Stats().Hits - base
+		})
+		return hits
+	}
+	cold := ssdHitsAfterRestart(false)
+	warm := ssdHitsAfterRestart(true)
+	if warm <= cold*2 {
+		t.Errorf("warm restart hits = %d, cold = %d; want a large improvement", warm, cold)
+	}
+}

@@ -1,0 +1,201 @@
+package harness
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// CSV export: each figure-like result can emit machine-readable series so
+// the paper's charts can be re-plotted directly from harness output.
+
+// WriteCSV emits one row per (database, design) bar.
+func (r *Fig5Result) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"database", "design", "throughput", "speedup"}); err != nil {
+		return err
+	}
+	for _, row := range r.Rows {
+		if err := cw.Write([]string{
+			row.Label, row.Design.String(),
+			strconv.FormatFloat(row.TPS, 'f', 2, 64),
+			strconv.FormatFloat(row.Speedup, 'f', 3, 64),
+		}); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteCSV emits one row per bucket with a column per curve.
+func (t *TimelineResult) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	header := append([]string{"bucket", "seconds"}, t.Order...)
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	n := 0
+	for _, c := range t.Curves {
+		if len(c) > n {
+			n = len(c)
+		}
+	}
+	for i := 0; i < n; i++ {
+		row := []string{
+			strconv.Itoa(i),
+			strconv.FormatFloat(float64(i)*t.Bucket.Seconds(), 'f', 4, 64),
+		}
+		for _, name := range t.Order {
+			c := t.Curves[name]
+			if i < len(c) {
+				row = append(row, strconv.FormatFloat(c[i], 'f', 2, 64))
+			} else {
+				row = append(row, "")
+			}
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteCSV emits the four bandwidth series of Figure 8.
+func (r *IOTrafficResult) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"bucket", "seconds", "disk_read_MBps", "disk_write_MBps", "ssd_read_MBps", "ssd_write_MBps"}); err != nil {
+		return err
+	}
+	get := func(s []float64, i int) string {
+		if i < len(s) {
+			return strconv.FormatFloat(s[i], 'f', 3, 64)
+		}
+		return ""
+	}
+	for i := 0; i < len(r.DiskReadMB); i++ {
+		row := []string{
+			strconv.Itoa(i),
+			strconv.FormatFloat(float64(i)*r.Bucket.Seconds(), 'f', 4, 64),
+			get(r.DiskReadMB, i), get(r.DiskWriteMB, i),
+			get(r.SSDReadMB, i), get(r.SSDWriteMB, i),
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteCSV emits the Table 3 grid.
+func (r *Table3Result) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"sf", "design", "power", "throughput", "qphh"}); err != nil {
+		return err
+	}
+	for _, row := range r.Rows {
+		if err := cw.Write([]string{
+			strconv.Itoa(row.SF), row.Design.String(),
+			strconv.FormatFloat(row.Power, 'f', 1, 64),
+			strconv.FormatFloat(row.Throughput, 'f', 1, 64),
+			strconv.FormatFloat(row.QphH, 'f', 1, 64),
+		}); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// CSVExperiments maps experiment ids to CSV-producing runners, for the
+// experiments whose output is figure data. Ids not listed here have no
+// CSV form (their text output is already tabular).
+func CSVExperiments() map[string]func(Scale, io.Writer) error {
+	return map[string]func(Scale, io.Writer) error{
+		"fig5-tpcc": func(s Scale, w io.Writer) error {
+			r, err := Fig5TPCC(s)
+			if err != nil {
+				return err
+			}
+			return r.WriteCSV(w)
+		},
+		"fig5-tpce": func(s Scale, w io.Writer) error {
+			r, err := Fig5TPCE(s)
+			if err != nil {
+				return err
+			}
+			return r.WriteCSV(w)
+		},
+		"fig5-tpch": func(s Scale, w io.Writer) error {
+			r, err := Fig5TPCH(s)
+			if err != nil {
+				return err
+			}
+			return r.WriteCSV(w)
+		},
+		"fig6": func(s Scale, w io.Writer) error {
+			rs, err := Fig6(s)
+			if err != nil {
+				return err
+			}
+			for i, r := range rs {
+				if i > 0 {
+					if _, err := fmt.Fprintln(w); err != nil {
+						return err
+					}
+				}
+				if _, err := fmt.Fprintf(w, "# %s\n", r.Title); err != nil {
+					return err
+				}
+				if err := r.WriteCSV(w); err != nil {
+					return err
+				}
+			}
+			return nil
+		},
+		"fig7": func(s Scale, w io.Writer) error {
+			r, err := Fig7(s)
+			if err != nil {
+				return err
+			}
+			return r.WriteCSV(w)
+		},
+		"fig8": func(s Scale, w io.Writer) error {
+			r, err := Fig8(s)
+			if err != nil {
+				return err
+			}
+			return r.WriteCSV(w)
+		},
+		"fig9": func(s Scale, w io.Writer) error {
+			rs, err := Fig9(s)
+			if err != nil {
+				return err
+			}
+			for i, r := range rs {
+				if i > 0 {
+					if _, err := fmt.Fprintln(w); err != nil {
+						return err
+					}
+				}
+				if _, err := fmt.Fprintf(w, "# %s\n", r.Title); err != nil {
+					return err
+				}
+				if err := r.WriteCSV(w); err != nil {
+					return err
+				}
+			}
+			return nil
+		},
+		"table3": func(s Scale, w io.Writer) error {
+			r, err := RunTable3(s, []int{30, 100})
+			if err != nil {
+				return err
+			}
+			return r.WriteCSV(w)
+		},
+	}
+}

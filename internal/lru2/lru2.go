@@ -1,0 +1,150 @@
+// Package lru2 implements the LRU-2 page-replacement policy (O'Neil, O'Neil
+// and Weikum, SIGMOD 1993), which both the paper's SSD manager and this
+// repository's memory buffer pool use.
+//
+// LRU-2 evicts the entry whose second-most-recent access is oldest. Entries
+// referenced only once have an infinite backward 2-distance and are
+// preferred victims, ordered among themselves by their single access time.
+// The structure is a min-heap with an index map so Touch and Remove are
+// O(log n) — the "SSD heap array" of the paper's Figure 4.
+package lru2
+
+import (
+	"container/heap"
+	"time"
+)
+
+// never is the penultimate-access value of entries seen only once; it sorts
+// before every real timestamp, making such entries preferred victims.
+const never = time.Duration(-1) << 32
+
+type entry struct {
+	key   int64
+	last  time.Duration // most recent access
+	prev  time.Duration // access before that, or never
+	index int           // heap position
+}
+
+// priority orders the heap: smaller evicts first.
+func (e *entry) less(o *entry) bool {
+	if e.prev != o.prev {
+		return e.prev < o.prev
+	}
+	if e.last != o.last {
+		return e.last < o.last
+	}
+	return e.key < o.key // deterministic tiebreak
+}
+
+type entryHeap []*entry
+
+func (h entryHeap) Len() int           { return len(h) }
+func (h entryHeap) Less(i, j int) bool { return h[i].less(h[j]) }
+func (h entryHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *entryHeap) Push(x interface{}) {
+	e := x.(*entry)
+	e.index = len(*h)
+	*h = append(*h, e)
+}
+func (h *entryHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
+
+// Cache tracks LRU-2 history for a set of keys. The zero value is not
+// usable; call New.
+type Cache struct {
+	heap    entryHeap
+	entries map[int64]*entry
+}
+
+// New returns an empty cache.
+func New() *Cache {
+	return &Cache{entries: make(map[int64]*entry)}
+}
+
+// Len returns the number of tracked keys.
+func (c *Cache) Len() int { return len(c.entries) }
+
+// Contains reports whether key is tracked.
+func (c *Cache) Contains(key int64) bool {
+	_, ok := c.entries[key]
+	return ok
+}
+
+// Touch records an access to key at time now, inserting it if absent.
+func (c *Cache) Touch(key int64, now time.Duration) {
+	if e, ok := c.entries[key]; ok {
+		e.prev = e.last
+		e.last = now
+		heap.Fix(&c.heap, e.index)
+		return
+	}
+	e := &entry{key: key, last: now, prev: never}
+	c.entries[key] = e
+	heap.Push(&c.heap, e)
+}
+
+// TouchHistory inserts (or resets) key with an explicit access history, used
+// to re-insert an entry that was temporarily removed without perturbing its
+// replacement priority.
+func (c *Cache) TouchHistory(key int64, last, prev time.Duration) {
+	if e, ok := c.entries[key]; ok {
+		e.last, e.prev = last, prev
+		heap.Fix(&c.heap, e.index)
+		return
+	}
+	e := &entry{key: key, last: last, prev: prev}
+	c.entries[key] = e
+	heap.Push(&c.heap, e)
+}
+
+// Remove drops key from the cache; it is a no-op if absent.
+func (c *Cache) Remove(key int64) {
+	e, ok := c.entries[key]
+	if !ok {
+		return
+	}
+	heap.Remove(&c.heap, e.index)
+	delete(c.entries, key)
+}
+
+// Victim returns the current LRU-2 victim without removing it.
+func (c *Cache) Victim() (key int64, ok bool) {
+	if len(c.heap) == 0 {
+		return 0, false
+	}
+	return c.heap[0].key, true
+}
+
+// Pop removes and returns the current victim.
+func (c *Cache) Pop() (key int64, ok bool) {
+	if len(c.heap) == 0 {
+		return 0, false
+	}
+	e := heap.Pop(&c.heap).(*entry)
+	delete(c.entries, e.key)
+	return e.key, true
+}
+
+// History returns the last and penultimate access times of key, with seen
+// reporting presence. A penultimate of Never() means one access so far.
+func (c *Cache) History(key int64) (last, prev time.Duration, seen bool) {
+	e, ok := c.entries[key]
+	if !ok {
+		return 0, 0, false
+	}
+	return e.last, e.prev, true
+}
+
+// Never returns the sentinel penultimate-access value of once-referenced
+// entries.
+func Never() time.Duration { return never }

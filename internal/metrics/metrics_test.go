@@ -1,0 +1,156 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestSeriesBucketsValues(t *testing.T) {
+	s := NewSeries(time.Second)
+	s.Add(0, 1)
+	s.Add(500*time.Millisecond, 2)
+	s.Add(time.Second, 4)
+	s.Add(2500*time.Millisecond, 8)
+	want := []float64{3, 4, 8}
+	got := s.Values()
+	if len(got) != len(want) {
+		t.Fatalf("Values = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("bucket %d = %v, want %v", i, got[i], want[i])
+		}
+	}
+	if s.Len() != 3 {
+		t.Errorf("Len = %d", s.Len())
+	}
+}
+
+func TestSeriesNegativeTimeClamped(t *testing.T) {
+	s := NewSeries(time.Second)
+	s.Add(-5*time.Second, 7)
+	if s.Values()[0] != 7 {
+		t.Errorf("Values = %v", s.Values())
+	}
+}
+
+func TestSeriesRate(t *testing.T) {
+	s := NewSeries(2 * time.Second)
+	s.Add(0, 10)
+	s.Add(3*time.Second, 4)
+	r := s.Rate()
+	if r[0] != 5 || r[1] != 2 {
+		t.Errorf("Rate = %v", r)
+	}
+}
+
+func TestNewSeriesPanicsOnZeroWidth(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic")
+		}
+	}()
+	NewSeries(0)
+}
+
+func TestMovingAvgCentered(t *testing.T) {
+	in := []float64{1, 2, 3, 4, 5}
+	out := MovingAvg(in, 3)
+	want := []float64{1.5, 2, 3, 4, 4.5}
+	for i := range want {
+		if math.Abs(out[i]-want[i]) > 1e-9 {
+			t.Errorf("out[%d] = %v, want %v", i, out[i], want[i])
+		}
+	}
+}
+
+func TestMovingAvgWindowOne(t *testing.T) {
+	in := []float64{3, 1, 4}
+	out := MovingAvg(in, 1)
+	for i := range in {
+		if out[i] != in[i] {
+			t.Errorf("window-1 average changed values: %v", out)
+		}
+	}
+	out = MovingAvg(in, 0) // clamped to 1
+	for i := range in {
+		if out[i] != in[i] {
+			t.Errorf("window-0 average changed values: %v", out)
+		}
+	}
+}
+
+func TestMovingAvgEmpty(t *testing.T) {
+	if out := MovingAvg(nil, 3); len(out) != 0 {
+		t.Errorf("out = %v", out)
+	}
+}
+
+func TestMean(t *testing.T) {
+	if Mean(nil) != 0 {
+		t.Error("Mean(nil) != 0")
+	}
+	if got := Mean([]float64{1, 2, 3}); got != 2 {
+		t.Errorf("Mean = %v", got)
+	}
+}
+
+func TestTail(t *testing.T) {
+	in := []float64{1, 2, 3, 4}
+	if got := Tail(in, 2); len(got) != 2 || got[0] != 3 {
+		t.Errorf("Tail = %v", got)
+	}
+	if got := Tail(in, 10); len(got) != 4 {
+		t.Errorf("Tail beyond len = %v", got)
+	}
+}
+
+// Property: the moving average preserves the overall mean-ish bounds: every
+// output value lies within [min(in), max(in)].
+func TestMovingAvgBoundsProperty(t *testing.T) {
+	prop := func(raw []uint16, wRaw uint8) bool {
+		in := make([]float64, len(raw))
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for i, v := range raw {
+			in[i] = float64(v)
+			lo = math.Min(lo, in[i])
+			hi = math.Max(hi, in[i])
+		}
+		out := MovingAvg(in, int(wRaw%9)+1)
+		for _, v := range out {
+			if v < lo-1e-9 || v > hi+1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: a series' bucket totals sum to the total of everything added.
+func TestSeriesConservationProperty(t *testing.T) {
+	type add struct {
+		At  uint16
+		Val uint8
+	}
+	prop := func(adds []add) bool {
+		s := NewSeries(100 * time.Millisecond)
+		var want float64
+		for _, a := range adds {
+			s.Add(time.Duration(a.At)*time.Millisecond, float64(a.Val))
+			want += float64(a.Val)
+		}
+		var got float64
+		for _, v := range s.Values() {
+			got += v
+		}
+		return math.Abs(got-want) < 1e-6
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

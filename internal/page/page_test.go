@@ -1,0 +1,129 @@
+package page
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	p := &Page{ID: 1234, LSN: 999, Payload: []byte("hello page")}
+	buf := make([]byte, 64)
+	if err := Encode(p, buf); err != nil {
+		t.Fatal(err)
+	}
+	var got Page
+	if err := Decode(buf, &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.ID != p.ID || got.LSN != p.LSN {
+		t.Errorf("got id=%d lsn=%d, want id=%d lsn=%d", got.ID, got.LSN, p.ID, p.LSN)
+	}
+	if !bytes.Equal(got.Payload[:len(p.Payload)], p.Payload) {
+		t.Errorf("payload = %q", got.Payload[:len(p.Payload)])
+	}
+	// The rest of the decoded payload is the zero padding.
+	for _, b := range got.Payload[len(p.Payload):] {
+		if b != 0 {
+			t.Error("padding not zeroed")
+		}
+	}
+}
+
+func TestEncodeTooSmall(t *testing.T) {
+	p := &Page{ID: 1, Payload: make([]byte, 100)}
+	if err := Encode(p, make([]byte, 50)); err == nil {
+		t.Error("Encode into short buffer succeeded")
+	}
+}
+
+func TestDecodeRejectsBadMagic(t *testing.T) {
+	buf := make([]byte, 64)
+	Encode(&Page{ID: 1}, buf)
+	buf[0] ^= 0xFF
+	var p Page
+	if err := Decode(buf, &p); !errors.Is(err, ErrCorrupt) {
+		t.Errorf("err = %v, want ErrCorrupt", err)
+	}
+}
+
+func TestDecodeRejectsBitFlip(t *testing.T) {
+	buf := make([]byte, 64)
+	Encode(&Page{ID: 7, LSN: 9, Payload: []byte{1, 2, 3}}, buf)
+	buf[30] ^= 0x01
+	var p Page
+	if err := Decode(buf, &p); !errors.Is(err, ErrCorrupt) {
+		t.Errorf("err = %v, want ErrCorrupt", err)
+	}
+}
+
+func TestDecodeRejectsShortBuffer(t *testing.T) {
+	var p Page
+	if err := Decode(make([]byte, HeaderSize-1), &p); !errors.Is(err, ErrCorrupt) {
+		t.Errorf("err = %v, want ErrCorrupt", err)
+	}
+}
+
+func TestBlank(t *testing.T) {
+	if !Blank(make([]byte, 32)) {
+		t.Error("zero buffer not blank")
+	}
+	buf := make([]byte, 32)
+	buf[31] = 1
+	if Blank(buf) {
+		t.Error("nonzero buffer blank")
+	}
+	if !Blank(nil) {
+		t.Error("nil not blank")
+	}
+}
+
+func TestEncodedPageIsNotBlank(t *testing.T) {
+	buf := make([]byte, 64)
+	Encode(&Page{ID: 0, LSN: 0}, buf)
+	if Blank(buf) {
+		t.Error("encoded page reads as blank")
+	}
+}
+
+// Property: encode/decode is the identity on (ID, LSN, payload).
+func TestRoundTripProperty(t *testing.T) {
+	prop := func(id int64, lsn uint64, payload []byte) bool {
+		if len(payload) > 200 {
+			payload = payload[:200]
+		}
+		p := &Page{ID: ID(id), LSN: lsn, Payload: payload}
+		buf := make([]byte, HeaderSize+220)
+		if err := Encode(p, buf); err != nil {
+			return false
+		}
+		var got Page
+		if err := Decode(buf, &got); err != nil {
+			return false
+		}
+		return got.ID == p.ID && got.LSN == p.LSN &&
+			bytes.Equal(got.Payload[:len(payload)], payload)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: any single-byte corruption after the magic is detected.
+func TestCorruptionDetectedProperty(t *testing.T) {
+	prop := func(pos uint8, flip uint8) bool {
+		buf := make([]byte, 64)
+		Encode(&Page{ID: 42, LSN: 7, Payload: []byte("payload")}, buf)
+		i := 4 + int(pos)%(len(buf)-4) // anywhere from checksum onward
+		if flip == 0 {
+			flip = 1
+		}
+		buf[i] ^= flip
+		var p Page
+		return Decode(buf, &p) != nil
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,322 @@
+// Package sim implements a small discrete-event simulation (DES) kernel.
+//
+// A simulation is driven by an Env, which owns a virtual clock and an event
+// queue. Simulated activities run as cooperative processes (Proc), each
+// backed by a goroutine. At any instant exactly one goroutine is runnable:
+// either the scheduler (inside Env.Run) or a single process. Control is
+// handed over explicitly, so simulations are fully deterministic for a fixed
+// sequence of process actions.
+//
+// Processes block by calling Proc.Sleep, by waiting on a Signal, or by
+// acquiring a Resource. While a process is blocked, virtual time advances to
+// the next scheduled event. Virtual time never advances while a process is
+// running: computation is free unless a process explicitly sleeps.
+package sim
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"time"
+)
+
+// ErrStopped is the panic value used to unwind processes when the
+// environment shuts down. Process bodies should not recover it.
+var ErrStopped = errors.New("sim: environment stopped")
+
+// Env is a discrete-event simulation environment. The zero value is not
+// usable; create one with NewEnv.
+type Env struct {
+	now     time.Duration
+	seq     uint64
+	events  eventHeap
+	yield   chan struct{} // handed back by the running process
+	live    map[*Proc]struct{}
+	stopped bool
+	running bool
+}
+
+// NewEnv returns an empty environment with the clock at zero.
+func NewEnv() *Env {
+	return &Env{
+		yield: make(chan struct{}),
+		live:  make(map[*Proc]struct{}),
+	}
+}
+
+// Now returns the current virtual time.
+func (e *Env) Now() time.Duration { return e.now }
+
+// Proc is a simulated process. A Proc may only be used from within its own
+// process function; sharing a Proc across goroutines is a bug.
+type Proc struct {
+	env    *Env
+	resume chan struct{}
+	name   string
+	done   *Signal
+}
+
+// Env returns the environment the process belongs to.
+func (p *Proc) Env() *Env { return p.env }
+
+// Name returns the name given to Go.
+func (p *Proc) Name() string { return p.name }
+
+// Now returns the current virtual time.
+func (p *Proc) Now() time.Duration { return p.env.now }
+
+// Done returns a Signal that is broadcast when the process function returns.
+func (p *Proc) Done() *Signal { return p.done }
+
+// event is a scheduled wakeup for a process.
+type event struct {
+	at   time.Duration
+	seq  uint64 // tiebreak: FIFO among simultaneous events
+	proc *Proc
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	*h = old[:n-1]
+	return ev
+}
+
+// schedule enqueues a wakeup for p at time at.
+func (e *Env) schedule(at time.Duration, p *Proc) {
+	if at < e.now {
+		at = e.now
+	}
+	e.seq++
+	heap.Push(&e.events, event{at: at, seq: e.seq, proc: p})
+}
+
+// Go starts a new process running fn. It may be called before Run, or from
+// inside a running process. The new process is scheduled to start at the
+// current virtual time, after already-queued events for the same instant.
+func (e *Env) Go(name string, fn func(p *Proc)) *Proc {
+	if e.stopped {
+		panic("sim: Go after environment stopped")
+	}
+	p := &Proc{env: e, resume: make(chan struct{}), name: name}
+	p.done = NewSignal(e)
+	e.live[p] = struct{}{}
+	go func() {
+		<-p.resume
+		// The cleanup is deferred so the scheduler gets its handoff even if
+		// fn unwinds via runtime.Goexit (e.g. t.Fatal inside a process).
+		defer func() {
+			delete(e.live, p)
+			if !e.stopped {
+				p.done.Broadcast()
+			}
+			e.yield <- struct{}{}
+		}()
+		if !e.stopped {
+			func() {
+				defer func() {
+					if r := recover(); r != nil && r != ErrStopped { //nolint:errorlint
+						panic(fmt.Sprintf("sim: process %q panicked: %v", p.name, r))
+					}
+				}()
+				fn(p)
+			}()
+		}
+	}()
+	e.schedule(e.now, p)
+	return p
+}
+
+// park blocks the calling process until the scheduler resumes it. The caller
+// must have already arranged for a wakeup (a scheduled event, or membership
+// in some wait list that another process will signal).
+func (p *Proc) park() {
+	p.env.yield <- struct{}{}
+	<-p.resume
+	if p.env.stopped {
+		panic(ErrStopped)
+	}
+}
+
+// Sleep blocks the process for d of virtual time. Negative durations sleep
+// for zero time (yielding to other events scheduled at the same instant).
+func (p *Proc) Sleep(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	p.env.schedule(p.env.now+d, p)
+	p.park()
+}
+
+// Yield gives up the processor until all other events at the current instant
+// have run.
+func (p *Proc) Yield() { p.Sleep(0) }
+
+// Run dispatches events until the event queue is empty or until the virtual
+// clock would pass until (use a negative until to run to exhaustion). It
+// returns the virtual time at which it stopped. Run may be called again to
+// continue a paused simulation.
+func (e *Env) Run(until time.Duration) time.Duration {
+	if e.running {
+		panic("sim: nested Run")
+	}
+	e.running = true
+	defer func() { e.running = false }()
+	for len(e.events) > 0 {
+		ev := e.events[0]
+		if until >= 0 && ev.at > until {
+			e.now = until
+			return e.now
+		}
+		heap.Pop(&e.events)
+		e.now = ev.at
+		ev.proc.resume <- struct{}{}
+		<-e.yield
+	}
+	if until > e.now {
+		e.now = until
+	}
+	return e.now
+}
+
+// Idle reports whether no events are pending.
+func (e *Env) Idle() bool { return len(e.events) == 0 }
+
+// Live returns the number of processes that have been started and have not
+// yet returned.
+func (e *Env) Live() int { return len(e.live) }
+
+// Shutdown terminates every live process by unwinding it with ErrStopped the
+// next time it would run, then drains the goroutines. After Shutdown the
+// environment cannot be reused. It is safe to call Shutdown on an
+// environment with no live processes.
+func (e *Env) Shutdown() {
+	if e.stopped {
+		return
+	}
+	e.stopped = true
+	e.events = nil
+	for p := range e.live {
+		p.resume <- struct{}{}
+		<-e.yield
+	}
+	if len(e.live) != 0 {
+		panic("sim: processes survived shutdown")
+	}
+}
+
+// A Signal is a broadcast condition: processes wait on it and a later
+// Broadcast wakes all current waiters at the current virtual time.
+type Signal struct {
+	env     *Env
+	waiters []*Proc
+	fired   bool
+}
+
+// NewSignal returns a Signal bound to env.
+func NewSignal(env *Env) *Signal { return &Signal{env: env} }
+
+// Fired reports whether Broadcast has ever been called.
+func (s *Signal) Fired() bool { return s.fired }
+
+// Wait blocks p until the next Broadcast. If the signal has already fired,
+// Wait still blocks until the *next* Broadcast, except via WaitFired.
+func (s *Signal) Wait(p *Proc) {
+	s.waiters = append(s.waiters, p)
+	p.park()
+}
+
+// WaitFired blocks p until the signal has fired at least once; it returns
+// immediately if it already has.
+func (s *Signal) WaitFired(p *Proc) {
+	if s.fired {
+		return
+	}
+	s.Wait(p)
+}
+
+// Broadcast wakes all current waiters. The wakeups are scheduled at the
+// current virtual time in FIFO order. Broadcast may be called from a process
+// or from outside Run.
+func (s *Signal) Broadcast() {
+	s.fired = true
+	for _, w := range s.waiters {
+		s.env.schedule(s.env.now, w)
+	}
+	s.waiters = nil
+}
+
+// A Resource is a counted FIFO semaphore: at most Cap processes hold it at
+// once and waiters acquire it in arrival order.
+type Resource struct {
+	env     *Env
+	cap     int
+	inUse   int
+	waiters []*Proc
+}
+
+// NewResource returns a resource with the given capacity (cap >= 1).
+func NewResource(env *Env, capacity int) *Resource {
+	if capacity < 1 {
+		panic("sim: resource capacity must be >= 1")
+	}
+	return &Resource{env: env, cap: capacity}
+}
+
+// Acquire blocks p until a unit of the resource is available and takes it.
+func (r *Resource) Acquire(p *Proc) {
+	if r.inUse < r.cap && len(r.waiters) == 0 {
+		r.inUse++
+		return
+	}
+	r.waiters = append(r.waiters, p)
+	p.park()
+	// Ownership was transferred by Release; inUse already accounts for us.
+}
+
+// TryAcquire takes a unit if one is free without blocking and reports
+// whether it succeeded.
+func (r *Resource) TryAcquire() bool {
+	if r.inUse < r.cap && len(r.waiters) == 0 {
+		r.inUse++
+		return true
+	}
+	return false
+}
+
+// Release returns a unit of the resource, waking the oldest waiter if any.
+func (r *Resource) Release() {
+	if r.inUse <= 0 {
+		panic("sim: Release of idle resource")
+	}
+	if len(r.waiters) > 0 {
+		w := r.waiters[0]
+		r.waiters = r.waiters[1:]
+		// The unit passes directly to w: inUse stays unchanged.
+		r.env.schedule(r.env.now, w)
+		return
+	}
+	r.inUse--
+}
+
+// InUse returns the number of held units.
+func (r *Resource) InUse() int { return r.inUse }
+
+// Queued returns the number of processes waiting to acquire.
+func (r *Resource) Queued() int { return len(r.waiters) }
+
+// Pending returns held units plus waiters; for a device modelled as a
+// resource this is the "number of pending I/Os" used by throttle control.
+func (r *Resource) Pending() int { return r.inUse + len(r.waiters) }

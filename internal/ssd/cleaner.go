@@ -1,0 +1,197 @@
+package ssd
+
+import (
+	"time"
+
+	"turbobp/internal/device"
+	"turbobp/internal/page"
+	"turbobp/internal/sim"
+)
+
+// cleanTargetSlack returns how far below the λ threshold the cleaner drives
+// the dirty count: "about 0.01% of the SSD space below the threshold"
+// (§2.3.3), at least one page.
+func (m *Manager) cleanTargetSlack() int {
+	slack := m.cfg.Frames / 10000
+	if slack < 1 {
+		slack = 1
+	}
+	return slack
+}
+
+// dirtyThreshold returns λ·S, the dirty-page count that wakes the cleaner.
+func (m *Manager) dirtyThreshold() int {
+	return int(m.cfg.DirtyFraction * float64(m.cfg.Frames))
+}
+
+// StartCleaner spawns the background lazy-cleaning thread (LC only). It
+// polls the dirty count and, when it exceeds λ·S, copies dirty SSD pages
+// back to the disk in group-cleaned batches until slightly below the
+// threshold. Returns nil for non-LC designs.
+func (m *Manager) StartCleaner() *sim.Proc {
+	if m.cfg.Design != LC || !m.Enabled() {
+		return nil
+	}
+	return m.env.Go("lc-cleaner", func(p *sim.Proc) {
+		for !m.cleanerStop {
+			thresh := m.dirtyThreshold()
+			if m.dirtyCount > thresh {
+				m.stats.CleanerRuns++
+				target := thresh - m.cleanTargetSlack()
+				for m.dirtyCount > target && !m.cleanerStop {
+					if !m.cleanOnce(p) {
+						break
+					}
+				}
+			}
+			p.Sleep(m.cfg.CleanerPoll)
+		}
+	})
+}
+
+// StopCleaner asks the cleaner process to exit at its next wakeup.
+func (m *Manager) StopCleaner() { m.cleanerStop = true }
+
+// oldestDirty returns the frame index of the globally oldest dirty page
+// (the dirty heap root across shards), or -1.
+func (m *Manager) oldestDirty() int {
+	best := -1
+	var bestLast, bestPrev int64
+	for i := range m.shards {
+		key, ok := m.shards[i].dirty.Victim()
+		if !ok {
+			continue
+		}
+		rec := &m.frames[key]
+		if best < 0 || int64(rec.prev) < bestPrev ||
+			(int64(rec.prev) == bestPrev && int64(rec.last) < bestLast) {
+			best = int(key)
+			bestLast, bestPrev = int64(rec.last), int64(rec.prev)
+		}
+	}
+	return best
+}
+
+// gatherRun collects up to α dirty SSD pages with consecutive disk
+// addresses around seed's page (§3.3.5), extending backward then forward.
+// Only idle (io == 0) frames join the run.
+func (m *Manager) gatherRun(seed int) (start page.ID, frames []int) {
+	pid := m.frames[seed].pid
+	frames = []int{seed}
+	start = pid
+	// Extend backward.
+	for len(frames) < m.cfg.GroupClean {
+		idx, ok := m.dirtyIdleFrame(start - 1)
+		if !ok {
+			break
+		}
+		start--
+		frames = append([]int{idx}, frames...)
+	}
+	// Extend forward.
+	next := pid + 1
+	for len(frames) < m.cfg.GroupClean {
+		idx, ok := m.dirtyIdleFrame(next)
+		if !ok {
+			break
+		}
+		frames = append(frames, idx)
+		next++
+	}
+	return start, frames
+}
+
+// dirtyIdleFrame returns the frame caching pid if it is valid, dirty and
+// idle.
+func (m *Manager) dirtyIdleFrame(pid page.ID) (int, bool) {
+	s := m.shardOf(pid)
+	idx, ok := s.table[pid]
+	if !ok {
+		return 0, false
+	}
+	rec := &m.frames[idx]
+	if !rec.valid || !rec.dirty || rec.io > 0 {
+		return 0, false
+	}
+	return idx, true
+}
+
+// cleanOnce performs one cleaning cycle: pick the oldest dirty page, gather
+// its contiguous dirty neighbours, read them from the SSD (pages cannot
+// move device-to-device directly, §2.4), and write the run to disk with a
+// single I/O. Returns false when there was nothing cleanable.
+func (m *Manager) cleanOnce(p *sim.Proc) bool {
+	seed := m.oldestDirty()
+	if seed < 0 || m.frames[seed].io > 0 {
+		return false
+	}
+	start, frames := m.gatherRun(seed)
+	// Pin every frame in the run before the first device operation so no
+	// concurrent path reclaims or re-gathers them. Record each frame's
+	// version: a page re-admitted (with a newer LSN) into a pinned frame
+	// while the clean is in flight must stay dirty afterwards.
+	pinnedLSN := make([]uint64, len(frames))
+	pinnedPID := make([]page.ID, len(frames))
+	for i, idx := range frames {
+		m.frames[idx].io++
+		pinnedLSN[i] = m.frames[idx].lsn
+		pinnedPID[i] = m.frames[idx].pid
+	}
+	bufs := make([][]byte, len(frames))
+	readErr := false
+	for i, idx := range frames {
+		bufs[i] = make([]byte, m.bufSize())
+		if err := m.dev.Read(p, device.PageNum(idx), [][]byte{bufs[i]}); err != nil {
+			readErr = true
+			break
+		}
+	}
+	if !readErr {
+		if err := m.disk.WriteEncoded(p, start, bufs); err != nil {
+			readErr = true
+		}
+	}
+	for i, idx := range frames {
+		rec := &m.frames[idx]
+		rec.io--
+		if !readErr && rec.occupied && rec.dirty &&
+			rec.pid == pinnedPID[i] && rec.lsn == pinnedLSN[i] {
+			rec.dirty = false
+			m.dirtyCount--
+			s := &m.shards[rec.shard]
+			s.dirty.Remove(int64(idx))
+			if rec.valid {
+				s.clean.TouchHistory(int64(idx), rec.last, rec.prev)
+			}
+		}
+		m.frameIdle(idx)
+	}
+	if readErr {
+		return false
+	}
+	m.stats.CleanerPages += int64(len(frames))
+	m.stats.CleanerWrites++
+	return true
+}
+
+// FlushDirty copies every dirty SSD page to disk, as LC's modified sharp
+// checkpoint requires (§3.2). The count of pages flushed is recorded in
+// Stats.CheckpointPgs.
+func (m *Manager) FlushDirty(p *sim.Proc) error {
+	before := m.stats.CleanerPages
+	for m.dirtyCount > 0 {
+		if !m.cleanOnce(p) {
+			// The remaining dirty frames are pinned by in-flight
+			// transfers (typically the background cleaner's own run).
+			// Sleep — never spin at the same instant, which would freeze
+			// the virtual clock and livelock the simulation — so those
+			// transfers can complete, then retry.
+			p.Sleep(time.Millisecond)
+			if m.dirtyCount > 0 && m.oldestDirty() < 0 {
+				break
+			}
+		}
+	}
+	m.stats.CheckpointPgs += m.stats.CleanerPages - before
+	return nil
+}

@@ -1,0 +1,121 @@
+package ssd
+
+import (
+	"turbobp/internal/page"
+	"turbobp/internal/sim"
+)
+
+// writeDisk pushes pg's encoded image to the database disk subsystem.
+func (m *Manager) writeDisk(p *sim.Proc, pg *page.Page) error {
+	buf := make([]byte, m.bufSize())
+	if err := page.Encode(pg, buf); err != nil {
+		return err
+	}
+	return m.disk.WriteEncoded(p, pg.ID, [][]byte{buf})
+}
+
+// OnEvict routes a page evicted from the memory buffer pool according to
+// the active design (§2.3). random records how the page originally came
+// into memory (the admission policy's random/sequential classification).
+// The caller must already have forced the log up to pg.LSN (WAL protocol).
+func (m *Manager) OnEvict(p *sim.Proc, pg *page.Page, dirty, random bool) error {
+	if !dirty {
+		return m.evictClean(p, pg, random)
+	}
+	switch m.cfg.Design {
+	case NoSSD, CW:
+		// Clean-write never sends dirty pages to the SSD (§2.3.1).
+		return m.writeDisk(p, pg)
+
+	case DW:
+		// Dual-write sends the page to the SSD and the disk
+		// "simultaneously" (§2.3.2): both writes are issued concurrently
+		// and the eviction completes when both have. The SSD copy equals
+		// the disk copy, so it is cached clean.
+		if !m.Qualifies(random) {
+			return m.writeDisk(p, pg)
+		}
+		if m.throttled() {
+			m.stats.ThrottleWrites++
+			return m.writeDisk(p, pg)
+		}
+		// Snapshot the page for the concurrent SSD write.
+		snap := &page.Page{ID: pg.ID, LSN: pg.LSN, Payload: append([]byte(nil), pg.Payload...)}
+		done := sim.NewSignal(m.env)
+		var ssdErr error
+		m.env.Go("dw-ssd-write", func(child *sim.Proc) {
+			_, ssdErr = m.admit(child, snap, false)
+			done.Broadcast()
+		})
+		diskErr := m.writeDisk(p, pg)
+		done.WaitFired(p)
+		if diskErr != nil {
+			return diskErr
+		}
+		return ssdErr
+
+	case LC:
+		// Lazy-cleaning writes the dirty page only to the SSD (§2.3.3);
+		// the cleaner thread copies it to disk later. During a sharp
+		// checkpoint LC stops caching new dirty pages (§3.2), and when the
+		// SSD cannot take the page (throttled, unqualified, or no clean
+		// frame reclaimable) the eviction falls back to a disk write.
+		if m.checkpointing || !m.Qualifies(random) {
+			return m.writeDisk(p, pg)
+		}
+		if m.throttled() {
+			m.stats.ThrottleWrites++
+			return m.writeDisk(p, pg)
+		}
+		ok, err := m.admit(p, pg, true)
+		if err != nil {
+			return err
+		}
+		if !ok {
+			return m.writeDisk(p, pg)
+		}
+		return nil
+
+	case TAC:
+		// TAC is write-through: the dirty page goes to disk, and if an
+		// invalidated version sits in the SSD it is refreshed too (§2.5).
+		if err := m.writeDisk(p, pg); err != nil {
+			return err
+		}
+		return m.tacRevalidate(p, pg)
+	}
+	return m.writeDisk(p, pg)
+}
+
+// evictClean handles a clean page leaving the memory pool: CW, DW and LC
+// consider caching it now (§2.5: "clean pages are written to the SSD only
+// after they have been evicted"); TAC already wrote it at read time and
+// does nothing; noSSD discards it.
+func (m *Manager) evictClean(p *sim.Proc, pg *page.Page, random bool) error {
+	switch m.cfg.Design {
+	case CW, DW, LC:
+		if !m.Qualifies(random) {
+			return nil
+		}
+		if m.throttled() {
+			m.stats.ThrottleWrites++
+			return nil
+		}
+		_, err := m.admit(p, pg, false)
+		return err
+	default:
+		return nil
+	}
+}
+
+// OnCheckpointFlush lets a design piggyback on a sharp checkpoint's page
+// flushes: DW also writes checkpointed dirty random pages to the SSD
+// (§3.2), filling it with useful data faster. The engine has already
+// written the page to disk.
+func (m *Manager) OnCheckpointFlush(p *sim.Proc, pg *page.Page, random bool) error {
+	if m.cfg.Design != DW || !random || !m.Qualifies(random) || m.throttled() {
+		return nil
+	}
+	_, err := m.admit(p, pg, false)
+	return err
+}

@@ -1,0 +1,120 @@
+package ssd
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"turbobp/internal/page"
+	"turbobp/internal/sim"
+)
+
+// TestInvariantsUnderRandomOps drives every design with a randomized mix
+// of evictions, reads, invalidations, cleaner activity and checkpoints,
+// checking structural invariants after every batch.
+func TestInvariantsUnderRandomOps(t *testing.T) {
+	for _, design := range []Design{CW, DW, LC, TAC} {
+		for seed := int64(1); seed <= 4; seed++ {
+			design, seed := design, seed
+			t.Run(design.String(), func(t *testing.T) {
+				f := newFixture(design, 24, func(c *Config) {
+					c.Partitions = 4
+					c.DirtyFraction = 0.4
+					c.FillThreshold = 0.8
+					c.CleanerPoll = 2 * time.Millisecond
+				})
+				f.m.StartCleaner()
+				rng := rand.New(rand.NewSource(seed))
+				dirtied := map[page.ID]bool{} // memory-side dirty shadow
+				f.run(t, func(p *sim.Proc) {
+					for i := 0; i < 400; i++ {
+						pid := page.ID(rng.Intn(60))
+						switch rng.Intn(5) {
+						case 0, 1: // clean eviction
+							if !dirtied[pid] {
+								if err := f.m.OnEvict(p, mkPage(pid, uint64(i), byte(i)), false, rng.Intn(4) != 0); err != nil {
+									t.Fatal(err)
+								}
+							}
+						case 2: // dirty eviction
+							if err := f.m.OnEvict(p, mkPage(pid, uint64(i), byte(i)), true, true); err != nil {
+								t.Fatal(err)
+							}
+							dirtied[pid] = false
+						case 3: // read
+							buf := mkPage(0, 0, 0)
+							if _, err := f.m.Read(p, pid, buf); err != nil {
+								t.Fatal(err)
+							}
+						case 4: // the page gets dirtied in memory
+							f.m.Invalidate(pid)
+							dirtied[pid] = true
+						}
+						if i%25 == 24 {
+							p.Sleep(5 * time.Millisecond) // let the cleaner run
+							if err := f.m.CheckInvariants(); err != nil {
+								t.Fatalf("after op %d: %v", i, err)
+							}
+						}
+						if i%150 == 149 && design == LC {
+							f.m.SetCheckpointing(true)
+							if err := f.m.FlushDirty(p); err != nil {
+								t.Fatal(err)
+							}
+							f.m.SetCheckpointing(false)
+							if f.m.DirtyCount() != 0 {
+								t.Fatalf("dirty pages survived FlushDirty")
+							}
+						}
+					}
+					f.m.StopCleaner()
+					if err := f.m.CheckInvariants(); err != nil {
+						t.Fatal(err)
+					}
+				})
+			})
+		}
+	}
+}
+
+// TestInvariantsAfterRestore covers the warm-restart path.
+func TestInvariantsAfterRestore(t *testing.T) {
+	f := newFixture(DW, 16, func(c *Config) { c.Partitions = 4 })
+	f.run(t, func(p *sim.Proc) {
+		for i := 0; i < 12; i++ {
+			f.m.OnEvict(p, mkPage(page.ID(i), 1, 1), false, true)
+		}
+	})
+	blob := f.m.SnapshotTable()
+	m2 := NewManager(f.env, f.dev, f.disk, f.m.cfg)
+	if err := m2.RestoreTable(blob); err != nil {
+		t.Fatal(err)
+	}
+	if err := m2.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInvariantsCatchCorruption(t *testing.T) {
+	f := newFixture(DW, 8, nil)
+	f.run(t, func(p *sim.Proc) {
+		f.m.OnEvict(p, mkPage(1, 1, 1), false, true)
+	})
+	// Corrupt: flip the occupied counter.
+	f.m.occupied++
+	if err := f.m.CheckInvariants(); err == nil {
+		t.Error("corrupted occupied counter not detected")
+	}
+	f.m.occupied--
+	// Corrupt: orphan the hash entry.
+	s := f.m.shardOf(1)
+	idx := s.table[1]
+	delete(s.table, 1)
+	if err := f.m.CheckInvariants(); err == nil {
+		t.Error("orphaned frame not detected")
+	}
+	s.table[1] = idx
+	if err := f.m.CheckInvariants(); err != nil {
+		t.Errorf("restored state flagged: %v", err)
+	}
+}

@@ -1,0 +1,577 @@
+// Package ssd implements the paper's SSD manager: the storage-module
+// component that uses a flash SSD as a second-level extension of the DBMS
+// buffer pool (§2–§3 of "Turbocharging DBMS Buffer Pool Using SSDs",
+// SIGMOD 2011).
+//
+// The manager maintains the five data structures of the paper's Figure 4 —
+// the SSD buffer pool (a frame array on the SSD device), the SSD buffer
+// table (per-frame records with page id, dirty bit and the last two access
+// times), the SSD hash table, the SSD free list, and the clean/dirty heap
+// pair used for LRU-2 replacement and lazy cleaning. The buffer pool is
+// partitioned into N shards (§3.3.4); all shards share the page-id hash.
+//
+// Three dirty-page designs (CW, DW, LC — §2.3) and the re-implemented TAC
+// comparison point (§2.5) are personalities over this one frame store.
+package ssd
+
+import (
+	"fmt"
+	"time"
+
+	"turbobp/internal/device"
+	"turbobp/internal/lru2"
+	"turbobp/internal/page"
+	"turbobp/internal/sim"
+)
+
+// Design selects how the manager handles pages evicted from the memory
+// buffer pool.
+type Design int
+
+// The caching designs evaluated in the paper.
+const (
+	NoSSD Design = iota // baseline: no SSD cache at all
+	CW                  // clean-write: dirty evictions go only to disk
+	DW                  // dual-write: dirty evictions go to SSD and disk
+	LC                  // lazy-cleaning: dirty evictions go only to SSD
+	TAC                 // temperature-aware caching (Canim et al.)
+)
+
+// String returns the paper's abbreviation for the design.
+func (d Design) String() string {
+	switch d {
+	case NoSSD:
+		return "noSSD"
+	case CW:
+		return "CW"
+	case DW:
+		return "DW"
+	case LC:
+		return "LC"
+	case TAC:
+		return "TAC"
+	}
+	return fmt.Sprintf("Design(%d)", int(d))
+}
+
+// Disk is the view of the database disk subsystem the SSD manager needs:
+// the lazy cleaner and dual writes push encoded page runs to it.
+type Disk interface {
+	WriteEncoded(p *sim.Proc, start page.ID, bufs [][]byte) error
+}
+
+// Config parameterizes the manager. The defaults mirror the paper's
+// Table 2.
+type Config struct {
+	Design        Design
+	Frames        int           // S: SSD buffer-pool frames
+	Partitions    int           // N: shards (§3.3.4)
+	FillThreshold float64       // τ: aggressive-filling fraction (§3.3.1)
+	Throttle      int           // μ: max pending SSD I/Os (§3.3.2)
+	GroupClean    int           // α: max pages per LC cleaning write (§3.3.5)
+	DirtyFraction float64       // λ: dirty fraction that wakes the cleaner (§2.3.3)
+	PayloadSize   int           // page payload bytes (buffers are header+payload)
+	CleanerPoll   time.Duration // cleaner wake-up period
+	// Per-access milliseconds saved by an SSD hit, used for TAC extent
+	// temperatures: disk minus SSD cost for random and sequential reads.
+	RandSavedMs float64
+	SeqSavedMs  float64
+	// ExtentPages is the TAC temperature granularity (32 in the paper).
+	ExtentPages int
+	// AsyncAdmitDelay models the gap between a disk read completing and
+	// TAC's asynchronous SSD write starting — the window in which forward
+	// processing can dirty the page and abort the admission (§4.2).
+	AsyncAdmitDelay time.Duration
+}
+
+func (c *Config) setDefaults() {
+	if c.Partitions <= 0 {
+		c.Partitions = 16
+	}
+	if c.Partitions > c.Frames && c.Frames > 0 {
+		c.Partitions = c.Frames
+	}
+	if c.FillThreshold <= 0 || c.FillThreshold > 1 {
+		c.FillThreshold = 0.95
+	}
+	if c.Throttle <= 0 {
+		c.Throttle = 100
+	}
+	if c.GroupClean <= 0 {
+		c.GroupClean = 32
+	}
+	if c.DirtyFraction <= 0 || c.DirtyFraction > 1 {
+		c.DirtyFraction = 0.5
+	}
+	if c.CleanerPoll <= 0 {
+		c.CleanerPoll = 20 * time.Millisecond
+	}
+	if c.ExtentPages <= 0 {
+		c.ExtentPages = 32
+	}
+	if c.AsyncAdmitDelay <= 0 {
+		c.AsyncAdmitDelay = 500 * time.Microsecond
+	}
+	if c.RandSavedMs <= 0 {
+		c.RandSavedMs = 7.8
+	}
+	if c.SeqSavedMs < 0 {
+		c.SeqSavedMs = 0
+	}
+}
+
+// frameRec is one SSD buffer table record (the paper's 88-byte record:
+// page id, dirty bit, last two access times, latch and list pointers — the
+// pointers are implicit in Go's maps/heaps).
+type frameRec struct {
+	pid      page.ID
+	occupied bool
+	valid    bool // false while occupied = TAC's logical invalidation
+	dirty    bool
+	io       int    // in-flight device transfers referencing this frame
+	lsn      uint64 // LSN of the cached version (guards cleaner races)
+	restored bool   // entry came from a warm-restart table; validate on read
+	gen      uint64
+	last     time.Duration
+	prev     time.Duration
+	shard    int
+}
+
+// shard is one partition of the SSD buffer pool (§3.3.4): its own segment
+// of the buffer table, free list and heaps.
+type shard struct {
+	table map[page.ID]int // SSD hash table entries owned by this shard
+	free  []int           // SSD free list
+	clean *lru2.Cache     // clean heap: LRU-2 over clean valid frames
+	dirty *lru2.Cache     // dirty heap: LRU-2 over dirty frames (LC only)
+	tac   tacHeap         // TAC replacement heap (temperature order)
+}
+
+// Stats counts manager activity.
+type Stats struct {
+	Hits           int64 // lookups served from the SSD
+	Misses         int64 // lookups that fell through to disk
+	ThrottleReads  int64 // clean hits skipped because of throttle control
+	ThrottleWrites int64 // admissions skipped because of throttle control
+	Admissions     int64 // pages written into SSD frames
+	DirtyAdmits    int64 // of which were dirty (LC)
+	Evictions      int64 // frames reclaimed by replacement
+	Invalidations  int64 // copies invalidated after a memory-side update
+	Revalidations  int64 // TAC: invalid copies refreshed at dirty eviction
+	CleanerRuns    int64 // LC cleaner activations
+	CleanerPages   int64 // dirty SSD pages copied back to disk by the cleaner
+	CleanerWrites  int64 // disk write I/Os issued by the cleaner
+	CheckpointPgs  int64 // dirty SSD pages flushed by sharp checkpoints
+	TACAborts      int64 // TAC async admissions dropped (page dirtied first)
+}
+
+// Manager is the SSD manager.
+type Manager struct {
+	env    *sim.Env
+	dev    device.Device
+	disk   Disk
+	cfg    Config
+	shards []shard
+	frames []frameRec
+
+	occupied      int
+	dirtyCount    int
+	fillTarget    int
+	checkpointing bool
+	cleanerStop   bool
+	stats         Stats
+
+	temps map[int64]float64 // TAC extent temperatures
+}
+
+// NewManager creates a manager over dev (the SSD device, one device page
+// per frame) and disk (the database disk subsystem, for write-back paths).
+func NewManager(env *sim.Env, dev device.Device, disk Disk, cfg Config) *Manager {
+	cfg.setDefaults()
+	m := &Manager{
+		env:    env,
+		dev:    dev,
+		disk:   disk,
+		cfg:    cfg,
+		frames: make([]frameRec, cfg.Frames),
+		temps:  make(map[int64]float64),
+	}
+	m.fillTarget = int(cfg.FillThreshold * float64(cfg.Frames))
+	n := cfg.Partitions
+	if cfg.Frames == 0 {
+		n = 1
+	}
+	m.shards = make([]shard, n)
+	for i := range m.shards {
+		m.shards[i] = shard{
+			table: make(map[page.ID]int),
+			clean: lru2.New(),
+			dirty: lru2.New(),
+		}
+	}
+	// Deal frames to shards round-robin so shard capacities differ by at
+	// most one.
+	for i := range m.frames {
+		s := i % n
+		m.frames[i].shard = s
+		m.shards[s].free = append(m.shards[s].free, i)
+	}
+	return m
+}
+
+// Config returns the effective configuration (defaults applied).
+func (m *Manager) Config() Config { return m.cfg }
+
+// Stats returns a copy of the counters.
+func (m *Manager) Stats() Stats { return m.stats }
+
+// Enabled reports whether the manager caches anything.
+func (m *Manager) Enabled() bool {
+	return m.cfg.Design != NoSSD && m.cfg.Frames > 0
+}
+
+func (m *Manager) shardOf(pid page.ID) *shard {
+	// Fibonacci hashing over the page id spreads contiguous extents.
+	h := uint64(pid) * 0x9E3779B97F4A7C15
+	return &m.shards[h%uint64(len(m.shards))]
+}
+
+func (m *Manager) bufSize() int { return page.HeaderSize + m.cfg.PayloadSize }
+
+// Occupied returns the number of occupied frames (valid or TAC-invalid).
+func (m *Manager) Occupied() int { return m.occupied }
+
+// DirtyCount returns the number of dirty SSD frames.
+func (m *Manager) DirtyCount() int { return m.dirtyCount }
+
+// InvalidCount returns the number of occupied-but-invalid frames (TAC's
+// wasted space, §2.5).
+func (m *Manager) InvalidCount() int {
+	n := 0
+	for i := range m.frames {
+		if m.frames[i].occupied && !m.frames[i].valid {
+			n++
+		}
+	}
+	return n
+}
+
+// Contains reports whether a valid copy of pid is cached.
+func (m *Manager) Contains(pid page.ID) bool {
+	if !m.Enabled() {
+		return false
+	}
+	s := m.shardOf(pid)
+	idx, ok := s.table[pid]
+	return ok && m.frames[idx].valid
+}
+
+// IsDirty reports whether the cached copy of pid is newer than the disk
+// version (possible only under LC).
+func (m *Manager) IsDirty(pid page.ID) bool {
+	if !m.Enabled() {
+		return false
+	}
+	s := m.shardOf(pid)
+	idx, ok := s.table[pid]
+	return ok && m.frames[idx].valid && m.frames[idx].dirty
+}
+
+// throttled reports whether throttle control (§3.3.2) is suppressing
+// optional SSD traffic.
+func (m *Manager) throttled() bool {
+	return m.dev.Pending() >= m.cfg.Throttle
+}
+
+// aggressiveFill reports whether the SSD is still below the filling
+// threshold τ, during which every evicted page is cached (§3.3.1).
+func (m *Manager) aggressiveFill() bool { return m.occupied < m.fillTarget }
+
+// Qualifies applies the admission policy: pages fetched with random I/O
+// always qualify; sequential pages qualify only during aggressive filling.
+func (m *Manager) Qualifies(random bool) bool {
+	if !m.Enabled() {
+		return false
+	}
+	if m.aggressiveFill() {
+		return true
+	}
+	return random
+}
+
+// Read attempts to serve pid from the SSD into pg (whose Payload must be a
+// PayloadSize buffer). It returns true on an SSD hit. When the cached copy
+// is dirty (newer than disk) the read bypasses throttle control, as
+// correctness requires (§3.3.2).
+func (m *Manager) Read(p *sim.Proc, pid page.ID, pg *page.Page) (bool, error) {
+	if !m.Enabled() {
+		return false, nil
+	}
+	s := m.shardOf(pid)
+	idx, ok := s.table[pid]
+	if !ok || !m.frames[idx].valid {
+		m.stats.Misses++
+		return false, nil
+	}
+	rec := &m.frames[idx]
+	if !rec.dirty && m.throttled() {
+		m.stats.ThrottleReads++
+		m.stats.Misses++
+		return false, nil
+	}
+	rec.io++
+	buf := make([]byte, m.bufSize())
+	err := m.dev.Read(p, device.PageNum(idx), [][]byte{buf})
+	rec.io--
+	if err != nil {
+		m.frameIdle(idx)
+		return false, err
+	}
+	if !rec.occupied || rec.pid != pid {
+		// The frame was reclaimed while we slept in the device queue (the
+		// copy was invalidated and reused). Treat as a miss.
+		m.stats.Misses++
+		return false, nil
+	}
+	var got page.Page
+	decodeErr := page.Decode(buf, &got)
+	if decodeErr == nil && got.ID != pid {
+		decodeErr = fmt.Errorf("ssd: frame %d holds page %d, want %d", idx, got.ID, pid)
+	}
+	if decodeErr != nil {
+		if rec.restored {
+			// Warm-restart entries are hints: the frame was reused for a
+			// different page between the checkpoint that recorded the
+			// table and the crash. Drop the stale entry and miss.
+			rec.valid = false
+			m.frameIdle(idx)
+			m.stats.Misses++
+			return false, nil
+		}
+		return false, decodeErr
+	}
+	rec.restored = false // content verified against the hash table entry
+	pg.ID = got.ID
+	pg.LSN = got.LSN
+	copy(pg.Payload, got.Payload)
+	m.touch(idx)
+	m.frameIdle(idx)
+	m.stats.Hits++
+	return true, nil
+}
+
+// touch records an SSD access for replacement (LRU-2).
+func (m *Manager) touch(idx int) {
+	rec := &m.frames[idx]
+	rec.prev = rec.last
+	rec.last = m.env.Now()
+	s := &m.shards[rec.shard]
+	if m.cfg.Design == TAC {
+		return // TAC replaces by temperature, not recency
+	}
+	if rec.dirty {
+		s.dirty.TouchHistory(int64(idx), rec.last, rec.prev)
+	} else {
+		s.clean.TouchHistory(int64(idx), rec.last, rec.prev)
+	}
+}
+
+// frameIdle finishes deferred reclamation: a frame invalidated while a
+// device transfer was in flight is freed once the last transfer completes.
+func (m *Manager) frameIdle(idx int) {
+	rec := &m.frames[idx]
+	if rec.io == 0 && rec.occupied && !rec.valid && m.cfg.Design != TAC {
+		m.freeFrame(idx)
+	}
+}
+
+// freeFrame returns an occupied frame to its shard's free list.
+func (m *Manager) freeFrame(idx int) {
+	rec := &m.frames[idx]
+	if !rec.occupied {
+		panic("ssd: freeing unoccupied frame")
+	}
+	s := &m.shards[rec.shard]
+	delete(s.table, rec.pid)
+	s.clean.Remove(int64(idx))
+	s.dirty.Remove(int64(idx))
+	if rec.dirty {
+		m.dirtyCount--
+	}
+	rec.occupied = false
+	rec.valid = false
+	rec.dirty = false
+	rec.restored = false
+	rec.pid = 0
+	rec.gen++ // invalidates stale TAC heap entries for this frame
+	m.occupied--
+	s.free = append(s.free, idx)
+}
+
+// Invalidate removes the cached copy of pid after the memory copy was
+// dirtied. CW/DW/LC reclaim the frame physically; TAC only marks it invalid
+// (§2.5), wasting the space until temperature replacement reaches it.
+func (m *Manager) Invalidate(pid page.ID) {
+	if !m.Enabled() {
+		return
+	}
+	s := m.shardOf(pid)
+	idx, ok := s.table[pid]
+	if !ok {
+		return
+	}
+	rec := &m.frames[idx]
+	if !rec.valid {
+		return
+	}
+	m.stats.Invalidations++
+	if m.cfg.Design == TAC {
+		rec.valid = false // logical invalidation: frame stays occupied
+		return
+	}
+	rec.valid = false
+	if rec.io == 0 {
+		m.freeFrame(idx)
+	}
+	// else: freed by frameIdle when the in-flight transfer completes.
+}
+
+// allocFrame finds a frame in pid's shard: the free list first, then a
+// clean-heap victim (replacement). It returns -1 if nothing is reclaimable
+// (every clean frame busy, rest dirty). The returned frame is occupied and
+// published in the hash table immediately so that concurrent readers queue
+// behind the admission write in the device FIFO rather than reading a stale
+// disk version.
+func (m *Manager) allocFrame(pid page.ID, dirty bool) int {
+	s := m.shardOf(pid)
+	var idx int
+	switch {
+	case len(s.free) > 0:
+		idx = s.free[len(s.free)-1]
+		s.free = s.free[:len(s.free)-1]
+	default:
+		idx = m.popCleanVictim(s)
+		if idx < 0 {
+			return -1
+		}
+		m.stats.Evictions++
+		m.freeFrame(idx)
+		s.free = s.free[:len(s.free)-1]
+	}
+	rec := &m.frames[idx]
+	rec.pid = pid
+	rec.occupied = true
+	rec.valid = true
+	rec.dirty = dirty
+	rec.last = m.env.Now()
+	rec.prev = lru2.Never()
+	s.table[pid] = idx
+	m.occupied++
+	if dirty {
+		m.dirtyCount++
+		s.dirty.TouchHistory(int64(idx), rec.last, rec.prev)
+	} else {
+		s.clean.TouchHistory(int64(idx), rec.last, rec.prev)
+	}
+	return idx
+}
+
+// popCleanVictim pops the clean-heap LRU-2 victim whose frame is idle,
+// re-inserting any busy frames it skipped. Returns -1 if none.
+func (m *Manager) popCleanVictim(s *shard) int {
+	var busy []int
+	victim := -1
+	for {
+		key, ok := s.clean.Pop()
+		if !ok {
+			break
+		}
+		idx := int(key)
+		if m.frames[idx].io > 0 {
+			busy = append(busy, idx)
+			continue
+		}
+		victim = idx
+		break
+	}
+	for _, idx := range busy {
+		rec := &m.frames[idx]
+		s.clean.TouchHistory(int64(idx), rec.last, rec.prev)
+	}
+	return victim
+}
+
+// writeFrame encodes pg and writes it to frame idx, maintaining the
+// in-flight count and deferred reclamation.
+func (m *Manager) writeFrame(p *sim.Proc, idx int, pg *page.Page) error {
+	rec := &m.frames[idx]
+	rec.io++
+	buf := make([]byte, m.bufSize())
+	if err := page.Encode(pg, buf); err != nil {
+		rec.io--
+		return err
+	}
+	err := m.dev.Write(p, device.PageNum(idx), [][]byte{buf})
+	rec.io--
+	m.frameIdle(idx)
+	return err
+}
+
+// admit caches pg in the SSD (already qualified and not throttled),
+// returning false if no frame could be claimed.
+func (m *Manager) admit(p *sim.Proc, pg *page.Page, dirty bool) (bool, error) {
+	s := m.shardOf(pg.ID)
+	if idx, ok := s.table[pg.ID]; ok {
+		rec := &m.frames[idx]
+		if rec.valid && !dirty {
+			return true, nil // identical clean copy already cached
+		}
+		// Overwrite in place (e.g. LC re-admitting a page whose frame is
+		// still around). Publish the new state before the device write.
+		if dirty && !rec.dirty {
+			m.dirtyCount++
+			s.clean.Remove(int64(idx))
+		}
+		rec.valid = true
+		rec.dirty = rec.dirty || dirty
+		rec.lsn = pg.LSN
+		m.touch(idx)
+		m.stats.Admissions++
+		if dirty {
+			m.stats.DirtyAdmits++
+		}
+		return true, m.writeFrame(p, idx, pg)
+	}
+	idx := m.allocFrame(pg.ID, dirty)
+	if idx < 0 {
+		return false, nil
+	}
+	m.frames[idx].lsn = pg.LSN
+	m.stats.Admissions++
+	if dirty {
+		m.stats.DirtyAdmits++
+	}
+	return true, m.writeFrame(p, idx, pg)
+}
+
+// SetCheckpointing tells the manager a sharp checkpoint is in progress; LC
+// stops caching new dirty evictions for its duration (§3.2).
+func (m *Manager) SetCheckpointing(v bool) { m.checkpointing = v }
+
+// MinDirtyLSN returns the smallest LSN among dirty SSD pages, and whether
+// any exist — the SSD side of a fuzzy checkpoint's redo horizon.
+func (m *Manager) MinDirtyLSN() (uint64, bool) {
+	var min uint64
+	found := false
+	for i := range m.frames {
+		rec := &m.frames[i]
+		if !rec.occupied || !rec.dirty {
+			continue
+		}
+		if !found || rec.lsn < min {
+			min = rec.lsn
+			found = true
+		}
+	}
+	return min, found
+}

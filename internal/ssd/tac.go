@@ -1,0 +1,214 @@
+package ssd
+
+import (
+	"container/heap"
+
+	"turbobp/internal/lru2"
+	"turbobp/internal/page"
+	"turbobp/internal/sim"
+)
+
+// This file implements Temperature-Aware Caching (TAC, Canim et al., VLDB
+// 2010) as re-implemented and compared against in §2.5 and §4 of the paper.
+// TAC differs from CW/DW/LC in three ways:
+//
+//   - Admission happens immediately after a page is read from disk (an
+//     asynchronous write to the SSD), not at memory-pool eviction time.
+//   - Admission and replacement are governed by per-extent "temperatures":
+//     every buffer-pool miss adds the milliseconds an SSD hit would have
+//     saved to the 32-page extent containing the page.
+//   - Invalidation is logical: when the memory copy is dirtied the SSD
+//     frame is only marked invalid, wasting its space until temperature
+//     replacement happens to evict it.
+
+// tacEntry is one replacement-heap entry. temp is the extent temperature at
+// push time; entries with stale temperatures or stale generations are fixed
+// or discarded lazily at pop time.
+type tacEntry struct {
+	idx  int
+	gen  uint64
+	temp float64
+}
+
+// tacHeap is a min-heap on temperature: the root is the coldest SSD page.
+type tacHeap []tacEntry
+
+func (h tacHeap) Len() int            { return len(h) }
+func (h tacHeap) Less(i, j int) bool  { return h[i].temp < h[j].temp }
+func (h tacHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *tacHeap) Push(x interface{}) { *h = append(*h, x.(tacEntry)) }
+func (h *tacHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}
+
+// extentOf maps a page to its temperature extent.
+func (m *Manager) extentOf(pid page.ID) int64 {
+	return int64(pid) / int64(m.cfg.ExtentPages)
+}
+
+// ExtentTemperature returns the current temperature of pid's extent.
+func (m *Manager) ExtentTemperature(pid page.ID) float64 {
+	return m.temps[m.extentOf(pid)]
+}
+
+// TACNoteMiss records a memory-pool miss for temperature tracking: the
+// extent gains the milliseconds that an SSD hit would have saved.
+func (m *Manager) TACNoteMiss(pid page.ID, random bool) {
+	if m.cfg.Design != TAC || !m.Enabled() {
+		return
+	}
+	saved := m.cfg.RandSavedMs
+	if !random {
+		saved = m.cfg.SeqSavedMs
+	}
+	m.temps[m.extentOf(pid)] += saved
+}
+
+// TACOnDiskRead schedules TAC's asynchronous admission of a page that was
+// just read from disk into the memory pool. stillClean is consulted right
+// before the SSD write begins; if forward processing dirtied the page in
+// the meantime the write is abandoned (the latch race of §4.2), which is
+// precisely why TAC under-caches on update-intensive workloads.
+func (m *Manager) TACOnDiskRead(pg *page.Page, random bool, stillClean func() bool) {
+	if m.cfg.Design != TAC || !m.Enabled() {
+		return
+	}
+	snap := &page.Page{ID: pg.ID, LSN: pg.LSN, Payload: append([]byte(nil), pg.Payload...)}
+	m.env.Go("tac-admit", func(p *sim.Proc) {
+		p.Sleep(m.cfg.AsyncAdmitDelay)
+		if !stillClean() {
+			m.stats.TACAborts++
+			return
+		}
+		if m.throttled() {
+			m.stats.ThrottleWrites++
+			return
+		}
+		if err := m.tacAdmit(p, snap); err != nil {
+			panic("ssd: tac admit: " + err.Error())
+		}
+	})
+}
+
+// tacAdmit writes snap into the SSD if TAC's policy allows: always while
+// below the filling threshold, otherwise only when its extent is hotter
+// than the coldest cached page (which is then replaced).
+func (m *Manager) tacAdmit(p *sim.Proc, snap *page.Page) error {
+	s := m.shardOf(snap.ID)
+	if idx, ok := s.table[snap.ID]; ok {
+		rec := &m.frames[idx]
+		if rec.valid {
+			return nil // already cached
+		}
+		rec.valid = true
+		rec.lsn = snap.LSN
+		m.stats.Admissions++
+		return m.writeFrame(p, idx, snap)
+	}
+	idx := m.tacAllocFrame(snap.ID)
+	if idx < 0 {
+		return nil
+	}
+	m.frames[idx].lsn = snap.LSN
+	m.stats.Admissions++
+	return m.writeFrame(p, idx, snap)
+}
+
+// tacAllocFrame claims a frame for pid: the free list first, then — when
+// the SSD is full — the coldest frame, and only if pid's extent is hotter.
+func (m *Manager) tacAllocFrame(pid page.ID) int {
+	s := m.shardOf(pid)
+	if len(s.free) == 0 {
+		victim := m.popTacVictim(s)
+		if victim < 0 {
+			return -1
+		}
+		vrec := &m.frames[victim]
+		if m.temps[m.extentOf(pid)] <= m.temps[m.extentOf(vrec.pid)] {
+			m.pushTac(victim) // not hot enough; victim stays
+			return -1
+		}
+		m.stats.Evictions++
+		m.freeFrame(victim)
+	}
+	idx := s.free[len(s.free)-1]
+	s.free = s.free[:len(s.free)-1]
+	rec := &m.frames[idx]
+	rec.pid = pid
+	rec.occupied = true
+	rec.valid = true
+	rec.dirty = false
+	rec.last = m.env.Now()
+	rec.prev = lru2.Never()
+	s.table[pid] = idx
+	m.occupied++
+	m.pushTac(idx)
+	return idx
+}
+
+// pushTac (re)inserts frame idx into its shard's temperature heap with the
+// extent's current temperature.
+func (m *Manager) pushTac(idx int) {
+	rec := &m.frames[idx]
+	s := &m.shards[rec.shard]
+	heap.Push(&s.tac, tacEntry{idx: idx, gen: rec.gen, temp: m.temps[m.extentOf(rec.pid)]})
+}
+
+// popTacVictim removes and returns the coldest idle frame of the shard,
+// fixing stale heap entries lazily. Returns -1 if nothing is reclaimable.
+// The caller must either free the frame or pushTac it back.
+func (m *Manager) popTacVictim(s *shard) int {
+	var busy []tacEntry
+	defer func() {
+		for _, b := range busy {
+			heap.Push(&s.tac, b)
+		}
+	}()
+	for len(s.tac) > 0 {
+		e := heap.Pop(&s.tac).(tacEntry)
+		rec := &m.frames[e.idx]
+		if !rec.occupied || rec.gen != e.gen {
+			continue // stale: frame was freed (and possibly reused)
+		}
+		if cur := m.temps[m.extentOf(rec.pid)]; cur != e.temp {
+			heap.Push(&s.tac, tacEntry{idx: e.idx, gen: e.gen, temp: cur})
+			continue
+		}
+		if rec.io > 0 {
+			busy = append(busy, e)
+			continue
+		}
+		return e.idx
+	}
+	return -1
+}
+
+// tacRevalidate refreshes a logically-invalidated SSD copy at dirty
+// eviction time: TAC writes the page to the SSD alongside the disk write
+// only when an invalid version already occupies a frame (§2.5).
+func (m *Manager) tacRevalidate(p *sim.Proc, pg *page.Page) error {
+	if !m.Enabled() {
+		return nil
+	}
+	s := m.shardOf(pg.ID)
+	idx, ok := s.table[pg.ID]
+	if !ok {
+		return nil
+	}
+	rec := &m.frames[idx]
+	if rec.valid {
+		return nil
+	}
+	if m.throttled() {
+		m.stats.ThrottleWrites++
+		return nil
+	}
+	rec.valid = true
+	rec.lsn = pg.LSN
+	m.stats.Revalidations++
+	return m.writeFrame(p, idx, pg)
+}

@@ -1,0 +1,72 @@
+package trace
+
+import (
+	"fmt"
+
+	"turbobp/internal/engine"
+	"turbobp/internal/sim"
+)
+
+// ReplayResult summarizes one replay.
+type ReplayResult struct {
+	Events     int
+	ElapsedSec float64 // virtual seconds consumed
+	Engine     engine.Stats
+	SSDHits    int64
+	SSDMisses  int64
+}
+
+// Replay executes a trace against e from within process p, serially.
+// Updates write a deterministic function of the event index so two replays
+// of the same trace leave identical database contents regardless of the
+// SSD design — which is the property that makes trace-driven comparisons
+// across designs sound.
+func Replay(p *sim.Proc, e *engine.Engine, t *Trace) (*ReplayResult, error) {
+	start := p.Now()
+	tx := e.Begin()
+	open := false
+	for i, ev := range t.Events {
+		switch ev.Op {
+		case OpRead:
+			if _, err := e.Get(p, ev.Page); err != nil {
+				return nil, fmt.Errorf("trace: event %d: %w", i, err)
+			}
+		case OpUpdate:
+			if !open {
+				tx = e.Begin()
+				open = true
+			}
+			stamp := byte(i)
+			if err := e.Update(p, tx, ev.Page, func(pl []byte) {
+				pl[0] = stamp
+				pl[1]++
+			}); err != nil {
+				return nil, fmt.Errorf("trace: event %d: %w", i, err)
+			}
+		case OpCommit:
+			if err := e.Commit(p, tx); err != nil {
+				return nil, fmt.Errorf("trace: event %d: %w", i, err)
+			}
+			open = false
+		case OpScan:
+			if err := e.Scan(p, ev.Page, int(ev.Len)); err != nil {
+				return nil, fmt.Errorf("trace: event %d: %w", i, err)
+			}
+		default:
+			return nil, fmt.Errorf("trace: event %d has unknown op %d", i, ev.Op)
+		}
+	}
+	if open {
+		if err := e.Commit(p, tx); err != nil {
+			return nil, err
+		}
+	}
+	ms := e.SSD().Stats()
+	return &ReplayResult{
+		Events:     len(t.Events),
+		ElapsedSec: (p.Now() - start).Seconds(),
+		Engine:     e.Stats(),
+		SSDHits:    ms.Hits,
+		SSDMisses:  ms.Misses,
+	}, nil
+}

@@ -1,0 +1,208 @@
+// Package trace provides page-access trace recording, serialization and
+// replay. Traces decouple workload capture from cache evaluation: a trace
+// generated once (from the synthetic drivers, or by instrumenting a real
+// system) can be replayed deterministically against every SSD design, the
+// standard methodology in cache studies (the TAC paper itself was
+// evaluated partly through trace-driven simulation).
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+
+	"turbobp/internal/page"
+)
+
+// Op is a trace event kind.
+type Op uint8
+
+// Trace event kinds.
+const (
+	OpRead   Op = iota + 1 // random point read
+	OpUpdate               // point update
+	OpCommit               // transaction boundary
+	OpScan                 // sequential scan of Len pages from Page
+)
+
+// Event is one trace entry.
+type Event struct {
+	Op   Op
+	Page page.ID
+	Len  int32 // scan length (OpScan only)
+}
+
+// Trace is an ordered sequence of events.
+type Trace struct {
+	Events []Event
+}
+
+// Append adds an event.
+func (t *Trace) Append(e Event) { t.Events = append(t.Events, e) }
+
+// Read records a point read of pid.
+func (t *Trace) Read(pid page.ID) { t.Append(Event{Op: OpRead, Page: pid}) }
+
+// Update records a point update of pid.
+func (t *Trace) Update(pid page.ID) { t.Append(Event{Op: OpUpdate, Page: pid}) }
+
+// Commit records a transaction boundary.
+func (t *Trace) Commit() { t.Append(Event{Op: OpCommit}) }
+
+// Scan records a sequential scan.
+func (t *Trace) Scan(start page.ID, n int32) {
+	t.Append(Event{Op: OpScan, Page: start, Len: n})
+}
+
+// Len returns the number of events.
+func (t *Trace) Len() int { return len(t.Events) }
+
+// Stats summarizes a trace.
+type Stats struct {
+	Reads, Updates, Commits, Scans int
+	ScanPages                      int64
+	DistinctPages                  int
+	MaxPage                        page.ID
+}
+
+// Stats computes summary counts.
+func (t *Trace) Stats() Stats {
+	var s Stats
+	seen := map[page.ID]bool{}
+	note := func(p page.ID) {
+		seen[p] = true
+		if p > s.MaxPage {
+			s.MaxPage = p
+		}
+	}
+	for _, e := range t.Events {
+		switch e.Op {
+		case OpRead:
+			s.Reads++
+			note(e.Page)
+		case OpUpdate:
+			s.Updates++
+			note(e.Page)
+		case OpCommit:
+			s.Commits++
+		case OpScan:
+			s.Scans++
+			s.ScanPages += int64(e.Len)
+			note(e.Page)
+			if last := e.Page + page.ID(e.Len) - 1; last > s.MaxPage {
+				s.MaxPage = last
+			}
+		}
+	}
+	s.DistinctPages = len(seen)
+	return s
+}
+
+// Serialization: a magic header, an event count, then 13 bytes per event.
+
+const (
+	magic     = "BPTRACE1"
+	eventSize = 13
+)
+
+// ErrBadTrace reports a malformed trace stream.
+var ErrBadTrace = errors.New("trace: malformed stream")
+
+// WriteTo serializes the trace.
+func (t *Trace) WriteTo(w io.Writer) (int64, error) {
+	bw := bufio.NewWriter(w)
+	n := int64(0)
+	k, err := bw.WriteString(magic)
+	n += int64(k)
+	if err != nil {
+		return n, err
+	}
+	var hdr [8]byte
+	binary.LittleEndian.PutUint64(hdr[:], uint64(len(t.Events)))
+	k, err = bw.Write(hdr[:])
+	n += int64(k)
+	if err != nil {
+		return n, err
+	}
+	var buf [eventSize]byte
+	for _, e := range t.Events {
+		buf[0] = byte(e.Op)
+		binary.LittleEndian.PutUint64(buf[1:9], uint64(e.Page))
+		binary.LittleEndian.PutUint32(buf[9:13], uint32(e.Len))
+		k, err = bw.Write(buf[:])
+		n += int64(k)
+		if err != nil {
+			return n, err
+		}
+	}
+	return n, bw.Flush()
+}
+
+// ReadFrom parses a serialized trace, replacing t's events.
+func (t *Trace) ReadFrom(r io.Reader) (int64, error) {
+	br := bufio.NewReader(r)
+	n := int64(0)
+	head := make([]byte, len(magic)+8)
+	k, err := io.ReadFull(br, head)
+	n += int64(k)
+	if err != nil {
+		return n, fmt.Errorf("%w: %v", ErrBadTrace, err)
+	}
+	if string(head[:len(magic)]) != magic {
+		return n, fmt.Errorf("%w: bad magic %q", ErrBadTrace, head[:len(magic)])
+	}
+	count := binary.LittleEndian.Uint64(head[len(magic):])
+	const maxEvents = 1 << 30
+	if count > maxEvents {
+		return n, fmt.Errorf("%w: %d events", ErrBadTrace, count)
+	}
+	t.Events = make([]Event, 0, count)
+	var buf [eventSize]byte
+	for i := uint64(0); i < count; i++ {
+		k, err := io.ReadFull(br, buf[:])
+		n += int64(k)
+		if err != nil {
+			return n, fmt.Errorf("%w: event %d: %v", ErrBadTrace, i, err)
+		}
+		op := Op(buf[0])
+		if op < OpRead || op > OpScan {
+			return n, fmt.Errorf("%w: event %d has op %d", ErrBadTrace, i, op)
+		}
+		t.Events = append(t.Events, Event{
+			Op:   op,
+			Page: page.ID(binary.LittleEndian.Uint64(buf[1:9])),
+			Len:  int32(binary.LittleEndian.Uint32(buf[9:13])),
+		})
+	}
+	return n, nil
+}
+
+// Save writes the trace to a file.
+func (t *Trace) Save(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if _, err := t.WriteTo(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// Load reads a trace from a file.
+func Load(path string) (*Trace, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	t := &Trace{}
+	if _, err := t.ReadFrom(f); err != nil {
+		return nil, err
+	}
+	return t, nil
+}

@@ -1,0 +1,227 @@
+package trace
+
+import (
+	"bytes"
+	"errors"
+	"path/filepath"
+	"reflect"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"turbobp/internal/engine"
+	"turbobp/internal/page"
+	"turbobp/internal/sim"
+	"turbobp/internal/ssd"
+)
+
+func sampleTrace() *Trace {
+	t := &Trace{}
+	t.Read(10)
+	t.Update(20)
+	t.Commit()
+	t.Scan(100, 32)
+	t.Read(10)
+	return t
+}
+
+func TestStats(t *testing.T) {
+	tr := sampleTrace()
+	s := tr.Stats()
+	if s.Reads != 2 || s.Updates != 1 || s.Commits != 1 || s.Scans != 1 {
+		t.Errorf("stats = %+v", s)
+	}
+	if s.ScanPages != 32 {
+		t.Errorf("ScanPages = %d", s.ScanPages)
+	}
+	if s.DistinctPages != 3 {
+		t.Errorf("DistinctPages = %d", s.DistinctPages)
+	}
+	if s.MaxPage != 131 {
+		t.Errorf("MaxPage = %d", s.MaxPage)
+	}
+}
+
+func TestSerializationRoundTrip(t *testing.T) {
+	tr := sampleTrace()
+	var buf bytes.Buffer
+	if _, err := tr.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var got Trace
+	if _, err := got.ReadFrom(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(tr.Events, got.Events) {
+		t.Errorf("round trip mismatch")
+	}
+}
+
+func TestSaveLoad(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "x.trace")
+	tr := sampleTrace()
+	if err := tr.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(tr.Events, got.Events) {
+		t.Error("file round trip mismatch")
+	}
+}
+
+func TestReadFromRejectsGarbage(t *testing.T) {
+	var tr Trace
+	if _, err := tr.ReadFrom(bytes.NewReader([]byte("not a trace file....."))); !errors.Is(err, ErrBadTrace) {
+		t.Errorf("err = %v", err)
+	}
+	// Truncated body.
+	var buf bytes.Buffer
+	sampleTrace().WriteTo(&buf)
+	b := buf.Bytes()
+	if _, err := tr.ReadFrom(bytes.NewReader(b[:len(b)-3])); !errors.Is(err, ErrBadTrace) {
+		t.Errorf("truncated err = %v", err)
+	}
+	// Bad op byte.
+	b2 := append([]byte(nil), b...)
+	b2[len(magic)+8] = 99
+	if _, err := tr.ReadFrom(bytes.NewReader(b2)); !errors.Is(err, ErrBadTrace) {
+		t.Errorf("bad-op err = %v", err)
+	}
+}
+
+func TestSerializationProperty(t *testing.T) {
+	prop := func(raw []uint32) bool {
+		tr := &Trace{}
+		for i, v := range raw {
+			switch v % 4 {
+			case 0:
+				tr.Read(page.ID(v))
+			case 1:
+				tr.Update(page.ID(v))
+			case 2:
+				tr.Commit()
+			case 3:
+				tr.Scan(page.ID(v), int32(i%100+1))
+			}
+		}
+		var buf bytes.Buffer
+		if _, err := tr.WriteTo(&buf); err != nil {
+			return false
+		}
+		var got Trace
+		if _, err := got.ReadFrom(&buf); err != nil {
+			return false
+		}
+		if len(tr.Events) == 0 {
+			return len(got.Events) == 0
+		}
+		return reflect.DeepEqual(tr.Events, got.Events)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func replayOn(t *testing.T, design ssd.Design, tr *Trace) (*ReplayResult, map[page.ID][]byte) {
+	t.Helper()
+	env := sim.NewEnv()
+	e := engine.New(env, engine.Config{
+		Design: design, DBPages: 256, PoolPages: 16, SSDFrames: 64,
+		PayloadSize: 16, CPUPerAccess: -1,
+	})
+	if err := e.FormatDB(); err != nil {
+		t.Fatal(err)
+	}
+	var res *ReplayResult
+	done := false
+	env.Go("replay", func(p *sim.Proc) {
+		var err error
+		res, err = Replay(p, e, tr)
+		if err != nil {
+			t.Error(err)
+		}
+		done = true
+	})
+	for !done {
+		env.Run(env.Now() + time.Second)
+	}
+	// Capture final contents.
+	final := map[page.ID][]byte{}
+	done2 := false
+	env.Go("capture", func(p *sim.Proc) {
+		for pid := page.ID(0); pid < 256; pid++ {
+			f, err := e.Get(p, pid)
+			if err != nil {
+				t.Error(err)
+				break
+			}
+			final[pid] = append([]byte(nil), f.Pg.Payload...)
+		}
+		done2 = true
+	})
+	for !done2 {
+		env.Run(env.Now() + time.Second)
+	}
+	e.StopBackground()
+	env.Run(env.Now() + time.Second)
+	env.Shutdown()
+	return res, final
+}
+
+func mixedTrace() *Trace {
+	tr := &Trace{}
+	for i := 0; i < 200; i++ {
+		pid := page.ID((i * 37) % 200)
+		if i%3 == 0 {
+			tr.Update(pid)
+		} else {
+			tr.Read(pid)
+		}
+		if i%5 == 4 {
+			tr.Commit()
+		}
+	}
+	tr.Scan(0, 64)
+	tr.Commit()
+	return tr
+}
+
+func TestReplayExecutesAllEvents(t *testing.T) {
+	tr := mixedTrace()
+	res, _ := replayOn(t, ssd.LC, tr)
+	if res.Events != tr.Len() {
+		t.Errorf("Events = %d, want %d", res.Events, tr.Len())
+	}
+	if res.Engine.Updates == 0 || res.Engine.Commits == 0 || res.Engine.ScanPages != 64 {
+		t.Errorf("engine stats = %+v", res.Engine)
+	}
+}
+
+// TestReplayDesignIndependentContents is the soundness property of
+// trace-driven comparison: the same trace leaves byte-identical database
+// state under every design.
+func TestReplayDesignIndependentContents(t *testing.T) {
+	tr := mixedTrace()
+	_, base := replayOn(t, ssd.NoSSD, tr)
+	for _, d := range []ssd.Design{ssd.CW, ssd.DW, ssd.LC, ssd.TAC} {
+		_, got := replayOn(t, d, tr)
+		for pid, want := range base {
+			if !bytes.Equal(got[pid], want) {
+				t.Errorf("%s: page %d contents diverge", d, pid)
+				break
+			}
+		}
+	}
+}
+
+func TestReplayAutoCommitsTail(t *testing.T) {
+	tr := &Trace{}
+	tr.Update(1) // no explicit commit
+	res, _ := replayOn(t, ssd.NoSSD, tr)
+	if res.Engine.Commits != 1 {
+		t.Errorf("Commits = %d; a trailing open transaction must be committed", res.Engine.Commits)
+	}
+}

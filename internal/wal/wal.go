@@ -1,0 +1,185 @@
+// Package wal implements the write-ahead log used by the storage engine.
+//
+// The engine is redo-only: every page update appends an after-image record,
+// commits force the log, and recovery replays records newer than the last
+// sharp checkpoint. The paper's DW and LC designs both obey this protocol —
+// the log records for a page are forcibly flushed before the page may be
+// written to the SSD or the disk (§2.4).
+//
+// The log separates what has been appended (pending) from what has survived
+// a flush (durable). A crash discards pending records; recovery sees only
+// durable ones. Flushes charge virtual time on the dedicated log device as
+// sequential page writes, batching all pending records (group commit).
+package wal
+
+import (
+	"time"
+
+	"turbobp/internal/device"
+	"turbobp/internal/page"
+	"turbobp/internal/sim"
+)
+
+// Type discriminates log records.
+type Type uint8
+
+// Record types.
+const (
+	TypeUpdate     Type = iota + 1 // page after-image
+	TypeCommit                     // transaction commit
+	TypeCheckpoint                 // end of a sharp checkpoint
+)
+
+// Record is one log entry. Update records carry the page's new payload;
+// checkpoint records carry, in StartLSN, the LSN at which the checkpoint's
+// flush began (recovery redoes everything after it).
+type Record struct {
+	LSN      uint64
+	Type     Type
+	Page     page.ID
+	TxID     uint64
+	StartLSN uint64
+	Payload  []byte
+}
+
+// overhead approximates the on-disk framing bytes per record.
+const overhead = 32
+
+// Log is the log manager. Create with New; methods must be called from
+// simulation processes (or with a nil proc when the device allows it).
+type Log struct {
+	dev      device.Device
+	pageSize int
+	capacity device.PageNum
+
+	nextLSN    uint64
+	flushedLSN uint64
+	pending    []Record
+	pendingB   int
+	durable    []Record
+
+	writePos device.PageNum
+	flushing bool
+	fsignal  *sim.Signal
+
+	appends      int64
+	flushes      int64
+	flushedPages int64
+}
+
+// New returns a log writing pageSize-byte pages to dev, which has capacity
+// pages (the write position wraps, as a recycled physical log would).
+func New(env *sim.Env, dev device.Device, pageSize int, capacity device.PageNum) *Log {
+	return &Log{
+		dev:      dev,
+		pageSize: pageSize,
+		capacity: capacity,
+		nextLSN:  1,
+		fsignal:  sim.NewSignal(env),
+	}
+}
+
+// Append adds a record, assigns its LSN and returns it. The record is not
+// durable until a Flush covering its LSN completes.
+func (l *Log) Append(r Record) uint64 {
+	r.LSN = l.nextLSN
+	l.nextLSN++
+	l.pending = append(l.pending, r)
+	l.pendingB += overhead + len(r.Payload)
+	l.appends++
+	return r.LSN
+}
+
+// NextLSN returns the LSN the next Append will receive.
+func (l *Log) NextLSN() uint64 { return l.nextLSN }
+
+// FlushedLSN returns the highest durable LSN.
+func (l *Log) FlushedLSN() uint64 { return l.flushedLSN }
+
+// Flush makes every record with LSN <= upTo durable, charging log-device
+// time. Concurrent flushes coalesce: a caller whose records are covered by
+// an in-flight flush waits for it instead of issuing another write.
+func (l *Log) Flush(p *sim.Proc, upTo uint64) {
+	for l.flushedLSN < upTo {
+		if l.flushing {
+			l.fsignal.Wait(p)
+			continue
+		}
+		if len(l.pending) == 0 {
+			return // nothing buffered; upTo was never appended
+		}
+		batch := l.pending
+		batchBytes := l.pendingB
+		l.pending = nil
+		l.pendingB = 0
+		endLSN := batch[len(batch)-1].LSN
+		l.flushing = true
+
+		nPages := device.PageNum((batchBytes + l.pageSize - 1) / l.pageSize)
+		bufs := make([][]byte, nPages)
+		buf := make([]byte, int(nPages)*l.pageSize)
+		for i := range bufs {
+			bufs[i] = buf[i*l.pageSize : (i+1)*l.pageSize]
+		}
+		start := l.writePos
+		if start+nPages > l.capacity {
+			start = 0 // wrap the circular log
+		}
+		l.writePos = start + nPages
+		if err := l.dev.Write(p, start, bufs); err != nil {
+			// The simulated log device cannot fail in-range; surface loudly.
+			panic("wal: log device write failed: " + err.Error())
+		}
+		l.durable = append(l.durable, batch...)
+		if endLSN > l.flushedLSN {
+			l.flushedLSN = endLSN
+		}
+		l.flushes++
+		l.flushedPages += int64(nPages)
+		l.flushing = false
+		l.fsignal.Broadcast()
+	}
+}
+
+// Crash discards pending (non-durable) records, as a power failure would.
+func (l *Log) Crash() {
+	l.pending = nil
+	l.pendingB = 0
+	l.flushing = false
+}
+
+// Durable returns the records that survived flushes, oldest first. The
+// slice is shared; callers must not modify it.
+func (l *Log) Durable() []Record { return l.durable }
+
+// LastCheckpoint returns the most recent durable checkpoint record, if any.
+func (l *Log) LastCheckpoint() (Record, bool) {
+	for i := len(l.durable) - 1; i >= 0; i-- {
+		if l.durable[i].Type == TypeCheckpoint {
+			return l.durable[i], true
+		}
+	}
+	return Record{}, false
+}
+
+// TruncateThrough discards durable records with LSN <= lsn (called after a
+// checkpoint makes them unnecessary for recovery).
+func (l *Log) TruncateThrough(lsn uint64) {
+	i := 0
+	for i < len(l.durable) && l.durable[i].LSN <= lsn {
+		i++
+	}
+	l.durable = append([]Record(nil), l.durable[i:]...)
+}
+
+// Stats reports append/flush activity.
+func (l *Log) Stats() (appends, flushes, flushedPages int64) {
+	return l.appends, l.flushes, l.flushedPages
+}
+
+// PendingBytes reports the bytes buffered for the next flush.
+func (l *Log) PendingBytes() int { return l.pendingB }
+
+// ForceInterval is a convenience for periodic log forcing, unused by the
+// core engine (commits force the log) but handy for background flushers.
+const ForceInterval = 10 * time.Millisecond

@@ -1,0 +1,280 @@
+package workload
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+
+	"turbobp/internal/engine"
+	"turbobp/internal/page"
+	"turbobp/internal/sim"
+)
+
+// Table identifies a TPC-H table region of the database file.
+type Table int
+
+// The TPC-H tables that matter at the I/O level, laid out as contiguous
+// regions of the database in roughly their real size proportions.
+const (
+	Lineitem Table = iota
+	Orders
+	Partsupp
+	Part
+	Customer
+	Supplier
+	Nation
+	numTables
+)
+
+// tableLayout gives each table's fraction of the database, in layout order.
+var tableLayout = [numTables]float64{
+	Lineitem: 0.62,
+	Orders:   0.16,
+	Partsupp: 0.10,
+	Part:     0.05,
+	Customer: 0.04,
+	Supplier: 0.02,
+	Nation:   0.01,
+}
+
+// tscan is one sequential scan within a query: frac of table's pages.
+type tscan struct {
+	table Table
+	frac  float64
+}
+
+// tpchQuery describes one of the 22 queries as its scan set plus random
+// index lookups into a table (the paper: "some queries are dominated by
+// index lookups in the LINEITEM table which are mostly random I/O").
+type tpchQuery struct {
+	scans       []tscan
+	lookupTable Table
+	lookupFrac  float64 // lookups as a fraction of the table's pages
+}
+
+// queries is the I/O profile of Q1..Q22.
+var queries = [22]tpchQuery{
+	{scans: []tscan{{Lineitem, 0.95}}},
+	{scans: []tscan{{Part, 0.8}, {Supplier, 1}}, lookupTable: Partsupp, lookupFrac: 0.10},
+	{scans: []tscan{{Customer, 0.3}, {Orders, 0.5}, {Lineitem, 0.45}}},
+	{scans: []tscan{{Orders, 0.6}}, lookupTable: Lineitem, lookupFrac: 0.03},
+	{scans: []tscan{{Customer, 0.3}, {Orders, 0.4}, {Lineitem, 0.4}, {Supplier, 1}}},
+	{scans: []tscan{{Lineitem, 0.9}}},
+	{scans: []tscan{{Lineitem, 0.4}, {Orders, 0.3}, {Customer, 0.2}}},
+	{scans: []tscan{{Lineitem, 0.35}, {Orders, 0.3}, {Part, 0.2}}},
+	{scans: []tscan{{Lineitem, 0.5}, {Partsupp, 0.4}, {Part, 0.3}}},
+	{scans: []tscan{{Lineitem, 0.3}, {Orders, 0.4}, {Customer, 0.5}}},
+	{scans: []tscan{{Partsupp, 0.8}, {Supplier, 1}}},
+	{scans: []tscan{{Lineitem, 0.5}}, lookupTable: Orders, lookupFrac: 0.06},
+	{scans: []tscan{{Customer, 1}, {Orders, 0.8}}},
+	{scans: []tscan{{Lineitem, 0.25}, {Part, 0.5}}},
+	{scans: []tscan{{Lineitem, 0.4}, {Supplier, 1}}},
+	{scans: []tscan{{Partsupp, 0.6}, {Part, 0.4}}},
+	{scans: []tscan{{Part, 0.2}}, lookupTable: Lineitem, lookupFrac: 0.08},
+	{scans: []tscan{{Lineitem, 0.6}, {Orders, 0.5}, {Customer, 0.2}}},
+	{scans: []tscan{{Lineitem, 0.2}, {Part, 0.3}}, lookupTable: Lineitem, lookupFrac: 0.05},
+	{scans: []tscan{{Lineitem, 0.3}, {Partsupp, 0.3}}, lookupTable: Lineitem, lookupFrac: 0.04},
+	{scans: []tscan{{Lineitem, 0.5}, {Supplier, 1}}, lookupTable: Orders, lookupFrac: 0.08},
+	{scans: []tscan{{Customer, 0.5}}, lookupTable: Orders, lookupFrac: 0.04},
+}
+
+// TPCH drives the decision-support benchmark against a storage engine.
+type TPCH struct {
+	SF          int   // scale factor (30 or 100 in the paper)
+	DBPages     int64 // database size in pages
+	Streams     int   // concurrent query streams in the throughput test
+	Seed        int64
+	LookupScale float64 // multiplier on per-query lookup volume (default 1)
+}
+
+// NewTPCH returns the driver with the paper's stream counts (4 @30SF,
+// 5 @100SF, per the TPC-H minimums it cites).
+func NewTPCH(sf int, dbPages int64) *TPCH {
+	streams := 4
+	if sf >= 100 {
+		streams = 5
+	}
+	return &TPCH{SF: sf, DBPages: dbPages, Streams: streams, Seed: 1, LookupScale: 4}
+}
+
+// tableRegion returns the page range [start, start+n) of a table.
+func (h *TPCH) tableRegion(t Table) (page.ID, int64) {
+	var off float64
+	for i := Table(0); i < t; i++ {
+		off += tableLayout[i]
+	}
+	start := int64(off * float64(h.DBPages))
+	n := int64(tableLayout[t] * float64(h.DBPages))
+	if n < 1 {
+		n = 1
+	}
+	return page.ID(start), n
+}
+
+// RunQuery executes query q (0-based) and returns its elapsed virtual time.
+func (h *TPCH) RunQuery(p *sim.Proc, e *engine.Engine, q int, rng *rand.Rand) (time.Duration, error) {
+	startT := p.Now()
+	spec := queries[q]
+	for _, sc := range spec.scans {
+		start, n := h.tableRegion(sc.table)
+		pages := int(sc.frac * float64(n))
+		if pages < 1 {
+			pages = 1
+		}
+		// Scans start at a query-dependent offset within the table, as a
+		// predicate-driven range scan would.
+		off := int64(0)
+		if pages < int(n) {
+			off = rng.Int63n(n - int64(pages))
+		}
+		if err := e.Scan(p, start+page.ID(off), pages); err != nil {
+			return 0, fmt.Errorf("q%d scan: %w", q+1, err)
+		}
+	}
+	if spec.lookupFrac > 0 {
+		start, n := h.tableRegion(spec.lookupTable)
+		lookups := int(spec.lookupFrac * float64(n) * h.LookupScale)
+		for i := 0; i < lookups; i++ {
+			pid := start + page.ID(rng.Int63n(n))
+			if _, err := e.Get(p, pid); err != nil {
+				return 0, fmt.Errorf("q%d lookup: %w", q+1, err)
+			}
+		}
+	}
+	return p.Now() - startT, nil
+}
+
+// RunRefresh executes one refresh function (RF1 or RF2): inserts/deletes
+// touch a random 0.1% of ORDERS and LINEITEM pages.
+func (h *TPCH) RunRefresh(p *sim.Proc, e *engine.Engine, rng *rand.Rand) (time.Duration, error) {
+	startT := p.Now()
+	tx := e.Begin()
+	for _, t := range []Table{Orders, Lineitem} {
+		start, n := h.tableRegion(t)
+		updates := int(float64(n) * 0.001)
+		if updates < 1 {
+			updates = 1
+		}
+		for i := 0; i < updates; i++ {
+			pid := start + page.ID(rng.Int63n(n))
+			if err := e.Update(p, tx, pid, func(pl []byte) { pl[2]++ }); err != nil {
+				return 0, err
+			}
+		}
+	}
+	if err := e.Commit(p, tx); err != nil {
+		return 0, err
+	}
+	return p.Now() - startT, nil
+}
+
+// PowerResult holds the serial power test's component timings.
+type PowerResult struct {
+	QuerySecs   [22]float64
+	RefreshSecs [2]float64
+}
+
+// RunPower runs the power test: RF1, the 22 queries serially, RF2.
+func (h *TPCH) RunPower(p *sim.Proc, e *engine.Engine) (PowerResult, error) {
+	var res PowerResult
+	rng := rand.New(rand.NewSource(h.Seed))
+	d, err := h.RunRefresh(p, e, rng)
+	if err != nil {
+		return res, err
+	}
+	res.RefreshSecs[0] = d.Seconds()
+	for q := 0; q < 22; q++ {
+		d, err := h.RunQuery(p, e, q, rng)
+		if err != nil {
+			return res, err
+		}
+		res.QuerySecs[q] = d.Seconds()
+	}
+	d, err = h.RunRefresh(p, e, rng)
+	if err != nil {
+		return res, err
+	}
+	res.RefreshSecs[1] = d.Seconds()
+	return res, nil
+}
+
+// Power computes the TPC-H power metric: 3600·SF over the geometric mean
+// of the 22 query times and 2 refresh times.
+func (r PowerResult) Power(sf int) float64 {
+	logSum := 0.0
+	for _, s := range r.QuerySecs {
+		logSum += math.Log(clampSecs(s))
+	}
+	for _, s := range r.RefreshSecs {
+		logSum += math.Log(clampSecs(s))
+	}
+	geo := math.Exp(logSum / 24)
+	return 3600 * float64(sf) / geo
+}
+
+func clampSecs(s float64) float64 {
+	if s < 1e-6 {
+		return 1e-6
+	}
+	return s
+}
+
+// RunThroughput runs the throughput test: Streams concurrent query streams
+// (each a stream-specific permutation of the 22 queries) plus a refresh
+// stream executing Streams RF pairs. It returns the elapsed virtual time.
+// It must be called from a process; it blocks until all streams finish.
+func (h *TPCH) RunThroughput(p *sim.Proc, e *engine.Engine) (time.Duration, error) {
+	env := p.Env()
+	startT := p.Now()
+	remaining := h.Streams + 1
+	done := sim.NewSignal(env)
+	var firstErr error
+	finish := func(err error) {
+		if err != nil && firstErr == nil {
+			firstErr = err
+		}
+		remaining--
+		if remaining == 0 {
+			done.Broadcast()
+		}
+	}
+	for s := 0; s < h.Streams; s++ {
+		s := s
+		env.Go(fmt.Sprintf("tpch-stream-%d", s), func(sp *sim.Proc) {
+			rng := rand.New(rand.NewSource(h.Seed + int64(s+1)*104729))
+			order := rng.Perm(22)
+			for _, q := range order {
+				if _, err := h.RunQuery(sp, e, q, rng); err != nil {
+					finish(err)
+					return
+				}
+			}
+			finish(nil)
+		})
+	}
+	env.Go("tpch-refresh-stream", func(sp *sim.Proc) {
+		rng := rand.New(rand.NewSource(h.Seed + 999331))
+		for i := 0; i < h.Streams; i++ {
+			for j := 0; j < 2; j++ {
+				if _, err := h.RunRefresh(sp, e, rng); err != nil {
+					finish(err)
+					return
+				}
+			}
+		}
+		finish(nil)
+	})
+	done.WaitFired(p)
+	return p.Now() - startT, firstErr
+}
+
+// Throughput computes the TPC-H throughput metric for an elapsed test.
+func (h *TPCH) Throughput(elapsed time.Duration) float64 {
+	return float64(h.Streams) * 22 * 3600 / elapsed.Seconds() * float64(h.SF)
+}
+
+// QphH combines power and throughput into the composite metric.
+func QphH(power, throughput float64) float64 {
+	return math.Sqrt(power * throughput)
+}

@@ -1,0 +1,182 @@
+// Package workload implements synthetic drivers with the access-pattern
+// essentials of the paper's three benchmarks:
+//
+//   - TPC-C: update-intensive OLTP, highly skewed (≈75% of accesses to
+//     ≈20% of the pages, roughly one write per two reads — §4.2).
+//   - TPC-E: read-intensive OLTP (≈10:1 read:write) with a large warm
+//     working set (§4.3).
+//   - TPC-H: decision support — 22 queries of table scans plus random
+//     index lookups, run as a serial power test and concurrent throughput
+//     streams with refresh functions (§4.4).
+//
+// The drivers exercise only the storage engine (page reads, updates,
+// scans, commits); SQL processing is out of scope, as the paper attributes
+// all of its observed effects to these aggregate I/O properties.
+package workload
+
+import (
+	"math/rand"
+	"time"
+
+	"turbobp/internal/engine"
+	"turbobp/internal/page"
+	"turbobp/internal/sim"
+	"turbobp/internal/trace"
+)
+
+// Tier is one level of a graded access-skew distribution: AccessFrac of
+// the accesses go to PageFrac of the pages.
+type Tier struct {
+	PageFrac   float64
+	AccessFrac float64
+}
+
+// OLTP describes a transactional driver.
+type OLTP struct {
+	Name          string
+	DBPages       int64
+	Tiers         []Tier // graded skew; fractions each sum to 1
+	AccessesPerTx int
+	UpdateFrac    float64 // probability a given access is an update
+	// UpdateTier restricts updates to one tier's pages (-1: updates follow
+	// the read distribution). OLTP benchmarks concentrate writes on a few
+	// hot tables, which is what keeps checkpoints and dirty sets bounded.
+	UpdateTier int
+	Workers    int // concurrent clients
+	Seed       int64
+}
+
+// TPCC returns the paper's TPC-C-like profile for a database of dbPages:
+// ~75% of accesses to ~20% of the pages (Leutenegger & Dias), one write
+// per two reads, updates following the read skew.
+func TPCC(dbPages int64) OLTP {
+	return OLTP{
+		Name:          "tpcc",
+		DBPages:       dbPages,
+		Tiers:         []Tier{{0.20, 0.75}, {0.80, 0.25}},
+		AccessesPerTx: 8,
+		UpdateFrac:    1.0 / 3.0, // one write per two reads
+		UpdateTier:    -1,
+		Workers:       32,
+		Seed:          1,
+	}
+}
+
+// TPCE returns the TPC-E-like profile: read-intensive with graded skew —
+// a small very hot head (largely memory-resident at small scales), a warm
+// middle that is the SSD's natural target (~60% of the database holds 95%
+// of the accesses, matching the paper's working-set observations), and a
+// cold tail. Updates concentrate on the hot head (the trade tables).
+func TPCE(dbPages int64) OLTP {
+	return OLTP{
+		Name:          "tpce",
+		DBPages:       dbPages,
+		Tiers:         []Tier{{0.15, 0.65}, {0.45, 0.30}, {0.40, 0.05}},
+		AccessesPerTx: 8,
+		UpdateFrac:    0.045, // page-level writes are rare in TPC-E
+		UpdateTier:    0,
+		Workers:       32,
+		Seed:          1,
+	}
+}
+
+// scatter maps a logical index to a page id with an affine permutation so
+// the hot set is spread over the whole database rather than being one
+// contiguous (and extent-aligned) region.
+func scatter(i, n int64) page.ID {
+	const mult = 2654435761 // Knuth's multiplicative hash constant
+	return page.ID(((i*mult)%n + n) % n)
+}
+
+// pick draws a page according to the graded skew; tier >= 0 restricts the
+// draw to that tier's pages.
+func (o *OLTP) pick(rng *rand.Rand, tier int) page.ID {
+	if tier < 0 {
+		u := rng.Float64()
+		tier = len(o.Tiers) - 1
+		for i, t := range o.Tiers {
+			if u < t.AccessFrac {
+				tier = i
+				break
+			}
+			u -= t.AccessFrac
+		}
+	}
+	var offset float64
+	for i := 0; i < tier; i++ {
+		offset += o.Tiers[i].PageFrac
+	}
+	lo := int64(offset * float64(o.DBPages))
+	n := int64(o.Tiers[tier].PageFrac * float64(o.DBPages))
+	if n < 1 {
+		n = 1
+	}
+	return scatter(lo+rng.Int63n(n), o.DBPages)
+}
+
+// Start spawns the driver's worker processes against e. Workers run until
+// the environment stops driving them (harnesses bound the run with
+// Env.Run(duration) and then Shutdown) or until the returned stop function
+// is called — workers then exit at their next transaction boundary, which
+// matters when the harness wants to crash the engine with no transactions
+// in flight. Committed transactions are counted in the engine's stats;
+// onCommit, if non-nil, is also called at each commit with the commit
+// time.
+func (o *OLTP) Start(env *sim.Env, e *engine.Engine, onCommit func(t time.Duration)) (stop func()) {
+	stopped := false
+	for w := 0; w < o.Workers; w++ {
+		rng := rand.New(rand.NewSource(o.Seed + int64(w)*7919))
+		env.Go(o.Name+"-worker", func(p *sim.Proc) {
+			for !stopped {
+				if err := o.runTx(p, e, rng); err != nil {
+					panic("workload: " + err.Error())
+				}
+				if onCommit != nil {
+					onCommit(p.Now())
+				}
+			}
+		})
+	}
+	return func() { stopped = true }
+}
+
+// runTx executes one transaction.
+func (o *OLTP) runTx(p *sim.Proc, e *engine.Engine, rng *rand.Rand) error {
+	tx := e.Begin()
+	for a := 0; a < o.AccessesPerTx; a++ {
+		if rng.Float64() < o.UpdateFrac {
+			pid := o.pick(rng, o.UpdateTier)
+			v := byte(rng.Intn(256))
+			if err := e.Update(p, tx, pid, func(pl []byte) {
+				pl[0] = v
+				pl[1]++
+			}); err != nil {
+				return err
+			}
+		} else {
+			pid := o.pick(rng, -1)
+			if _, err := e.Get(p, pid); err != nil {
+				return err
+			}
+		}
+	}
+	return e.Commit(p, tx)
+}
+
+// GenerateTrace materializes txs transactions of this profile as a
+// replayable page-access trace (see internal/trace).
+func (o *OLTP) GenerateTrace(txs int) *trace.Trace {
+	rng := rand.New(rand.NewSource(o.Seed))
+	t := &trace.Trace{}
+	for i := 0; i < txs; i++ {
+		for a := 0; a < o.AccessesPerTx; a++ {
+			if rng.Float64() < o.UpdateFrac {
+				t.Update(o.pick(rng, o.UpdateTier))
+			} else {
+				t.Read(o.pick(rng, -1))
+			}
+		}
+		t.Commit()
+	}
+	return t
+}

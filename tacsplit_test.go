@@ -1,0 +1,79 @@
+package turbobp_test
+
+import (
+	"encoding/binary"
+	"testing"
+
+	"turbobp"
+	"turbobp/btree"
+	"turbobp/heapfile"
+)
+
+// buildIndexed loads a B-tree-indexed table under the given design and
+// returns (split-born pages cached in SSD, total split-born pages).
+func buildIndexed(t *testing.T, design turbobp.Design) (cached, total int) {
+	t.Helper()
+	db, err := turbobp.Open(turbobp.Options{
+		Design:    design,
+		DBPages:   8192,
+		PoolPages: 64,
+		SSDFrames: 4096,
+		PageSize:  128,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	table, err := heapfile.Create(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	index, err := btree.Create(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := db.Allocated()
+	for key := int64(0); key < 2000; key++ {
+		rec := make([]byte, 16)
+		binary.LittleEndian.PutUint64(rec, uint64(key))
+		rid, err := table.Insert(rec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := index.Insert(key, rid.Page); err != nil {
+			t.Fatal(err)
+		}
+	}
+	last := db.Allocated()
+	for pid := first; pid < last; pid++ {
+		total++
+		before := db.Stats().SSDHits
+		if _, err := db.Read(pid, make([]byte, 8)); err != nil {
+			t.Fatal(err)
+		}
+		if db.Stats().SSDHits > before {
+			cached++
+		}
+	}
+	return cached, total
+}
+
+// TestTACMissesSplitBornPages reproduces the §4.2 observation end-to-end:
+// pages created on the fly by B+-tree splits are dirty at birth, so TAC
+// (which admits pages only when they are read from disk, or re-written
+// over an invalid SSD version at dirty eviction) caches far fewer of them
+// than DW, which admits at eviction time.
+func TestTACMissesSplitBornPages(t *testing.T) {
+	dwCached, dwTotal := buildIndexed(t, turbobp.DW)
+	tacCached, tacTotal := buildIndexed(t, turbobp.TAC)
+	if dwTotal != tacTotal {
+		t.Fatalf("page counts differ: %d vs %d", dwTotal, tacTotal)
+	}
+	if dwCached == 0 {
+		t.Fatal("DW cached no split-born pages; the probe is broken")
+	}
+	if float64(tacCached) >= float64(dwCached)*0.8 {
+		t.Errorf("TAC cached %d/%d split-born pages vs DW's %d/%d; expected a clear deficit",
+			tacCached, tacTotal, dwCached, dwTotal)
+	}
+}

@@ -1,0 +1,440 @@
+// Package turbobp is a storage engine with an SSD-extended buffer pool,
+// implementing the designs of Do et al., "Turbocharging DBMS Buffer Pool
+// Using SSDs" (SIGMOD 2011): clean-write (CW), dual-write (DW),
+// lazy-cleaning (LC), and the temperature-aware caching (TAC) comparison
+// point.
+//
+// A DB manages fixed-size pages across a three-level hierarchy: an
+// in-memory buffer pool, an optional SSD buffer-pool extension, and the
+// database's primary storage, with a write-ahead log, sharp checkpoints
+// and crash recovery. Two backends are available:
+//
+//   - Simulated (Options.Dir == ""): storage devices are queueing models
+//     calibrated to the paper's hardware (Table 1), and time is virtual.
+//     This is what the experiment harness and benchmarks use.
+//   - File-backed (Options.Dir set): pages live in ordinary files; device
+//     time is real. This is what the runnable examples use.
+//
+// A DB is safe for concurrent use; operations are serialized internally.
+package turbobp
+
+import (
+	"errors"
+	"fmt"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"turbobp/internal/device"
+	"turbobp/internal/engine"
+	"turbobp/internal/page"
+	"turbobp/internal/sim"
+	"turbobp/internal/ssd"
+)
+
+// Design selects how dirty pages evicted from the memory pool are handled
+// (§2.3 of the paper).
+type Design = ssd.Design
+
+// The available designs.
+const (
+	// NoSSD disables the SSD extension entirely.
+	NoSSD = ssd.NoSSD
+	// CW (clean-write) never writes dirty pages to the SSD.
+	CW = ssd.CW
+	// DW (dual-write) writes dirty evictions to the SSD and the disk
+	// concurrently, keeping the SSD a write-through cache.
+	DW = ssd.DW
+	// LC (lazy-cleaning) writes dirty evictions only to the SSD; a
+	// background cleaner copies them to the disk later (write-back).
+	LC = ssd.LC
+	// TAC is Canim et al.'s temperature-aware caching.
+	TAC = ssd.TAC
+)
+
+// Options configures a DB. Zero values take the paper's defaults
+// (Table 2) where one exists.
+type Options struct {
+	// Design selects the dirty-page policy. Default: LC.
+	Design Design
+
+	// DBPages is the database size in pages. Required.
+	DBPages int64
+	// PoolPages is the in-memory buffer pool size in frames. Default 256.
+	PoolPages int
+	// SSDFrames is the SSD buffer-pool size in frames (0 with Design !=
+	// NoSSD defaults to 4× PoolPages).
+	SSDFrames int
+	// PageSize is the usable payload bytes per page. Default 256.
+	PageSize int
+
+	// Paper knobs (Table 2): τ, μ, N, α, λ.
+	FillThreshold float64
+	Throttle      int
+	Partitions    int
+	GroupClean    int
+	DirtyFraction float64
+
+	// CheckpointInterval enables periodic sharp checkpoints (virtual time
+	// in the simulated backend). 0 disables them; Checkpoint may always be
+	// called explicitly.
+	CheckpointInterval time.Duration
+	// FuzzyCheckpoints makes checkpoints record the redo horizon without
+	// flushing pages: nearly free, but recovery replays more of the log.
+	FuzzyCheckpoints bool
+	// WarmRestart persists the SSD buffer table in checkpoint records so
+	// Recover can reuse the (surviving) SSD cache instead of starting cold.
+	WarmRestart bool
+
+	// Dir selects the file backend: page files and the log live under it.
+	// Empty selects the simulated backend.
+	Dir string
+}
+
+// ErrClosed is returned by operations on a closed DB.
+var ErrClosed = errors.New("turbobp: database closed")
+
+// DB is an open database.
+type DB struct {
+	mu        sync.Mutex
+	env       *sim.Env
+	eng       *engine.Engine
+	opts      Options
+	files     []*device.File
+	allocated int64
+	closed    bool
+}
+
+// Open creates a database with the given options. The database starts
+// formatted and empty (every page zero-filled).
+func Open(opts Options) (*DB, error) {
+	if opts.DBPages <= 0 {
+		return nil, errors.New("turbobp: Options.DBPages must be positive")
+	}
+	if opts.PageSize <= 0 {
+		opts.PageSize = 256
+	}
+	if opts.PoolPages <= 0 {
+		opts.PoolPages = 256
+	}
+	if opts.SSDFrames <= 0 && opts.Design != NoSSD {
+		opts.SSDFrames = 4 * opts.PoolPages
+	}
+	cfg := engine.Config{
+		Design:             opts.Design,
+		DBPages:            opts.DBPages,
+		PoolPages:          opts.PoolPages,
+		SSDFrames:          opts.SSDFrames,
+		PayloadSize:        opts.PageSize,
+		FillThreshold:      opts.FillThreshold,
+		Throttle:           opts.Throttle,
+		Partitions:         opts.Partitions,
+		GroupClean:         opts.GroupClean,
+		DirtyFraction:      opts.DirtyFraction,
+		CheckpointInterval: opts.CheckpointInterval,
+		FuzzyCheckpoints:   opts.FuzzyCheckpoints,
+		WarmRestart:        opts.WarmRestart,
+	}
+	env := sim.NewEnv()
+	db := &DB{env: env, opts: opts}
+	if opts.Dir == "" {
+		db.eng = engine.New(env, cfg)
+	} else {
+		cfg.CPUPerAccess = -1 // real CPUs charge themselves
+		filePage := page.HeaderSize + opts.PageSize
+		dbFile, err := device.OpenFile(filepath.Join(opts.Dir, "db.pages"), filePage, device.PageNum(opts.DBPages))
+		if err != nil {
+			return nil, fmt.Errorf("turbobp: %w", err)
+		}
+		db.files = append(db.files, dbFile)
+		var ssdDev device.Device
+		if opts.Design != NoSSD && opts.SSDFrames > 0 {
+			ssdFile, err := device.OpenFile(filepath.Join(opts.Dir, "ssd.pages"), filePage, device.PageNum(opts.SSDFrames))
+			if err != nil {
+				db.closeFiles()
+				return nil, fmt.Errorf("turbobp: %w", err)
+			}
+			db.files = append(db.files, ssdFile)
+			ssdDev = ssdFile
+		}
+		logFile, err := device.OpenFile(filepath.Join(opts.Dir, "wal.log"), 8192, 1<<20)
+		if err != nil {
+			db.closeFiles()
+			return nil, fmt.Errorf("turbobp: %w", err)
+		}
+		db.files = append(db.files, logFile)
+		db.eng = engine.NewWithDevices(env, cfg, dbFile, ssdDev, logFile)
+	}
+	if err := db.eng.FormatDB(); err != nil {
+		db.closeFiles()
+		return nil, fmt.Errorf("turbobp: format: %w", err)
+	}
+	return db, nil
+}
+
+func (db *DB) closeFiles() {
+	for _, f := range db.files {
+		f.Close()
+	}
+}
+
+// do runs fn as a simulation process under the DB lock and drives the
+// environment until it completes.
+func (db *DB) do(name string, fn func(p *sim.Proc) error) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return db.doLocked(name, fn)
+}
+
+func (db *DB) doLocked(name string, fn func(p *sim.Proc) error) error {
+	if db.closed {
+		return ErrClosed
+	}
+	var err error
+	done := false
+	db.env.Go(name, func(p *sim.Proc) {
+		err = fn(p)
+		done = true
+	})
+	for !done {
+		db.env.Run(db.env.Now() + time.Millisecond)
+	}
+	return err
+}
+
+// Read copies the payload of page pid into buf and returns the number of
+// bytes copied.
+func (db *DB) Read(pid int64, buf []byte) (int, error) {
+	n := 0
+	err := db.do("read", func(p *sim.Proc) error {
+		f, err := db.eng.Get(p, page.ID(pid))
+		if err != nil {
+			return err
+		}
+		n = copy(buf, f.Pg.Payload)
+		return nil
+	})
+	return n, err
+}
+
+// Update applies fn to the payload of page pid inside its own committed
+// transaction.
+func (db *DB) Update(pid int64, fn func(payload []byte)) error {
+	return db.do("update", func(p *sim.Proc) error {
+		tx := db.eng.Begin()
+		if err := db.eng.Update(p, tx, page.ID(pid), fn); err != nil {
+			return err
+		}
+		return db.eng.Commit(p, tx)
+	})
+}
+
+// Tx is a transaction: a sequence of reads and updates committed together.
+// A Tx must not be used concurrently with itself.
+type Tx struct {
+	db *DB
+	id uint64
+}
+
+// Begin starts a transaction.
+func (db *DB) Begin() *Tx {
+	return &Tx{db: db, id: db.eng.Begin()}
+}
+
+// Read copies page pid's payload into buf within the transaction.
+func (tx *Tx) Read(pid int64, buf []byte) (int, error) {
+	return tx.db.Read(pid, buf)
+}
+
+// Update applies fn to page pid's payload. The change becomes durable at
+// Commit.
+func (tx *Tx) Update(pid int64, fn func(payload []byte)) error {
+	return tx.db.do("tx-update", func(p *sim.Proc) error {
+		return tx.db.eng.Update(p, tx.id, page.ID(pid), fn)
+	})
+}
+
+// Commit forces the transaction's log records to stable storage.
+func (tx *Tx) Commit() error {
+	return tx.db.do("tx-commit", func(p *sim.Proc) error {
+		return tx.db.eng.Commit(p, tx.id)
+	})
+}
+
+// Scan reads n consecutive pages starting at start through the engine's
+// read-ahead path (sequential classification, multi-page I/O with SSD
+// trimming) and calls fn with each page's payload.
+func (db *DB) Scan(start int64, n int, fn func(pid int64, payload []byte) error) error {
+	return db.do("scan", func(p *sim.Proc) error {
+		if err := db.eng.Scan(p, page.ID(start), n); err != nil {
+			return err
+		}
+		if fn == nil {
+			return nil
+		}
+		for i := int64(0); i < int64(n); i++ {
+			f, err := db.eng.Get(p, page.ID(start+i))
+			if err != nil {
+				return err
+			}
+			if err := fn(start+i, f.Pg.Payload); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+}
+
+// Checkpoint performs a sharp checkpoint: all dirty pages in memory (and,
+// under LC, in the SSD) are flushed to the database storage.
+func (db *DB) Checkpoint() error {
+	return db.do("checkpoint", func(p *sim.Proc) error {
+		return db.eng.Checkpoint(p)
+	})
+}
+
+// Crash simulates a failure: memory and unforced log records are lost and
+// the SSD cache is discarded, exactly as a restart in the paper behaves.
+// Call Recover before using the DB again.
+func (db *DB) Crash() error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.closed {
+		return ErrClosed
+	}
+	db.eng.Crash()
+	return nil
+}
+
+// Recover replays the durable log against the database storage, restoring
+// every committed update.
+func (db *DB) Recover() error {
+	return db.do("recover", func(p *sim.Proc) error {
+		return db.eng.Recover(p)
+	})
+}
+
+// AllocPage reserves the next unused page and returns its id, or an error
+// when the database is full. Allocation is a metadata operation: the page
+// was formatted (zero-filled) at Open.
+func (db *DB) AllocPage() (int64, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.closed {
+		return 0, ErrClosed
+	}
+	if db.allocated >= db.opts.DBPages {
+		return 0, fmt.Errorf("turbobp: database full (%d pages)", db.opts.DBPages)
+	}
+	pid := db.allocated
+	db.allocated++
+	return pid, nil
+}
+
+// Allocated returns the page-allocation watermark.
+func (db *DB) Allocated() int64 {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return db.allocated
+}
+
+// SetAllocated restores the allocation watermark (callers persist it in a
+// metadata page across restarts).
+func (db *DB) SetAllocated(n int64) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if n > db.allocated {
+		db.allocated = n
+	}
+}
+
+// PageSize returns the usable payload bytes per page.
+func (db *DB) PageSize() int { return db.opts.PageSize }
+
+// Pages returns the database capacity in pages.
+func (db *DB) Pages() int64 { return db.opts.DBPages }
+
+// Stats is a point-in-time summary of DB activity.
+type Stats struct {
+	Design      Design
+	Reads       int64
+	Updates     int64
+	Commits     int64
+	PoolHits    int64
+	PoolMisses  int64
+	SSDHits     int64
+	SSDMisses   int64
+	SSDOccupied int
+	SSDDirty    int
+	DiskReads   int64 // database device read I/Os
+	DiskWrites  int64
+	SSDReads    int64 // SSD device read I/Os
+	SSDWrites   int64
+	Checkpoints int64
+	VirtualTime time.Duration // simulated backend only
+}
+
+// Stats returns current counters.
+func (db *DB) Stats() Stats {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	es := db.eng.Stats()
+	ms := db.eng.SSD().Stats()
+	s := Stats{
+		Design:      db.eng.Config().Design,
+		Reads:       es.Reads,
+		Updates:     es.Updates,
+		Commits:     es.Commits,
+		PoolHits:    es.PoolHits,
+		PoolMisses:  es.PoolMisses,
+		SSDHits:     ms.Hits,
+		SSDMisses:   ms.Misses,
+		SSDOccupied: db.eng.SSD().Occupied(),
+		SSDDirty:    db.eng.SSD().DirtyCount(),
+		Checkpoints: es.Checkpoints,
+		VirtualTime: db.env.Now(),
+	}
+	d := db.eng.DBDevice().Stats().Load()
+	s.DiskReads, s.DiskWrites = d.ReadOps, d.WriteOps
+	if dev := db.eng.SSDDevice(); dev != nil {
+		sd := dev.Stats().Load()
+		s.SSDReads, s.SSDWrites = sd.ReadOps, sd.WriteOps
+	}
+	return s
+}
+
+// LatencySummary reports per-tier read latency and commit latency as
+// human-readable lines (count, mean, p50, p99, max per tier).
+func (db *DB) LatencySummary() string {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	l := db.eng.Latencies()
+	return fmt.Sprintf("pool-hit:  %s\nssd-hit:   %s\ndisk-read: %s\ncommit:    %s",
+		l.PoolHit.Summary(), l.SSDHit.Summary(), l.DiskRead.Summary(), l.Commit.Summary())
+}
+
+// Close checkpoints, stops background work, and releases resources. The
+// DB cannot be used afterwards.
+func (db *DB) Close() error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.closed {
+		return nil
+	}
+	err := db.doLocked("close-checkpoint", func(p *sim.Proc) error {
+		return db.eng.Checkpoint(p)
+	})
+	db.eng.StopBackground()
+	db.env.Run(db.env.Now() + time.Second) // let background processes exit
+	db.env.Shutdown()
+	db.closed = true
+	for _, f := range db.files {
+		if serr := f.Sync(); serr != nil && err == nil {
+			err = serr
+		}
+		if cerr := f.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+	}
+	return err
+}

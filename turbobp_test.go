@@ -1,0 +1,399 @@
+package turbobp
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"math/rand"
+	"strings"
+	"sync"
+	"testing"
+
+	"turbobp/internal/engine"
+)
+
+// dbLat reaches the engine's latency histograms for assertions.
+func dbLat(db *DB) *engine.Latencies { return db.eng.Latencies() }
+
+func openTest(t *testing.T, opts Options) *DB {
+	t.Helper()
+	if opts.DBPages == 0 {
+		opts.DBPages = 256
+	}
+	if opts.PoolPages == 0 {
+		opts.PoolPages = 16
+	}
+	if opts.PageSize == 0 {
+		opts.PageSize = 64
+	}
+	db, err := Open(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { db.Close() })
+	return db
+}
+
+func TestOpenRequiresDBPages(t *testing.T) {
+	if _, err := Open(Options{}); err == nil {
+		t.Fatal("Open with no DBPages succeeded")
+	}
+}
+
+func TestReadFreshPageIsZero(t *testing.T) {
+	db := openTest(t, Options{Design: LC})
+	buf := make([]byte, 64)
+	n, err := db.Read(10, buf)
+	if err != nil || n != 64 {
+		t.Fatalf("Read = (%d,%v)", n, err)
+	}
+	if !bytes.Equal(buf, make([]byte, 64)) {
+		t.Error("fresh page not zero")
+	}
+}
+
+func TestUpdateThenRead(t *testing.T) {
+	db := openTest(t, Options{Design: LC})
+	if err := db.Update(3, func(pl []byte) { copy(pl, "hello") }); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 5)
+	if _, err := db.Read(3, buf); err != nil {
+		t.Fatal(err)
+	}
+	if string(buf) != "hello" {
+		t.Errorf("read %q", buf)
+	}
+}
+
+func TestTransactionCommit(t *testing.T) {
+	db := openTest(t, Options{Design: DW})
+	tx := db.Begin()
+	for i := int64(0); i < 5; i++ {
+		i := i
+		if err := tx.Update(i, func(pl []byte) { pl[0] = byte(i + 1) }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 1)
+	for i := int64(0); i < 5; i++ {
+		db.Read(i, buf)
+		if buf[0] != byte(i+1) {
+			t.Errorf("page %d = %d", i, buf[0])
+		}
+	}
+}
+
+func TestScanVisitsAllPages(t *testing.T) {
+	db := openTest(t, Options{Design: DW, PoolPages: 64})
+	for i := int64(20); i < 30; i++ {
+		i := i
+		db.Update(i, func(pl []byte) { pl[0] = byte(i) })
+	}
+	var seen []int64
+	err := db.Scan(20, 10, func(pid int64, payload []byte) error {
+		if payload[0] != byte(pid) {
+			t.Errorf("page %d payload %d", pid, payload[0])
+		}
+		seen = append(seen, pid)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seen) != 10 || seen[0] != 20 || seen[9] != 29 {
+		t.Errorf("seen = %v", seen)
+	}
+}
+
+func TestScanCallbackErrorPropagates(t *testing.T) {
+	db := openTest(t, Options{Design: NoSSD})
+	boom := errors.New("boom")
+	err := db.Scan(0, 4, func(pid int64, _ []byte) error {
+		if pid == 2 {
+			return boom
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestCrashRecoverDurability(t *testing.T) {
+	for _, design := range []Design{NoSSD, CW, DW, LC, TAC} {
+		t.Run(design.String(), func(t *testing.T) {
+			db := openTest(t, Options{Design: design, PoolPages: 8})
+			for i := int64(0); i < 30; i++ {
+				i := i
+				if err := db.Update(i, func(pl []byte) { pl[0] = byte(i + 100) }); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if err := db.Crash(); err != nil {
+				t.Fatal(err)
+			}
+			if err := db.Recover(); err != nil {
+				t.Fatal(err)
+			}
+			buf := make([]byte, 1)
+			for i := int64(0); i < 30; i++ {
+				if _, err := db.Read(i, buf); err != nil {
+					t.Fatal(err)
+				}
+				if buf[0] != byte(i+100) {
+					t.Errorf("page %d = %d after recovery", i, buf[0])
+				}
+			}
+		})
+	}
+}
+
+func TestCheckpointTruncatesRecoveryWork(t *testing.T) {
+	db := openTest(t, Options{Design: LC})
+	for i := int64(0); i < 10; i++ {
+		db.Update(i, func(pl []byte) { pl[0] = 1 })
+	}
+	if err := db.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	s := db.Stats()
+	if s.Checkpoints != 1 {
+		t.Errorf("Checkpoints = %d", s.Checkpoints)
+	}
+	db.Crash()
+	if err := db.Recover(); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 1)
+	db.Read(5, buf)
+	if buf[0] != 1 {
+		t.Error("update lost despite checkpoint")
+	}
+}
+
+func TestStatsProgress(t *testing.T) {
+	db := openTest(t, Options{Design: DW, PoolPages: 8})
+	for i := int64(0); i < 40; i++ {
+		db.Update(i%20, func(pl []byte) { pl[0]++ })
+	}
+	s := db.Stats()
+	if s.Design != DW {
+		t.Errorf("Design = %v", s.Design)
+	}
+	if s.Updates != 40 || s.Commits != 40 {
+		t.Errorf("Updates/Commits = %d/%d", s.Updates, s.Commits)
+	}
+	if s.PoolMisses == 0 || s.DiskReads == 0 {
+		t.Errorf("stats = %+v", s)
+	}
+	if s.VirtualTime <= 0 {
+		t.Error("virtual clock did not advance")
+	}
+}
+
+func TestSSDCachingVisibleInStats(t *testing.T) {
+	db := openTest(t, Options{Design: LC, PoolPages: 8, SSDFrames: 64})
+	// Touch more pages than the pool holds, twice: the second pass should
+	// hit the SSD.
+	for pass := 0; pass < 2; pass++ {
+		for i := int64(0); i < 32; i++ {
+			buf := make([]byte, 1)
+			if _, err := db.Read(i, buf); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	s := db.Stats()
+	if s.SSDHits == 0 {
+		t.Errorf("no SSD hits: %+v", s)
+	}
+	if s.SSDOccupied == 0 {
+		t.Error("SSD empty")
+	}
+}
+
+func TestUseAfterClose(t *testing.T) {
+	db := openTest(t, Options{Design: NoSSD})
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Read(0, make([]byte, 1)); !errors.Is(err, ErrClosed) {
+		t.Errorf("Read after close: %v", err)
+	}
+	if err := db.Update(0, func([]byte) {}); !errors.Is(err, ErrClosed) {
+		t.Errorf("Update after close: %v", err)
+	}
+	if err := db.Close(); err != nil {
+		t.Errorf("double close: %v", err)
+	}
+}
+
+func TestFileBackend(t *testing.T) {
+	dir := t.TempDir()
+	db := openTest(t, Options{Design: LC, Dir: dir, DBPages: 128, PoolPages: 8, SSDFrames: 32, PageSize: 128})
+	for i := int64(0); i < 64; i++ {
+		i := i
+		if err := db.Update(i, func(pl []byte) {
+			pl[0] = byte(i)
+			copy(pl[1:], fmt.Sprintf("page-%d", i))
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	buf := make([]byte, 128)
+	for i := int64(0); i < 64; i++ {
+		if _, err := db.Read(i, buf); err != nil {
+			t.Fatal(err)
+		}
+		if buf[0] != byte(i) {
+			t.Errorf("page %d first byte %d", i, buf[0])
+		}
+	}
+	s := db.Stats()
+	if s.DiskReads == 0 && s.SSDReads == 0 {
+		t.Errorf("no device traffic recorded: %+v", s)
+	}
+}
+
+func TestFileBackendCrashRecover(t *testing.T) {
+	dir := t.TempDir()
+	db := openTest(t, Options{Design: LC, Dir: dir, DBPages: 64, PoolPages: 4, PageSize: 64})
+	for i := int64(0); i < 32; i++ {
+		i := i
+		db.Update(i, func(pl []byte) { pl[0] = byte(i * 3) })
+	}
+	db.Crash()
+	if err := db.Recover(); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 1)
+	for i := int64(0); i < 32; i++ {
+		db.Read(i, buf)
+		if buf[0] != byte(i*3) {
+			t.Errorf("page %d = %d", i, buf[0])
+		}
+	}
+}
+
+func TestConcurrentClients(t *testing.T) {
+	db := openTest(t, Options{Design: DW, DBPages: 512, PoolPages: 32})
+	var wg sync.WaitGroup
+	errs := make(chan error, 8)
+	for w := 0; w < 8; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w)))
+			for i := 0; i < 50; i++ {
+				pid := rng.Int63n(512)
+				if rng.Intn(2) == 0 {
+					if err := db.Update(pid, func(pl []byte) { pl[0]++ }); err != nil {
+						errs <- err
+						return
+					}
+				} else if _, err := db.Read(pid, make([]byte, 4)); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if got := db.Stats().Reads; got == 0 {
+		t.Error("no reads recorded")
+	}
+}
+
+func TestAllDesignsSmoke(t *testing.T) {
+	for _, design := range []Design{NoSSD, CW, DW, LC, TAC} {
+		t.Run(design.String(), func(t *testing.T) {
+			db := openTest(t, Options{Design: design, PoolPages: 8, SSDFrames: 32})
+			for i := int64(0); i < 64; i++ {
+				i := i
+				if err := db.Update(i%48, func(pl []byte) { pl[0] = byte(i) }); err != nil {
+					t.Fatal(err)
+				}
+				if _, err := db.Read((i*7)%48, make([]byte, 1)); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if err := db.Checkpoint(); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func TestLatencySummary(t *testing.T) {
+	db := openTest(t, Options{Design: LC, PoolPages: 8})
+	for i := int64(0); i < 40; i++ {
+		db.Update(i%30, func(pl []byte) { pl[0]++ })
+		db.Read((i*3)%30, make([]byte, 4))
+	}
+	s := db.LatencySummary()
+	for _, want := range []string{"pool-hit", "ssd-hit", "disk-read", "commit"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("summary missing %q: %s", want, s)
+		}
+	}
+	// Disk reads must be slower than pool hits under the simulated devices.
+	l := dbLat(db)
+	if l.DiskRead.Count() == 0 || l.PoolHit.Count() == 0 {
+		t.Fatalf("missing samples: %s", s)
+	}
+	if l.DiskRead.Mean() <= l.PoolHit.Mean() {
+		t.Errorf("disk mean %v <= pool mean %v", l.DiskRead.Mean(), l.PoolHit.Mean())
+	}
+}
+
+func TestFuzzyCheckpointOption(t *testing.T) {
+	db := openTest(t, Options{Design: LC, FuzzyCheckpoints: true, PoolPages: 8})
+	for i := int64(0); i < 20; i++ {
+		db.Update(i, func(pl []byte) { pl[0] = byte(i + 1) })
+	}
+	before := db.Stats().DiskWrites
+	if err := db.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	// A fuzzy checkpoint flushes nothing (only the log record).
+	if got := db.Stats().DiskWrites; got != before {
+		t.Errorf("fuzzy checkpoint wrote %d pages to disk", got-before)
+	}
+	db.Crash()
+	if err := db.Recover(); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 1)
+	for i := int64(0); i < 20; i++ {
+		db.Read(i, buf)
+		if buf[0] != byte(i+1) {
+			t.Errorf("page %d = %d after fuzzy-checkpoint recovery", i, buf[0])
+		}
+	}
+}
+
+func TestWarmRestartOption(t *testing.T) {
+	db := openTest(t, Options{Design: DW, WarmRestart: true, PoolPages: 8, SSDFrames: 64})
+	for i := int64(0); i < 40; i++ {
+		db.Read(i, make([]byte, 4))
+	}
+	if err := db.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	db.Crash()
+	if err := db.Recover(); err != nil {
+		t.Fatal(err)
+	}
+	if db.Stats().SSDOccupied == 0 {
+		t.Error("warm restart restored nothing")
+	}
+}
