@@ -10,8 +10,17 @@ import (
 	"testing"
 
 	"turbobp/internal/harness"
+	"turbobp/internal/microbench"
 	"turbobp/internal/ssd"
 )
+
+// Hot-path microbenchmarks (see internal/microbench): allocs/op on the
+// steady-state read path must stay at ~0.
+
+func BenchmarkGetHit(b *testing.B)       { microbench.GetHit(b) }
+func BenchmarkGetMiss(b *testing.B)      { microbench.GetMiss(b) }
+func BenchmarkUpdateCommit(b *testing.B) { microbench.UpdateCommit(b) }
+func BenchmarkGroupClean(b *testing.B)   { microbench.GroupClean(b) }
 
 var benchScale = harness.Bench
 

@@ -1,0 +1,34 @@
+#!/usr/bin/env bash
+# ci.sh — the checks a change must pass before merging.
+#
+#   ./ci.sh         # vet + build + race tests + benchmark smoke
+#   ./ci.sh -short  # skip the slow full-harness tests
+set -euo pipefail
+cd "$(dirname "$0")"
+
+short=""
+if [[ "${1:-}" == "-short" ]]; then
+  short="-short"
+fi
+
+echo "== go vet =="
+go vet ./...
+
+echo "== go build =="
+go build ./...
+
+echo "== go test -race =="
+go test -race $short ./...
+
+echo "== benchmark smoke (1 iteration each, allocs reported) =="
+go test -run '^$' -bench 'BenchmarkGetHit|BenchmarkGetMiss|BenchmarkUpdateCommit|BenchmarkGroupClean' \
+  -benchtime=1x -benchmem .
+
+echo "== parallel determinism smoke =="
+go build -o /tmp/bpesim-ci ./cmd/bpesim
+/tmp/bpesim-ci -divisor 8192 -parallel 1 table1 tacwaste trimming > /tmp/bpesim-ci-serial.out 2>/dev/null
+/tmp/bpesim-ci -divisor 8192 -parallel 4 table1 tacwaste trimming > /tmp/bpesim-ci-parallel.out 2>/dev/null
+cmp /tmp/bpesim-ci-serial.out /tmp/bpesim-ci-parallel.out
+rm -f /tmp/bpesim-ci /tmp/bpesim-ci-serial.out /tmp/bpesim-ci-parallel.out
+
+echo "CI OK"

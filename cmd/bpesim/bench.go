@@ -1,0 +1,100 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"turbobp/internal/harness"
+	"turbobp/internal/microbench"
+)
+
+// microResult is one hot-path microbenchmark measurement.
+type microResult struct {
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+}
+
+// benchReport is the machine-readable output of -benchjson: wall-clock
+// time of the full experiment suite serial vs parallel, plus the
+// steady-state allocation profile of the simulator hot paths.
+type benchReport struct {
+	Divisor           int64                  `json:"divisor"`
+	GOMAXPROCS        int                    `json:"gomaxprocs"`
+	Workers           int                    `json:"workers"`
+	ExperimentSerialS map[string]float64     `json:"experiment_serial_secs"`
+	SerialTotalSecs   float64                `json:"serial_total_secs"`
+	ParallelTotalSecs float64                `json:"parallel_total_secs"`
+	Speedup           float64                `json:"speedup"`
+	Microbench        map[string]microResult `json:"microbench"`
+}
+
+// writeBenchJSON times every experiment serially, re-times the whole
+// suite through the worker pool, runs the microbenchmarks, and writes the
+// combined report to path. Progress goes to stderr.
+func writeBenchJSON(path string, scale harness.Scale) error {
+	var ids []string
+	for _, e := range harness.Experiments() {
+		ids = append(ids, e.ID)
+	}
+	rep := benchReport{
+		Divisor:           scale.Divisor,
+		GOMAXPROCS:        runtime.GOMAXPROCS(0),
+		Workers:           harness.Workers(),
+		ExperimentSerialS: map[string]float64{},
+		Microbench:        map[string]microResult{},
+	}
+
+	harness.SetWorkers(1)
+	t0 := time.Now()
+	for _, id := range ids {
+		exp, _ := harness.FindExperiment(id)
+		s := time.Now()
+		if err := exp.Run(scale, io.Discard); err != nil {
+			return fmt.Errorf("%s: %w", id, err)
+		}
+		d := time.Since(s)
+		rep.ExperimentSerialS[id] = d.Seconds()
+		fmt.Fprintf(os.Stderr, "benchjson: serial %-12s %8.2fs\n", id, d.Seconds())
+	}
+	rep.SerialTotalSecs = time.Since(t0).Seconds()
+
+	harness.SetWorkers(rep.Workers)
+	t0 = time.Now()
+	if err := harness.RunAll(ids, scale, io.Discard, nil); err != nil {
+		return err
+	}
+	rep.ParallelTotalSecs = time.Since(t0).Seconds()
+	if rep.ParallelTotalSecs > 0 {
+		rep.Speedup = rep.SerialTotalSecs / rep.ParallelTotalSecs
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: total serial %.2fs, parallel(%d) %.2fs, speedup %.2fx\n",
+		rep.SerialTotalSecs, rep.Workers, rep.ParallelTotalSecs, rep.Speedup)
+
+	for name, fn := range map[string]func(*testing.B){
+		"GetHit":       microbench.GetHit,
+		"GetMiss":      microbench.GetMiss,
+		"UpdateCommit": microbench.UpdateCommit,
+		"GroupClean":   microbench.GroupClean,
+	} {
+		r := testing.Benchmark(fn)
+		rep.Microbench[name] = microResult{
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			AllocsPerOp: r.AllocsPerOp(),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+		}
+		fmt.Fprintf(os.Stderr, "benchjson: %-12s %10.0f ns/op %6d allocs/op\n",
+			name, rep.Microbench[name].NsPerOp, rep.Microbench[name].AllocsPerOp)
+	}
+
+	data, err := json.MarshalIndent(&rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

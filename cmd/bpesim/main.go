@@ -4,18 +4,22 @@
 // Usage:
 //
 //	bpesim -list
-//	bpesim [-divisor N] <experiment-id> [<experiment-id>...]
+//	bpesim [-divisor N] [-parallel W] <experiment-id> [<experiment-id>...]
 //	bpesim all
+//	bpesim -benchjson BENCH_harness.json
 //
 // The divisor scales the paper's sizes and clock down together (default
-// 1024); smaller divisors are slower but closer to paper scale.
+// 1024); smaller divisors are slower but closer to paper scale. -parallel
+// sets the worker count for independent experiment cells (default
+// GOMAXPROCS; 1 forces serial). Rendered output on stdout is
+// byte-identical at any worker count: per-experiment wall-clock timings
+// go to stderr.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
-	"time"
 
 	"turbobp/internal/harness"
 )
@@ -24,11 +28,22 @@ func main() {
 	divisor := flag.Int64("divisor", harness.Default.Divisor, "scale divisor (1 = paper scale)")
 	list := flag.Bool("list", false, "list experiment ids and exit")
 	csvOut := flag.Bool("csv", false, "emit figure data as CSV instead of rendered text (figure experiments only)")
+	parallel := flag.Int("parallel", 0, "worker count for experiment cells (0 = GOMAXPROCS, 1 = serial)")
+	benchJSON := flag.String("benchjson", "", "write a machine-readable benchmark report (wall-clock serial vs parallel, allocs/op) to this file and exit")
 	flag.Usage = usage
 	flag.Parse()
 
 	if *list {
 		printList()
+		return
+	}
+	harness.SetWorkers(*parallel)
+	scale := harness.Scale{Divisor: *divisor}
+	if *benchJSON != "" {
+		if err := writeBenchJSON(*benchJSON, scale); err != nil {
+			fmt.Fprintf(os.Stderr, "bpesim: benchjson: %v\n", err)
+			os.Exit(1)
+		}
 		return
 	}
 	args := flag.Args()
@@ -42,10 +57,15 @@ func main() {
 			args = append(args, e.ID)
 		}
 	}
-	scale := harness.Scale{Divisor: *divisor}
-	csvRunners := harness.CSVExperiments()
 	for _, id := range args {
-		if *csvOut {
+		if _, ok := harness.FindExperiment(id); !ok {
+			fmt.Fprintf(os.Stderr, "bpesim: unknown experiment %q (try -list)\n", id)
+			os.Exit(2)
+		}
+	}
+	if *csvOut {
+		csvRunners := harness.CSVExperiments()
+		for _, id := range args {
 			run, ok := csvRunners[id]
 			if !ok {
 				fmt.Fprintf(os.Stderr, "bpesim: experiment %q has no CSV form\n", id)
@@ -55,20 +75,12 @@ func main() {
 				fmt.Fprintf(os.Stderr, "bpesim: %s: %v\n", id, err)
 				os.Exit(1)
 			}
-			continue
 		}
-		exp, ok := harness.FindExperiment(id)
-		if !ok {
-			fmt.Fprintf(os.Stderr, "bpesim: unknown experiment %q (try -list)\n", id)
-			os.Exit(2)
-		}
-		fmt.Printf("== %s — %s (divisor %d) ==\n", exp.ID, exp.Description, scale.Divisor)
-		start := time.Now()
-		if err := exp.Run(scale, os.Stdout); err != nil {
-			fmt.Fprintf(os.Stderr, "bpesim: %s: %v\n", id, err)
-			os.Exit(1)
-		}
-		fmt.Printf("-- %s done in %v --\n\n", exp.ID, time.Since(start).Round(time.Millisecond))
+		return
+	}
+	if err := harness.RunAll(args, scale, os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintf(os.Stderr, "bpesim: %v\n", err)
+		os.Exit(1)
 	}
 }
 
@@ -79,6 +91,6 @@ func printList() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: bpesim [-divisor N] <experiment-id>... | all | -list")
+	fmt.Fprintln(os.Stderr, "usage: bpesim [-divisor N] [-parallel W] <experiment-id>... | all | -list | -benchjson FILE")
 	printList()
 }

@@ -92,6 +92,12 @@ func (a *Array) do(p *sim.Proc, page PageNum, bufs [][]byte, write bool) error {
 		}
 		return d.Read(p, r.local, r.bufs)
 	}
+	// Fast path: a request within one stripe unit hits a single disk and
+	// needs no run slice (this covers every single-page I/O).
+	if int(a.stripeUnit-page%a.stripeUnit) >= len(bufs) {
+		disk, local := a.locate(page)
+		return op(p, run{disk: disk, local: local, bufs: bufs})
+	}
 	runs := a.split(page, bufs)
 	if len(runs) == 1 {
 		return op(p, runs[0])

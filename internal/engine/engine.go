@@ -215,6 +215,14 @@ type Engine struct {
 	cpGen          uint64
 	crashed        bool
 	poolFilled     bool // the buffer pool has filled at least once
+
+	// Free lists for encoded-page scratch buffers (bufSize bytes each) and
+	// the [][]byte vectors that carry them through device reads. Per-engine;
+	// the simulation kernel serializes all access, so no locking is needed.
+	// Buffers must be taken and returned (not shared in place) because a
+	// proc sleeps in virtual time mid-I/O while holding them.
+	bufFree [][]byte
+	vecFree [][][]byte
 }
 
 // New builds an engine (and its simulated devices) inside env.
@@ -324,6 +332,54 @@ func (e *Engine) LogDevice() device.Device { return e.logDev }
 // bufSize is the encoded page image size.
 func (e *Engine) bufSize() int { return page.HeaderSize + e.cfg.PayloadSize }
 
+// getPageBuf takes an encoded-page scratch buffer from the free list,
+// allocating only when the list is empty.
+func (e *Engine) getPageBuf() []byte {
+	if n := len(e.bufFree); n > 0 {
+		b := e.bufFree[n-1]
+		e.bufFree[n-1] = nil
+		e.bufFree = e.bufFree[:n-1]
+		return b
+	}
+	return make([]byte, e.bufSize())
+}
+
+// putPageBuf returns a scratch buffer for reuse. Callers must be done with
+// every alias of b: its contents may be overwritten by the next taker.
+func (e *Engine) putPageBuf(b []byte) {
+	if cap(b) < e.bufSize() {
+		return
+	}
+	e.bufFree = append(e.bufFree, b[:e.bufSize()])
+}
+
+// getVec returns an n-element vector of pooled page buffers.
+func (e *Engine) getVec(n int) [][]byte {
+	var v [][]byte
+	if m := len(e.vecFree); m > 0 {
+		v = e.vecFree[m-1]
+		e.vecFree[m-1] = nil
+		e.vecFree = e.vecFree[:m-1]
+	}
+	if cap(v) < n {
+		v = make([][]byte, 0, n)
+	}
+	v = v[:0]
+	for i := 0; i < n; i++ {
+		v = append(v, e.getPageBuf())
+	}
+	return v
+}
+
+// putVec returns a vector and all its buffers to the free lists.
+func (e *Engine) putVec(v [][]byte) {
+	for i, b := range v {
+		e.putPageBuf(b)
+		v[i] = nil
+	}
+	e.vecFree = append(e.vecFree, v[:0])
+}
+
 // FormatDB initializes every database page (id stamped, LSN 0, zero
 // payload) directly on the disks, outside simulated time — the equivalent
 // of loading the benchmark database before the measured run.
@@ -429,11 +485,13 @@ func (e *Engine) Update(p *sim.Proc, tx uint64, pid page.ID, mutate func(payload
 		e.mgr.Invalidate(pid)
 	}
 	mutate(f.Pg.Payload)
+	// wal.Append copies the payload into log-owned storage, so the frame's
+	// buffer can be handed over directly.
 	lsn := e.log.Append(wal.Record{
 		Type:    wal.TypeUpdate,
 		Page:    pid,
 		TxID:    tx,
-		Payload: append([]byte(nil), f.Pg.Payload...),
+		Payload: f.Pg.Payload,
 	})
 	f.Pg.LSN = lsn
 	e.stats.Updates++
@@ -476,7 +534,9 @@ func (e *Engine) fetch(p *sim.Proc, pid page.ID, viaReadAhead, truthScan bool) (
 	e.noteClassification(truthScan, seqLabel)
 	e.classifier.noteDiskRead(pid)
 	got, inserted := e.pool.Insert(f, e.env.Now())
-	if inserted {
+	if inserted && e.cfg.Design == ssd.TAC {
+		// Gated on the design so the race-check closure (an allocation) is
+		// only built when TAC will actually consider the admission.
 		e.mgr.TACOnDiskRead(&got.Pg, !seqLabel, e.stillCleanFn(pid, got))
 	}
 	return got, nil
@@ -509,10 +569,8 @@ func (e *Engine) diskReadInto(p *sim.Proc, pid page.ID, f *bufpool.Frame, viaRea
 	if e.pool.FreeFrames() == 0 {
 		e.poolFilled = true
 	}
-	bufs := make([][]byte, n)
-	for i := range bufs {
-		bufs[i] = make([]byte, e.bufSize())
-	}
+	bufs := e.getVec(n)
+	defer e.putVec(bufs) // decodeInto copies, so nothing aliases them after
 	if err := e.db.Read(p, device.PageNum(pid), bufs); err != nil {
 		return err
 	}
@@ -584,6 +642,9 @@ func (e *Engine) claimFrame(p *sim.Proc) (*bufpool.Frame, error) {
 		e.log.Flush(p, v.Pg.LSN)
 	}
 	if err := e.mgr.OnEvict(p, &v.Pg, dirty, !v.Seq); err != nil {
+		// The victim is already out of the table; without this it would
+		// leak — neither resident nor free — shrinking the pool.
+		e.pool.Release(v)
 		return nil, err
 	}
 	v.Dirty = false

@@ -8,6 +8,7 @@ import (
 	"turbobp/internal/device"
 	"turbobp/internal/page"
 	"turbobp/internal/sim"
+	"turbobp/internal/ssd"
 )
 
 // Scan reads n consecutive pages starting at start, the way a table scan
@@ -145,12 +146,9 @@ func (e *Engine) readRun(p *sim.Proc, pid page.ID, count int) error {
 		frames[i] = f
 	}
 
-	// One multi-page disk request for the whole run.
-	bufs := make([][]byte, runLen)
-	flat := make([]byte, runLen*e.bufSize())
-	for i := range bufs {
-		bufs[i] = flat[i*e.bufSize() : (i+1)*e.bufSize()]
-	}
+	// One multi-page disk request for the whole run, into pooled buffers.
+	bufs := e.getVec(runLen)
+	defer e.putVec(bufs) // decodeInto copies, so nothing aliases them after
 	if err := e.db.Read(p, device.PageNum(slots[lo].pid), bufs); err != nil {
 		for _, f := range frames {
 			if f != nil {
@@ -192,7 +190,7 @@ func (e *Engine) readRun(p *sim.Proc, pid page.ID, count int) error {
 				return err
 			}
 			_ = hit // if the copy vanished meanwhile, the disk version stands
-		} else {
+		} else if e.cfg.Design == ssd.TAC {
 			e.mgr.TACOnDiskRead(&got.Pg, !seqLabel, e.stillCleanFn(s.pid, got))
 		}
 	}

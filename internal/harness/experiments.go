@@ -44,15 +44,22 @@ func Fig5TPCE(scale Scale) (*Fig5Result, error) {
 }
 
 func fig5OLTP(scale Scale, kind string, sizes []int, gbMap map[int]float64, unit string) (*Fig5Result, error) {
+	// Every (size, design) run is independent: fan the whole grid out to
+	// the worker pool, then assemble rows in the original order so the
+	// noSSD baseline of each size group is in hand before its speedups.
+	nd := len(Fig5Designs)
+	outs, err := RunGrid(len(sizes)*nd, func(i int) (*OLTPResult, error) {
+		return RunOLTP(buildOLTP(scale, Fig5Designs[i%nd], kind, gbMap[sizes[i/nd]], nil))
+	})
+	if err != nil {
+		return nil, err
+	}
 	res := &Fig5Result{Benchmark: kind, Details: map[string]*OLTPResult{}}
-	for _, size := range sizes {
+	for si, size := range sizes {
 		label := fmt.Sprintf("%d%s (%.0fGB)", size, unit, gbMap[size])
 		var base float64
-		for _, design := range Fig5Designs {
-			out, err := RunOLTP(buildOLTP(scale, design, kind, gbMap[size], nil))
-			if err != nil {
-				return nil, err
-			}
+		for di, design := range Fig5Designs {
+			out := outs[si*nd+di]
 			if design == ssd.NoSSD {
 				base = out.FinalTPS
 			}
@@ -91,14 +98,19 @@ func Fig6(scale Scale) ([]*TimelineResult, error) {
 		{"tpce", 20, TPCESizesGB, "(c) TPC-E 20K customers (230GB)"},
 		{"tpce", 40, TPCESizesGB, "(d) TPC-E 40K customers (415GB)"},
 	}
+	designs := []ssd.Design{ssd.LC, ssd.DW, ssd.TAC, ssd.NoSSD}
+	rs, err := RunGrid(len(specs)*len(designs), func(i int) (*OLTPResult, error) {
+		sp := specs[i/len(designs)]
+		return RunOLTP(buildOLTP(scale, designs[i%len(designs)], sp.kind, sp.gbMap[sp.size], nil))
+	})
+	if err != nil {
+		return nil, err
+	}
 	var out []*TimelineResult
-	for _, sp := range specs {
+	for si, sp := range specs {
 		tr := &TimelineResult{Title: sp.title, Curves: map[string][]float64{}}
-		for _, design := range []ssd.Design{ssd.LC, ssd.DW, ssd.TAC, ssd.NoSSD} {
-			r, err := RunOLTP(buildOLTP(scale, design, sp.kind, sp.gbMap[sp.size], nil))
-			if err != nil {
-				return nil, err
-			}
+		for di, design := range designs {
+			r := rs[si*len(designs)+di]
 			tr.Bucket = r.Bucket
 			tr.Curves[design.String()] = metrics.MovingAvg(r.Commits.Rate(), 3)
 			tr.Order = append(tr.Order, design.String())
@@ -112,15 +124,18 @@ func Fig6(scale Scale) ([]*TimelineResult, error) {
 // (10%/50%/90%) on the TPC-C 4K-warehouse database.
 func Fig7(scale Scale) (*TimelineResult, error) {
 	tr := &TimelineResult{Title: "LC dirty-fraction sweep, TPC-C 4K warehouses", Curves: map[string][]float64{}}
-	for _, lambda := range []float64{0.9, 0.5, 0.1} {
-		lambda := lambda
-		r, err := RunOLTP(buildOLTP(scale, ssd.LC, "tpcc", TPCCSizesGB[4], func(c *engine.Config) {
+	lambdas := []float64{0.9, 0.5, 0.1}
+	rs, err := RunGrid(len(lambdas), func(i int) (*OLTPResult, error) {
+		lambda := lambdas[i]
+		return RunOLTP(buildOLTP(scale, ssd.LC, "tpcc", TPCCSizesGB[4], func(c *engine.Config) {
 			c.DirtyFraction = lambda
 		}))
-		if err != nil {
-			return nil, err
-		}
-		name := fmt.Sprintf("LC (λ=%.0f%%)", lambda*100)
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, r := range rs {
+		name := fmt.Sprintf("LC (λ=%.0f%%)", lambdas[i]*100)
 		tr.Bucket = r.Bucket
 		tr.Curves[name] = metrics.MovingAvg(r.Commits.Rate(), 3)
 		tr.Order = append(tr.Order, name)
@@ -156,27 +171,32 @@ func Fig8(scale Scale) (*IOTrafficResult, error) {
 // run for 13 hours. For the 5-hour interval LC's λ is raised from 1% to
 // 50%, as in the paper.
 func Fig9(scale Scale) ([]*TimelineResult, error) {
+	designs := []ssd.Design{ssd.DW, ssd.LC}
+	intervals := []struct {
+		name   string
+		mins   float64
+		lambda float64
+	}{
+		{"40 mins", 40, 0.01},
+		{"5 hours", 300, 0.5},
+	}
+	rs, err := RunGrid(len(designs)*len(intervals), func(i int) (*OLTPResult, error) {
+		iv := intervals[i%len(intervals)]
+		run := buildOLTP(scale, designs[i/len(intervals)], "tpce", TPCESizesGB[20], func(c *engine.Config) {
+			c.CheckpointInterval = scale.Minutes(iv.mins)
+			c.DirtyFraction = iv.lambda
+		})
+		run.Duration = scale.Hours(13)
+		return RunOLTP(run)
+	})
+	if err != nil {
+		return nil, err
+	}
 	var out []*TimelineResult
-	for _, design := range []ssd.Design{ssd.DW, ssd.LC} {
+	for di, design := range designs {
 		tr := &TimelineResult{Title: fmt.Sprintf("(%s) checkpoint interval", design), Curves: map[string][]float64{}}
-		for _, iv := range []struct {
-			name   string
-			mins   float64
-			lambda float64
-		}{
-			{"40 mins", 40, 0.01},
-			{"5 hours", 300, 0.5},
-		} {
-			iv := iv
-			run := buildOLTP(scale, design, "tpce", TPCESizesGB[20], func(c *engine.Config) {
-				c.CheckpointInterval = scale.Minutes(iv.mins)
-				c.DirtyFraction = iv.lambda
-			})
-			run.Duration = scale.Hours(13)
-			r, err := RunOLTP(run)
-			if err != nil {
-				return nil, err
-			}
+		for ii, iv := range intervals {
+			r := rs[di*len(intervals)+ii]
 			tr.Bucket = r.Bucket
 			tr.Curves[iv.name] = metrics.MovingAvg(r.Commits.Rate(), 3)
 			tr.Order = append(tr.Order, iv.name)
@@ -194,13 +214,16 @@ type CWResult struct {
 
 // RunCW measures the clean-write design the paper drops after §4.1.1.
 func RunCW(scale Scale) (*CWResult, error) {
+	designs := []ssd.Design{ssd.CW, ssd.DW, ssd.LC}
+	rs, err := RunGrid(len(designs), func(i int) (*OLTPResult, error) {
+		return RunOLTP(buildOLTP(scale, designs[i], "tpce", TPCESizesGB[20], nil))
+	})
+	if err != nil {
+		return nil, err
+	}
 	tps := map[ssd.Design]float64{}
-	for _, d := range []ssd.Design{ssd.CW, ssd.DW, ssd.LC} {
-		r, err := RunOLTP(buildOLTP(scale, d, "tpce", TPCESizesGB[20], nil))
-		if err != nil {
-			return nil, err
-		}
-		tps[d] = r.FinalTPS
+	for i, d := range designs {
+		tps[d] = rs[i].FinalTPS
 	}
 	res := &CWResult{CWTPS: tps[ssd.CW], DWTPS: tps[ssd.DW], LCTPS: tps[ssd.LC]}
 	if res.DWTPS > 0 {
@@ -222,16 +245,19 @@ type TACWasteRow struct {
 // RunTACWaste measures the SSD space TAC wastes on logically-invalidated
 // pages for the three TPC-C databases (paper: ~7.4/10.4/8.9 GB of 140 GB).
 func RunTACWaste(scale Scale) ([]TACWasteRow, error) {
+	warehouses := []int{1, 2, 4}
+	rs, err := RunGrid(len(warehouses), func(i int) (*OLTPResult, error) {
+		return RunOLTP(buildOLTP(scale, ssd.TAC, "tpcc", TPCCSizesGB[warehouses[i]], nil))
+	})
+	if err != nil {
+		return nil, err
+	}
 	var rows []TACWasteRow
-	for _, wh := range []int{1, 2, 4} {
-		r, err := RunOLTP(buildOLTP(scale, ssd.TAC, "tpcc", TPCCSizesGB[wh], nil))
-		if err != nil {
-			return nil, err
-		}
+	for i, wh := range warehouses {
 		rows = append(rows, TACWasteRow{
 			Label:        fmt.Sprintf("%dK warehouses", wh),
-			InvalidPages: r.SSDInvalid,
-			WastedGB:     float64(r.SSDInvalid) * PageBytes * float64(scale.Divisor) / (1 << 30),
+			InvalidPages: rs[i].SSDInvalid,
+			WastedGB:     float64(rs[i].SSDInvalid) * PageBytes * float64(scale.Divisor) / (1 << 30),
 		})
 	}
 	return rows, nil
@@ -247,9 +273,9 @@ type ClassifyResult struct {
 // sequential reads of concurrent scan streams interleaved with random
 // probes — the interleaving is what breaks the 64-page distance heuristic.
 func RunClassify(scale Scale) (*ClassifyResult, error) {
-	res := &ClassifyResult{}
-	for _, kind := range []engine.ClassifierKind{engine.ClassifyReadAhead, engine.ClassifyDistance} {
-		kind := kind
+	kinds := []engine.ClassifierKind{engine.ClassifyReadAhead, engine.ClassifyDistance}
+	accs, err := RunGrid(len(kinds), func(i int) (float64, error) {
+		kind := kinds[i]
 		cfg := scale.Config(ssd.DW, 45)
 		cfg.Classifier = kind
 		// Model per-request interleaving of the paper's multi-user setting:
@@ -261,7 +287,7 @@ func RunClassify(scale Scale) (*ClassifyResult, error) {
 		env := sim.NewEnv()
 		e := engine.New(env, cfg)
 		if err := e.FormatDB(); err != nil {
-			return nil, err
+			return 0, err
 		}
 		// Two interleaved streams of moderate range scans (44 pages each,
 		// so the 8-page ramp is a meaningful share, as in a real system's
@@ -305,14 +331,13 @@ func RunClassify(scale Scale) (*ClassifyResult, error) {
 		if totalSeq := s.TruthSeqLabelSeq + s.TruthSeqLabelRand; totalSeq > 0 {
 			acc = float64(s.TruthSeqLabelSeq) / float64(totalSeq)
 		}
-		if kind == engine.ClassifyReadAhead {
-			res.ReadAheadAccuracy = acc
-		} else {
-			res.DistanceAccuracy = acc
-		}
 		env.Shutdown()
+		return acc, nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	return res, nil
+	return &ClassifyResult{ReadAheadAccuracy: accs[0], DistanceAccuracy: accs[1]}, nil
 }
 
 // Table1Result holds the measured device IOPS (reproducing Table 1).

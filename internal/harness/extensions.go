@@ -35,27 +35,29 @@ func RunMidrange(scale Scale) ([]MidrangeRow, error) {
 		{Grade: "entry", IOPSFrac: 0.25},
 		{Grade: "low-end", IOPSFrac: 0.125},
 	}
-	base, err := RunOLTP(buildOLTP(scale, ssd.NoSSD, "tpce", TPCESizesGB[20], nil))
-	if err != nil {
-		return nil, err
-	}
-	for i := range grades {
-		frac := grades[i].IOPSFrac
-		run := buildOLTP(scale, ssd.DW, "tpce", TPCESizesGB[20], func(c *engine.Config) {
+	// Cell 0 is the noSSD baseline; cells 1..n are the SSD grades.
+	rs, err := RunGrid(1+len(grades), func(i int) (*OLTPResult, error) {
+		if i == 0 {
+			return RunOLTP(buildOLTP(scale, ssd.NoSSD, "tpce", TPCESizesGB[20], nil))
+		}
+		frac := grades[i-1].IOPSFrac
+		return RunOLTP(buildOLTP(scale, ssd.DW, "tpce", TPCESizesGB[20], func(c *engine.Config) {
 			c.SSDProfile = device.ProfileFromIOPS(
 				device.SSDRandReadIOPS*frac,
 				device.SSDSeqReadIOPS*frac,
 				device.SSDRandWriteIOPS*frac,
 				device.SSDSeqWriteIOPS*frac,
 			)
-		})
-		r, err := RunOLTP(run)
-		if err != nil {
-			return nil, err
-		}
-		grades[i].TPS = r.FinalTPS
+		}))
+	})
+	if err != nil {
+		return nil, err
+	}
+	base := rs[0]
+	for i := range grades {
+		grades[i].TPS = rs[i+1].FinalTPS
 		if base.FinalTPS > 0 {
-			grades[i].Speedup = r.FinalTPS / base.FinalTPS
+			grades[i].Speedup = rs[i+1].FinalTPS / base.FinalTPS
 		}
 	}
 	return grades, nil
@@ -127,15 +129,22 @@ func RunWarmRestart(scale Scale) (*WarmRestartResult, error) {
 		env.Shutdown()
 		return
 	}
-	res := &WarmRestartResult{}
-	var err error
-	if res.ColdTPS, res.ColdSSDHits, res.ColdRestartS, err = measure(false); err != nil {
+	type cell struct {
+		tps     float64
+		hits    int64
+		restart float64
+	}
+	rs, err := RunGrid(2, func(i int) (cell, error) {
+		tps, hits, restart, err := measure(i == 1)
+		return cell{tps, hits, restart}, err
+	})
+	if err != nil {
 		return nil, err
 	}
-	if res.WarmTPS, res.WarmSSDHits, res.WarmRestartS, err = measure(true); err != nil {
-		return nil, err
-	}
-	return res, nil
+	return &WarmRestartResult{
+		ColdTPS: rs[0].tps, ColdSSDHits: rs[0].hits, ColdRestartS: rs[0].restart,
+		WarmTPS: rs[1].tps, WarmSSDHits: rs[1].hits, WarmRestartS: rs[1].restart,
+	}, nil
 }
 
 // Print renders the warm-restart comparison.
@@ -186,13 +195,15 @@ func RunAblations(scale Scale) ([]AblationRow, error) {
 			c.Classifier = engine.ClassifyDistance
 		}},
 	}
-	var rows []AblationRow
-	for _, v := range variants {
-		r, err := RunOLTP(buildOLTP(scale, ssd.LC, "tpcc", TPCCSizesGB[2], v.mod))
-		if err != nil {
-			return nil, err
-		}
-		rows = append(rows, AblationRow{Name: v.name, TPS: r.FinalTPS, Detail: v.detail})
+	rs, err := RunGrid(len(variants), func(i int) (*OLTPResult, error) {
+		return RunOLTP(buildOLTP(scale, ssd.LC, "tpcc", TPCCSizesGB[2], variants[i].mod))
+	})
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]AblationRow, len(variants))
+	for i, v := range variants {
+		rows[i] = AblationRow{Name: v.name, TPS: rs[i].FinalTPS, Detail: v.detail}
 	}
 	return rows, nil
 }
@@ -227,8 +238,11 @@ type TrimmingResult struct {
 
 // RunTrimming measures the §3.3.3 effect directly at the device level.
 func RunTrimming(scale Scale) (*TrimmingResult, error) {
-	res := &TrimmingResult{}
-	for _, naive := range []bool{false, true} {
+	type cell struct {
+		ops  int64
+		secs float64
+	}
+	measure := func(naive bool) (cell, error) {
 		cfg := scale.Config(ssd.DW, 45)
 		cfg.FillThreshold = 0.001
 		cfg.ReadAheadRamp = -1
@@ -239,7 +253,7 @@ func RunTrimming(scale Scale) (*TrimmingResult, error) {
 		env := sim.NewEnv()
 		e := engine.New(env, cfg)
 		if err := e.FormatDB(); err != nil {
-			return nil, err
+			return cell{}, err
 		}
 		region := cfg.DBPages / 4
 		var elapsed time.Duration
@@ -269,17 +283,20 @@ func RunTrimming(scale Scale) (*TrimmingResult, error) {
 		ops := e.DiskArray().Stats().Load().ReadOps
 		env.Shutdown()
 		if err != nil {
-			return nil, err
+			return cell{}, err
 		}
-		if naive {
-			res.DiskOpsNaive = ops
-			res.ScanSecsNaive = elapsed.Seconds()
-		} else {
-			res.DiskOpsTrimmed = ops
-			res.ScanSecsTrimmed = elapsed.Seconds()
-		}
+		return cell{ops: ops, secs: elapsed.Seconds()}, nil
 	}
-	return res, nil
+	rs, err := RunGrid(2, func(i int) (cell, error) {
+		return measure(i == 1)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &TrimmingResult{
+		DiskOpsTrimmed: rs[0].ops, ScanSecsTrimmed: rs[0].secs,
+		DiskOpsNaive: rs[1].ops, ScanSecsNaive: rs[1].secs,
+	}, nil
 }
 
 // Print renders the trimming comparison.
@@ -304,51 +321,50 @@ type RestartRow struct {
 // fuzzy checkpoints are nearly free but leave a redo tail that grows with
 // λ (the dirty pages parked on the SSD).
 func RunRestart(scale Scale) ([]RestartRow, error) {
-	var rows []RestartRow
-	for _, fuzzy := range []bool{false, true} {
-		for _, lambda := range []float64{0.1, 0.9} {
-			fuzzy, lambda := fuzzy, lambda
-			run := buildOLTP(scale, ssd.LC, "tpcc", TPCCSizesGB[2], func(c *engine.Config) {
-				c.DirtyFraction = lambda
-				c.FuzzyCheckpoints = fuzzy
-			})
-			env := sim.NewEnv()
-			e := engine.New(env, run.Config)
-			if err := e.FormatDB(); err != nil {
-				return nil, err
-			}
-			stop := run.Workload.Start(env, e, nil)
-			env.Run(scale.Hours(3))
-			stop()
-			env.Run(env.Now() + scale.Hours(0.5))
-			row := RestartRow{Policy: "sharp", Lambda: lambda}
-			if fuzzy {
-				row.Policy = "fuzzy"
-			}
-			err := runToCompletion(env, env.Now()+scale.Hours(100), func(p *sim.Proc) error {
-				t0 := p.Now()
-				if err := e.Checkpoint(p); err != nil {
-					return err
-				}
-				row.CheckpointS = (p.Now() - t0).Seconds()
-				e.Crash()
-				t1 := p.Now()
-				if err := e.Recover(p); err != nil {
-					return err
-				}
-				row.RecoveryS = (p.Now() - t1).Seconds()
-				row.RedoRecords = e.Stats().RedoApplied + e.Stats().RedoSkipped
-				return nil
-			})
-			e.StopBackground()
-			env.Shutdown()
-			if err != nil {
-				return nil, err
-			}
-			rows = append(rows, row)
+	measure := func(fuzzy bool, lambda float64) (RestartRow, error) {
+		run := buildOLTP(scale, ssd.LC, "tpcc", TPCCSizesGB[2], func(c *engine.Config) {
+			c.DirtyFraction = lambda
+			c.FuzzyCheckpoints = fuzzy
+		})
+		env := sim.NewEnv()
+		e := engine.New(env, run.Config)
+		if err := e.FormatDB(); err != nil {
+			return RestartRow{}, err
 		}
+		stop := run.Workload.Start(env, e, nil)
+		env.Run(scale.Hours(3))
+		stop()
+		env.Run(env.Now() + scale.Hours(0.5))
+		row := RestartRow{Policy: "sharp", Lambda: lambda}
+		if fuzzy {
+			row.Policy = "fuzzy"
+		}
+		err := runToCompletion(env, env.Now()+scale.Hours(100), func(p *sim.Proc) error {
+			t0 := p.Now()
+			if err := e.Checkpoint(p); err != nil {
+				return err
+			}
+			row.CheckpointS = (p.Now() - t0).Seconds()
+			e.Crash()
+			t1 := p.Now()
+			if err := e.Recover(p); err != nil {
+				return err
+			}
+			row.RecoveryS = (p.Now() - t1).Seconds()
+			row.RedoRecords = e.Stats().RedoApplied + e.Stats().RedoSkipped
+			return nil
+		})
+		e.StopBackground()
+		env.Shutdown()
+		if err != nil {
+			return RestartRow{}, err
+		}
+		return row, nil
 	}
-	return rows, nil
+	lambdas := []float64{0.1, 0.9}
+	return RunGrid(2*len(lambdas), func(i int) (RestartRow, error) {
+		return measure(i/len(lambdas) == 1, lambdas[i%len(lambdas)])
+	})
 }
 
 // PrintRestart renders the checkpoint/recovery tradeoff.

@@ -1,0 +1,140 @@
+package harness
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"reflect"
+	"strings"
+	"sync/atomic"
+	"testing"
+)
+
+func TestRunGridOrdersResults(t *testing.T) {
+	defer SetWorkers(0)
+	SetWorkers(4)
+	rs, err := RunGrid(100, func(i int) (int, error) { return i * i, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range rs {
+		if v != i*i {
+			t.Fatalf("rs[%d] = %d, want %d", i, v, i*i)
+		}
+	}
+}
+
+func TestRunGridFirstErrorByIndex(t *testing.T) {
+	defer SetWorkers(0)
+	SetWorkers(4)
+	e2, e5 := errors.New("two"), errors.New("five")
+	// Every cell runs; the reported error must be the lowest-index one no
+	// matter which goroutine finishes first.
+	var ran atomic.Int64
+	_, err := RunGrid(8, func(i int) (int, error) {
+		ran.Add(1)
+		switch i {
+		case 2:
+			return 0, e2
+		case 5:
+			return 0, e5
+		}
+		return i, nil
+	})
+	if !errors.Is(err, e2) {
+		t.Fatalf("err = %v, want %v", err, e2)
+	}
+	if ran.Load() != 8 {
+		t.Fatalf("ran %d cells, want 8", ran.Load())
+	}
+}
+
+func TestRunGridNestedNoDeadlock(t *testing.T) {
+	defer SetWorkers(0)
+	SetWorkers(3)
+	var total atomic.Int64
+	rs, err := RunGrid(8, func(i int) (int, error) {
+		inner, err := RunGrid(8, func(j int) (int, error) {
+			total.Add(1)
+			return j, nil
+		})
+		if err != nil {
+			return 0, err
+		}
+		return len(inner), nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if total.Load() != 64 {
+		t.Fatalf("ran %d inner cells, want 64", total.Load())
+	}
+	for i, v := range rs {
+		if v != 8 {
+			t.Fatalf("rs[%d] = %d, want 8", i, v)
+		}
+	}
+}
+
+func TestRunGridSerialWithOneWorker(t *testing.T) {
+	defer SetWorkers(0)
+	SetWorkers(1)
+	// With one worker every cell caller-runs on this goroutine, in order.
+	var order []int
+	if _, err := RunGrid(5, func(i int) (int, error) {
+		order = append(order, i)
+		return i, nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("execution order %v not serial", order)
+		}
+	}
+}
+
+// TestParallelDeterminism is the harness's determinism regression: the
+// same experiment must produce identical results at any worker count.
+func TestParallelDeterminism(t *testing.T) {
+	defer SetWorkers(0)
+	SetWorkers(1)
+	serial, err := Fig5TPCC(tiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	SetWorkers(4)
+	parallel, err := Fig5TPCC(tiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(serial, parallel) {
+		t.Error("Fig5TPCC results differ between 1 and 4 workers")
+	}
+}
+
+func TestRunAllOutputIdenticalAcrossWorkers(t *testing.T) {
+	ids := []string{"table1", "tacwaste"}
+	render := func(workers int) string {
+		defer SetWorkers(0)
+		SetWorkers(workers)
+		var buf bytes.Buffer
+		if err := RunAll(ids, tiny, &buf, io.Discard); err != nil {
+			t.Fatal(err)
+		}
+		return buf.String()
+	}
+	a, b := render(1), render(4)
+	if a != b {
+		t.Errorf("RunAll output differs between 1 and 4 workers:\n--- serial ---\n%s\n--- parallel ---\n%s", a, b)
+	}
+	if !strings.Contains(a, "== table1") || !strings.Contains(a, "== tacwaste") {
+		t.Errorf("missing experiment headers in output:\n%s", a)
+	}
+}
+
+func TestRunAllUnknownID(t *testing.T) {
+	if err := RunAll([]string{"nope"}, tiny, io.Discard, nil); err == nil {
+		t.Fatal("RunAll accepted an unknown experiment id")
+	}
+}

@@ -102,17 +102,14 @@ var Table3Designs = []ssd.Design{ssd.LC, ssd.DW, ssd.TAC, ssd.NoSSD}
 
 // RunTable3 reproduces Table 3 (and the QphH speedups feed Figure 5(g–h)).
 func RunTable3(scale Scale, sfs []int) (*Table3Result, error) {
-	res := &Table3Result{}
-	for _, sf := range sfs {
-		for _, d := range Table3Designs {
-			r, err := RunTPCH(scale, d, sf)
-			if err != nil {
-				return nil, err
-			}
-			res.Rows = append(res.Rows, r)
-		}
+	nd := len(Table3Designs)
+	rows, err := RunGrid(len(sfs)*nd, func(i int) (*TPCHResult, error) {
+		return RunTPCH(scale, Table3Designs[i%nd], sfs[i/nd])
+	})
+	if err != nil {
+		return nil, err
 	}
-	return res, nil
+	return &Table3Result{Rows: rows}, nil
 }
 
 // Fig5TPCH derives Figure 5(g–h) from Table 3: QphH speedups over noSSD.

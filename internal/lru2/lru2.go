@@ -64,6 +64,25 @@ func (h *entryHeap) Pop() interface{} {
 type Cache struct {
 	heap    entryHeap
 	entries map[int64]*entry
+	free    []*entry // recycled entries; steady-state insert-after-evict reuses them
+}
+
+// alloc returns a blank entry, reusing a recycled one when available.
+func (c *Cache) alloc() *entry {
+	if n := len(c.free); n > 0 {
+		e := c.free[n-1]
+		c.free[n-1] = nil
+		c.free = c.free[:n-1]
+		return e
+	}
+	return &entry{}
+}
+
+// recycle returns e to the free list once it is off the heap and out of the
+// entry map.
+func (c *Cache) recycle(e *entry) {
+	*e = entry{}
+	c.free = append(c.free, e)
 }
 
 // New returns an empty cache.
@@ -88,7 +107,8 @@ func (c *Cache) Touch(key int64, now time.Duration) {
 		heap.Fix(&c.heap, e.index)
 		return
 	}
-	e := &entry{key: key, last: now, prev: never}
+	e := c.alloc()
+	e.key, e.last, e.prev = key, now, never
 	c.entries[key] = e
 	heap.Push(&c.heap, e)
 }
@@ -102,7 +122,8 @@ func (c *Cache) TouchHistory(key int64, last, prev time.Duration) {
 		heap.Fix(&c.heap, e.index)
 		return
 	}
-	e := &entry{key: key, last: last, prev: prev}
+	e := c.alloc()
+	e.key, e.last, e.prev = key, last, prev
 	c.entries[key] = e
 	heap.Push(&c.heap, e)
 }
@@ -115,6 +136,7 @@ func (c *Cache) Remove(key int64) {
 	}
 	heap.Remove(&c.heap, e.index)
 	delete(c.entries, key)
+	c.recycle(e)
 }
 
 // Victim returns the current LRU-2 victim without removing it.
@@ -132,7 +154,9 @@ func (c *Cache) Pop() (key int64, ok bool) {
 	}
 	e := heap.Pop(&c.heap).(*entry)
 	delete(c.entries, e.key)
-	return e.key, true
+	key, ok = e.key, true
+	c.recycle(e)
+	return key, ok
 }
 
 // History returns the last and penultimate access times of key, with seen

@@ -1,0 +1,210 @@
+// Package microbench holds the steady-state hot-path microbenchmarks of
+// the simulator. Each function drives b.N operations inside a simulation
+// process, with all setup (engine construction, pool warm-up) done before
+// the timer starts, so ns/op and allocs/op measure only the repeated
+// operation. The same functions back the root-package Benchmark wrappers
+// (`go test -bench`) and bpesim's -benchjson report, via
+// testing.Benchmark.
+//
+// The read path (GetHit, GetMiss) is expected to run at ~0 allocs/op:
+// page buffers, LRU-2 entries, WAL records and scheduler events all come
+// from free lists. UpdateCommit and GroupClean additionally exercise the
+// WAL slab and the SSD manager's pooled cleaning scratch; UpdateCommit
+// retains a small residual (the simulated log device stores each freshly
+// written log page once).
+package microbench
+
+import (
+	"testing"
+
+	"turbobp/internal/device"
+	"turbobp/internal/engine"
+	"turbobp/internal/page"
+	"turbobp/internal/sim"
+	"turbobp/internal/ssd"
+)
+
+const payload = 64
+
+// newEngine builds a formatted engine on a fresh Env.
+func newEngine(b *testing.B, cfg engine.Config) (*sim.Env, *engine.Engine) {
+	b.Helper()
+	env := sim.NewEnv()
+	e := engine.New(env, cfg)
+	if err := e.FormatDB(); err != nil {
+		b.Fatal(err)
+	}
+	return env, e
+}
+
+// drive runs fn to completion inside a simulation process.
+func drive(b *testing.B, env *sim.Env, fn func(p *sim.Proc) error) {
+	b.Helper()
+	var err error
+	env.Go("bench", func(p *sim.Proc) {
+		err = fn(p)
+	})
+	env.Run(-1)
+	if err != nil {
+		b.Fatal(err)
+	}
+}
+
+// GetHit measures a buffer-pool hit: Get on a page already resident.
+func GetHit(b *testing.B) {
+	const db = 512
+	env, e := newEngine(b, engine.Config{
+		Design:      ssd.NoSSD,
+		DBPages:     db,
+		PoolPages:   db + 64, // whole database stays resident
+		PayloadSize: payload,
+	})
+	defer env.Shutdown()
+	drive(b, env, func(p *sim.Proc) error { // warm every page
+		for i := int64(0); i < db; i++ {
+			if _, err := e.Get(p, page.ID(i)); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	b.ReportAllocs()
+	b.ResetTimer()
+	drive(b, env, func(p *sim.Proc) error {
+		for i := 0; i < b.N; i++ {
+			if _, err := e.Get(p, page.ID(int64(i)%db)); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	b.StopTimer()
+	e.StopBackground()
+}
+
+// GetMiss measures a buffer-pool miss on the noSSD path: clean eviction,
+// disk read into a pooled buffer, decode, LRU-2 insert.
+func GetMiss(b *testing.B) {
+	const db, pool = 4096, 256
+	env, e := newEngine(b, engine.Config{
+		Design:        ssd.NoSSD,
+		DBPages:       db,
+		PoolPages:     pool,
+		PayloadSize:   payload,
+		ReadExpansion: -1, // keep every miss a single-page read
+	})
+	defer env.Shutdown()
+	drive(b, env, func(p *sim.Proc) error { // fill the pool once
+		for i := int64(0); i < pool+16; i++ {
+			if _, err := e.Get(p, page.ID(i)); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	b.ReportAllocs()
+	b.ResetTimer()
+	drive(b, env, func(p *sim.Proc) error {
+		// A cyclic sweep over a database 16x the pool never re-hits under
+		// LRU-2: every Get is a miss with a clean eviction.
+		next := int64(pool + 16)
+		for i := 0; i < b.N; i++ {
+			if _, err := e.Get(p, page.ID(next%db)); err != nil {
+				return err
+			}
+			next++
+		}
+		return nil
+	})
+	b.StopTimer()
+	e.StopBackground()
+}
+
+// UpdateCommit measures an in-pool update plus a commit (WAL append,
+// group flush to the simulated log device).
+func UpdateCommit(b *testing.B) {
+	const db = 512
+	env, e := newEngine(b, engine.Config{
+		Design:      ssd.NoSSD,
+		DBPages:     db,
+		PoolPages:   db + 64,
+		PayloadSize: payload,
+	})
+	defer env.Shutdown()
+	drive(b, env, func(p *sim.Proc) error {
+		for i := int64(0); i < db; i++ {
+			if _, err := e.Get(p, page.ID(i)); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	b.ReportAllocs()
+	b.ResetTimer()
+	drive(b, env, func(p *sim.Proc) error {
+		for i := 0; i < b.N; i++ {
+			tx := e.Begin()
+			if err := e.Update(p, tx, page.ID(int64(i)%db), func(pl []byte) {
+				pl[0]++
+			}); err != nil {
+				return err
+			}
+			if err := e.Commit(p, tx); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	b.StopTimer()
+	e.StopBackground()
+}
+
+// arrayDisk adapts a device.Array to the ssd.Disk sink interface.
+type arrayDisk struct{ arr *device.Array }
+
+func (d arrayDisk) WriteEncoded(p *sim.Proc, start page.ID, bufs [][]byte) error {
+	return d.arr.Write(p, device.PageNum(start), bufs)
+}
+
+// GroupClean measures one LC cleaning cycle at the SSD-manager level:
+// α dirty admissions followed by a FlushDirty that gathers the
+// contiguous run, reads it back from the SSD and writes it to disk as a
+// single multi-page I/O.
+func GroupClean(b *testing.B) {
+	const frames, alpha = 256, 32
+	env := sim.NewEnv()
+	defer env.Shutdown()
+	dev := device.NewSSD(env, device.PaperSSDProfile(), frames)
+	arr := device.NewArray(env, device.PaperHDDProfile(), 1, 64, 4096)
+	m := ssd.NewManager(env, dev, arrayDisk{arr}, ssd.Config{
+		Design:      ssd.LC,
+		Frames:      frames,
+		GroupClean:  alpha,
+		PayloadSize: payload,
+	})
+	pg := &page.Page{Payload: make([]byte, payload)}
+	var lsn uint64
+	cycle := func(p *sim.Proc) error {
+		for j := int64(0); j < alpha; j++ {
+			lsn++
+			pg.ID = page.ID(j)
+			pg.LSN = lsn
+			if err := m.OnEvict(p, pg, true, true); err != nil {
+				return err
+			}
+		}
+		return m.FlushDirty(p)
+	}
+	drive(b, env, cycle) // warm the frame table and free lists
+	b.ReportAllocs()
+	b.ResetTimer()
+	drive(b, env, func(p *sim.Proc) error {
+		for i := 0; i < b.N; i++ {
+			if err := cycle(p); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	b.StopTimer()
+}

@@ -14,7 +14,6 @@
 package sim
 
 import (
-	"container/heap"
 	"errors"
 	"fmt"
 	"time"
@@ -75,22 +74,59 @@ type event struct {
 	proc *Proc
 }
 
+// eventHeap is a hand-rolled binary min-heap of events ordered by (at, seq).
+// container/heap would box each event into an interface{} on Push, costing an
+// allocation per Sleep; the typed push/pop below keep the hot path
+// allocation-free while preserving the exact same ordering.
 type eventHeap []event
 
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
+func (h eventHeap) less(i, j int) bool {
 	if h[i].at != h[j].at {
 		return h[i].at < h[j].at
 	}
 	return h[i].seq < h[j].seq
 }
-func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
-func (h *eventHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	ev := old[n-1]
-	*h = old[:n-1]
+
+// push inserts ev, sifting it up to its heap position.
+func (h *eventHeap) push(ev event) {
+	*h = append(*h, ev)
+	s := *h
+	i := len(s) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !s.less(i, parent) {
+			break
+		}
+		s[i], s[parent] = s[parent], s[i]
+		i = parent
+	}
+}
+
+// pop removes and returns the minimum event.
+func (h *eventHeap) pop() event {
+	s := *h
+	n := len(s) - 1
+	ev := s[0]
+	s[0] = s[n]
+	s[n] = event{} // release the *Proc reference
+	s = s[:n]
+	*h = s
+	i := 0
+	for {
+		left := 2*i + 1
+		if left >= n {
+			break
+		}
+		child := left
+		if right := left + 1; right < n && s.less(right, left) {
+			child = right
+		}
+		if !s.less(child, i) {
+			break
+		}
+		s[i], s[child] = s[child], s[i]
+		i = child
+	}
 	return ev
 }
 
@@ -100,7 +136,7 @@ func (e *Env) schedule(at time.Duration, p *Proc) {
 		at = e.now
 	}
 	e.seq++
-	heap.Push(&e.events, event{at: at, seq: e.seq, proc: p})
+	e.events.push(event{at: at, seq: e.seq, proc: p})
 }
 
 // Go starts a new process running fn. It may be called before Run, or from
@@ -180,7 +216,7 @@ func (e *Env) Run(until time.Duration) time.Duration {
 			e.now = until
 			return e.now
 		}
-		heap.Pop(&e.events)
+		e.events.pop()
 		e.now = ev.at
 		ev.proc.resume <- struct{}{}
 		<-e.yield

@@ -74,20 +74,27 @@ func (m *Manager) oldestDirty() int {
 
 // gatherRun collects up to α dirty SSD pages with consecutive disk
 // addresses around seed's page (§3.3.5), extending backward then forward.
-// Only idle (io == 0) frames join the run.
-func (m *Manager) gatherRun(seed int) (start page.ID, frames []int) {
+// Only idle (io == 0) frames join the run. The run is written into dst
+// (reused scratch) and returned.
+func (m *Manager) gatherRun(seed int, dst []int) (start page.ID, frames []int) {
 	pid := m.frames[seed].pid
-	frames = []int{seed}
 	start = pid
-	// Extend backward.
-	for len(frames) < m.cfg.GroupClean {
-		idx, ok := m.dirtyIdleFrame(start - 1)
-		if !ok {
+	// Probe backward first; dirtyIdleFrame only reads, so re-resolving the
+	// back range when filling below sees identical state.
+	count := 1
+	for count < m.cfg.GroupClean {
+		if _, ok := m.dirtyIdleFrame(start - 1); !ok {
 			break
 		}
 		start--
-		frames = append([]int{idx}, frames...)
+		count++
 	}
+	frames = dst[:0]
+	for id := start; id < pid; id++ {
+		idx, _ := m.dirtyIdleFrame(id)
+		frames = append(frames, idx)
+	}
+	frames = append(frames, seed)
 	// Extend forward.
 	next := pid + 1
 	for len(frames) < m.cfg.GroupClean {
@@ -116,6 +123,43 @@ func (m *Manager) dirtyIdleFrame(pid page.ID) (int, bool) {
 	return idx, true
 }
 
+// cleanScratch is the per-call working state of cleanOnce, pooled on the
+// manager. Each concurrent cleaning call (background cleaner, FlushDirty)
+// takes its own instance for the duration of its device transfers.
+type cleanScratch struct {
+	frames []int
+	lsn    []uint64
+	pid    []page.ID
+	bufs   [][]byte
+	rvec   [][]byte // 1-element vector reused across the per-frame SSD reads
+}
+
+func (m *Manager) getScratch() *cleanScratch {
+	if n := len(m.scratchFree); n > 0 {
+		sc := m.scratchFree[n-1]
+		m.scratchFree[n-1] = nil
+		m.scratchFree = m.scratchFree[:n-1]
+		return sc
+	}
+	return &cleanScratch{}
+}
+
+func (m *Manager) putScratch(sc *cleanScratch) {
+	for i := range sc.bufs {
+		m.putBuf(sc.bufs[i])
+		sc.bufs[i] = nil
+	}
+	sc.bufs = sc.bufs[:0]
+	for i := range sc.rvec {
+		sc.rvec[i] = nil
+	}
+	sc.rvec = sc.rvec[:0]
+	sc.frames = sc.frames[:0]
+	sc.lsn = sc.lsn[:0]
+	sc.pid = sc.pid[:0]
+	m.scratchFree = append(m.scratchFree, sc)
+}
+
 // cleanOnce performs one cleaning cycle: pick the oldest dirty page, gather
 // its contiguous dirty neighbours, read them from the SSD (pages cannot
 // move device-to-device directly, §2.4), and write the run to disk with a
@@ -125,23 +169,31 @@ func (m *Manager) cleanOnce(p *sim.Proc) bool {
 	if seed < 0 || m.frames[seed].io > 0 {
 		return false
 	}
-	start, frames := m.gatherRun(seed)
+	sc := m.getScratch()
+	defer m.putScratch(sc)
+	start, frames := m.gatherRun(seed, sc.frames)
+	sc.frames = frames
 	// Pin every frame in the run before the first device operation so no
 	// concurrent path reclaims or re-gathers them. Record each frame's
 	// version: a page re-admitted (with a newer LSN) into a pinned frame
 	// while the clean is in flight must stay dirty afterwards.
-	pinnedLSN := make([]uint64, len(frames))
-	pinnedPID := make([]page.ID, len(frames))
-	for i, idx := range frames {
+	pinnedLSN := sc.lsn[:0]
+	pinnedPID := sc.pid[:0]
+	for _, idx := range frames {
 		m.frames[idx].io++
-		pinnedLSN[i] = m.frames[idx].lsn
-		pinnedPID[i] = m.frames[idx].pid
+		pinnedLSN = append(pinnedLSN, m.frames[idx].lsn)
+		pinnedPID = append(pinnedPID, m.frames[idx].pid)
 	}
-	bufs := make([][]byte, len(frames))
+	sc.lsn, sc.pid = pinnedLSN, pinnedPID
+	bufs := sc.bufs[:0]
+	for range frames {
+		bufs = append(bufs, m.getBuf())
+	}
+	sc.bufs = bufs
 	readErr := false
 	for i, idx := range frames {
-		bufs[i] = make([]byte, m.bufSize())
-		if err := m.dev.Read(p, device.PageNum(idx), [][]byte{bufs[i]}); err != nil {
+		sc.rvec = append(sc.rvec[:0], bufs[i])
+		if err := m.dev.Read(p, device.PageNum(idx), sc.rvec); err != nil {
 			readErr = true
 			break
 		}

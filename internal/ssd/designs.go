@@ -7,11 +7,16 @@ import (
 
 // writeDisk pushes pg's encoded image to the database disk subsystem.
 func (m *Manager) writeDisk(p *sim.Proc, pg *page.Page) error {
-	buf := make([]byte, m.bufSize())
+	buf := m.getBuf()
 	if err := page.Encode(pg, buf); err != nil {
+		m.putBuf(buf)
 		return err
 	}
-	return m.disk.WriteEncoded(p, pg.ID, [][]byte{buf})
+	vec := append(m.getVec(1), buf)
+	err := m.disk.WriteEncoded(p, pg.ID, vec)
+	m.putVec(vec)
+	m.putBuf(buf)
+	return err
 }
 
 // OnEvict routes a page evicted from the memory buffer pool according to
@@ -39,8 +44,11 @@ func (m *Manager) OnEvict(p *sim.Proc, pg *page.Page, dirty, random bool) error 
 			m.stats.ThrottleWrites++
 			return m.writeDisk(p, pg)
 		}
-		// Snapshot the page for the concurrent SSD write.
-		snap := &page.Page{ID: pg.ID, LSN: pg.LSN, Payload: append([]byte(nil), pg.Payload...)}
+		// Snapshot the page for the concurrent SSD write. The copy lives in
+		// a pooled buffer; the write joins before OnEvict returns, so the
+		// buffer can go back to the free list on the way out.
+		snapBuf := m.getBuf()
+		snap := &page.Page{ID: pg.ID, LSN: pg.LSN, Payload: append(snapBuf[:0], pg.Payload...)}
 		done := sim.NewSignal(m.env)
 		var ssdErr error
 		m.env.Go("dw-ssd-write", func(child *sim.Proc) {
@@ -49,6 +57,7 @@ func (m *Manager) OnEvict(p *sim.Proc, pg *page.Page, dirty, random bool) error 
 		})
 		diskErr := m.writeDisk(p, pg)
 		done.WaitFired(p)
+		m.putBuf(snapBuf)
 		if diskErr != nil {
 			return diskErr
 		}

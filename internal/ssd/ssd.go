@@ -182,6 +182,55 @@ type Manager struct {
 	stats         Stats
 
 	temps map[int64]float64 // TAC extent temperatures
+
+	// Free lists for encoded-page scratch buffers, the small [][]byte
+	// vectors that carry them through device transfers, and the group-clean
+	// scratch state. All access is serialized by the simulation kernel, but
+	// holders sleep in virtual time mid-transfer, so these are take/return
+	// lists rather than shared scratch space.
+	bufFree     [][]byte
+	vecFree     [][][]byte
+	scratchFree []*cleanScratch
+}
+
+// getBuf takes an encoded-page buffer from the free list.
+func (m *Manager) getBuf() []byte {
+	if n := len(m.bufFree); n > 0 {
+		b := m.bufFree[n-1]
+		m.bufFree[n-1] = nil
+		m.bufFree = m.bufFree[:n-1]
+		return b
+	}
+	return make([]byte, m.bufSize())
+}
+
+// putBuf returns a buffer for reuse; callers must hold no aliases.
+func (m *Manager) putBuf(b []byte) {
+	if cap(b) < m.bufSize() {
+		return
+	}
+	m.bufFree = append(m.bufFree, b[:m.bufSize()])
+}
+
+// getVec returns an empty buffer vector with capacity for n entries.
+func (m *Manager) getVec(n int) [][]byte {
+	if l := len(m.vecFree); l > 0 {
+		v := m.vecFree[l-1]
+		m.vecFree[l-1] = nil
+		m.vecFree = m.vecFree[:l-1]
+		if cap(v) >= n {
+			return v[:0]
+		}
+	}
+	return make([][]byte, 0, n)
+}
+
+// putVec returns a vector to the free list (buffers are returned separately).
+func (m *Manager) putVec(v [][]byte) {
+	for i := range v {
+		v[i] = nil
+	}
+	m.vecFree = append(m.vecFree, v[:0])
 }
 
 // NewManager creates a manager over dev (the SSD device, one device page
@@ -320,16 +369,20 @@ func (m *Manager) Read(p *sim.Proc, pid page.ID, pg *page.Page) (bool, error) {
 		return false, nil
 	}
 	rec.io++
-	buf := make([]byte, m.bufSize())
-	err := m.dev.Read(p, device.PageNum(idx), [][]byte{buf})
+	buf := m.getBuf()
+	vec := append(m.getVec(1), buf)
+	err := m.dev.Read(p, device.PageNum(idx), vec)
+	m.putVec(vec)
 	rec.io--
 	if err != nil {
+		m.putBuf(buf)
 		m.frameIdle(idx)
 		return false, err
 	}
 	if !rec.occupied || rec.pid != pid {
 		// The frame was reclaimed while we slept in the device queue (the
 		// copy was invalidated and reused). Treat as a miss.
+		m.putBuf(buf)
 		m.stats.Misses++
 		return false, nil
 	}
@@ -339,6 +392,7 @@ func (m *Manager) Read(p *sim.Proc, pid page.ID, pg *page.Page) (bool, error) {
 		decodeErr = fmt.Errorf("ssd: frame %d holds page %d, want %d", idx, got.ID, pid)
 	}
 	if decodeErr != nil {
+		m.putBuf(buf)
 		if rec.restored {
 			// Warm-restart entries are hints: the frame was reused for a
 			// different page between the checkpoint that recorded the
@@ -354,6 +408,7 @@ func (m *Manager) Read(p *sim.Proc, pid page.ID, pg *page.Page) (bool, error) {
 	pg.ID = got.ID
 	pg.LSN = got.LSN
 	copy(pg.Payload, got.Payload)
+	m.putBuf(buf) // got.Payload aliased buf; the copy above ends its use
 	m.touch(idx)
 	m.frameIdle(idx)
 	m.stats.Hits++
@@ -506,12 +561,16 @@ func (m *Manager) popCleanVictim(s *shard) int {
 func (m *Manager) writeFrame(p *sim.Proc, idx int, pg *page.Page) error {
 	rec := &m.frames[idx]
 	rec.io++
-	buf := make([]byte, m.bufSize())
+	buf := m.getBuf()
 	if err := page.Encode(pg, buf); err != nil {
+		m.putBuf(buf)
 		rec.io--
 		return err
 	}
-	err := m.dev.Write(p, device.PageNum(idx), [][]byte{buf})
+	vec := append(m.getVec(1), buf)
+	err := m.dev.Write(p, device.PageNum(idx), vec)
+	m.putVec(vec)
+	m.putBuf(buf)
 	rec.io--
 	m.frameIdle(idx)
 	return err

@@ -42,9 +42,19 @@ var ErrCorruptRecord = errors.New("wal: corrupt record")
 var ErrTruncated = errors.New("wal: truncated record")
 
 // EncodeRecord appends the serialized form of r to dst and returns the
-// extended slice.
+// extended slice. The frame is built in place, so the only allocation is
+// dst's own amortized growth.
 func EncodeRecord(dst []byte, r Record) []byte {
-	body := make([]byte, frameHeader-8+len(r.Payload))
+	bodyLen := frameHeader - 8 + len(r.Payload)
+	start := len(dst)
+	need := 8 + bodyLen
+	if cap(dst)-len(dst) < need {
+		grown := make([]byte, len(dst), 2*cap(dst)+need)
+		copy(grown, dst)
+		dst = grown
+	}
+	dst = dst[:start+need]
+	body := dst[start+8:]
 	binary.LittleEndian.PutUint64(body[0:8], r.LSN)
 	body[8] = byte(r.Type)
 	binary.LittleEndian.PutUint64(body[9:17], uint64(r.Page))
@@ -52,12 +62,9 @@ func EncodeRecord(dst []byte, r Record) []byte {
 	binary.LittleEndian.PutUint64(body[25:33], r.StartLSN)
 	binary.LittleEndian.PutUint32(body[33:37], uint32(len(r.Payload)))
 	copy(body[37:], r.Payload)
-
-	var hdr [8]byte
-	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(body)))
-	binary.LittleEndian.PutUint32(hdr[4:8], crc32.Checksum(body, codecTable))
-	dst = append(dst, hdr[:]...)
-	return append(dst, body...)
+	binary.LittleEndian.PutUint32(dst[start:start+4], uint32(bodyLen))
+	binary.LittleEndian.PutUint32(dst[start+4:start+8], crc32.Checksum(body, codecTable))
+	return dst
 }
 
 // DecodeRecord parses one record from buf, returning it and the number of

@@ -45,6 +45,37 @@ type Record struct {
 // overhead approximates the on-disk framing bytes per record.
 const overhead = 32
 
+// slabChunkBytes is the allocation unit of the payload slab. Append copies
+// record payloads into chunks of this size, so steady-state appends cost one
+// allocation per chunk's worth of payload rather than one per record.
+const slabChunkBytes = 1 << 18
+
+// byteSlab is a bump allocator for payload copies. Stored payloads live as
+// long as the Records that reference them; chunks are reclaimed by the GC
+// once every referencing record is gone (e.g. after TruncateThrough).
+type byteSlab struct {
+	cur []byte
+}
+
+// stash copies b into the slab and returns the copy (capacity-clipped so
+// appends to it cannot clobber a neighbour).
+func (s *byteSlab) stash(b []byte) []byte {
+	if len(b) == 0 {
+		return nil
+	}
+	if len(b) > slabChunkBytes/8 {
+		// Outsized payloads get a dedicated copy; sharing a chunk with them
+		// would waste the remainder.
+		return append([]byte(nil), b...)
+	}
+	if cap(s.cur)-len(s.cur) < len(b) {
+		s.cur = make([]byte, 0, slabChunkBytes)
+	}
+	off := len(s.cur)
+	s.cur = append(s.cur, b...)
+	return s.cur[off:len(s.cur):len(s.cur)]
+}
+
 // Log is the log manager. Create with New; methods must be called from
 // simulation processes (or with a nil proc when the device allows it).
 type Log struct {
@@ -57,10 +88,17 @@ type Log struct {
 	pending    []Record
 	pendingB   int
 	durable    []Record
+	slab       byteSlab
 
 	writePos device.PageNum
 	flushing bool
 	fsignal  *sim.Signal
+
+	// Reused across flushes; safe because the flushing flag serializes the
+	// device-write section of Flush.
+	spare     []Record // recycled pending-batch backing array
+	flushBuf  []byte
+	flushBufs [][]byte
 
 	appends      int64
 	flushes      int64
@@ -80,10 +118,15 @@ func New(env *sim.Env, dev device.Device, pageSize int, capacity device.PageNum)
 }
 
 // Append adds a record, assigns its LSN and returns it. The record is not
-// durable until a Flush covering its LSN completes.
+// durable until a Flush covering its LSN completes. Append copies r.Payload
+// into log-owned storage, so the caller may reuse its buffer immediately.
 func (l *Log) Append(r Record) uint64 {
 	r.LSN = l.nextLSN
 	l.nextLSN++
+	r.Payload = l.slab.stash(r.Payload)
+	if l.pending == nil && l.spare != nil {
+		l.pending, l.spare = l.spare, nil
+	}
 	l.pending = append(l.pending, r)
 	l.pendingB += overhead + len(r.Payload)
 	l.appends++
@@ -116,11 +159,16 @@ func (l *Log) Flush(p *sim.Proc, upTo uint64) {
 		l.flushing = true
 
 		nPages := device.PageNum((batchBytes + l.pageSize - 1) / l.pageSize)
-		bufs := make([][]byte, nPages)
-		buf := make([]byte, int(nPages)*l.pageSize)
-		for i := range bufs {
-			bufs[i] = buf[i*l.pageSize : (i+1)*l.pageSize]
+		if need := int(nPages) * l.pageSize; cap(l.flushBuf) < need {
+			l.flushBuf = make([]byte, need)
+			l.flushBufs = make([][]byte, 0, int(nPages))
 		}
+		buf := l.flushBuf[:int(nPages)*l.pageSize]
+		bufs := l.flushBufs[:0]
+		for i := 0; i < int(nPages); i++ {
+			bufs = append(bufs, buf[i*l.pageSize:(i+1)*l.pageSize])
+		}
+		l.flushBufs = bufs[:0]
 		start := l.writePos
 		if start+nPages > l.capacity {
 			start = 0 // wrap the circular log
@@ -131,6 +179,12 @@ func (l *Log) Flush(p *sim.Proc, upTo uint64) {
 			panic("wal: log device write failed: " + err.Error())
 		}
 		l.durable = append(l.durable, batch...)
+		for i := range batch {
+			batch[i] = Record{} // drop payload refs before recycling
+		}
+		if l.spare == nil || cap(batch) > cap(l.spare) {
+			l.spare = batch[:0]
+		}
 		if endLSN > l.flushedLSN {
 			l.flushedLSN = endLSN
 		}
