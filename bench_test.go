@@ -22,6 +22,15 @@ func BenchmarkGetMiss(b *testing.B)      { microbench.GetMiss(b) }
 func BenchmarkUpdateCommit(b *testing.B) { microbench.UpdateCommit(b) }
 func BenchmarkGroupClean(b *testing.B)   { microbench.GroupClean(b) }
 
+// Flat-structure pairs (see internal/microbench/flat.go): the pagetab
+// open-addressing table vs the Go map it replaced, and the calendar-queue
+// scheduler vs the reference binary heap.
+
+func BenchmarkTableChurn(b *testing.B)        { microbench.TableChurn(b) }
+func BenchmarkMapChurn(b *testing.B)          { microbench.MapChurn(b) }
+func BenchmarkSchedulerCalendar(b *testing.B) { microbench.SchedulerCalendar(b) }
+func BenchmarkSchedulerHeap(b *testing.B)     { microbench.SchedulerHeap(b) }
+
 var benchScale = harness.Bench
 
 // metricName strips whitespace, which testing.B.ReportMetric rejects.

@@ -21,13 +21,13 @@ echo "== go test -race =="
 go test -race $short ./...
 
 echo "== benchmark smoke (1 iteration each, allocs reported) =="
-go test -run '^$' -bench 'BenchmarkGetHit|BenchmarkGetMiss|BenchmarkUpdateCommit|BenchmarkGroupClean' \
+go test -run '^$' -bench 'BenchmarkGetHit|BenchmarkGetMiss|BenchmarkUpdateCommit|BenchmarkGroupClean|BenchmarkTableChurn|BenchmarkMapChurn|BenchmarkSchedulerCalendar|BenchmarkSchedulerHeap' \
   -benchtime=1x -benchmem .
 
-echo "== parallel determinism smoke =="
+echo "== golden determinism (full suite, serial vs 4 workers) =="
 go build -o /tmp/bpesim-ci ./cmd/bpesim
-/tmp/bpesim-ci -divisor 8192 -parallel 1 table1 tacwaste trimming > /tmp/bpesim-ci-serial.out 2>/dev/null
-/tmp/bpesim-ci -divisor 8192 -parallel 4 table1 tacwaste trimming > /tmp/bpesim-ci-parallel.out 2>/dev/null
+/tmp/bpesim-ci -divisor 8192 -parallel 1 all > /tmp/bpesim-ci-serial.out 2>/dev/null
+/tmp/bpesim-ci -divisor 8192 -parallel 4 all > /tmp/bpesim-ci-parallel.out 2>/dev/null
 cmp /tmp/bpesim-ci-serial.out /tmp/bpesim-ci-parallel.out
 rm -f /tmp/bpesim-ci /tmp/bpesim-ci-serial.out /tmp/bpesim-ci-parallel.out
 

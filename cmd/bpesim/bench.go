@@ -77,10 +77,14 @@ func writeBenchJSON(path string, scale harness.Scale) error {
 		rep.SerialTotalSecs, rep.Workers, rep.ParallelTotalSecs, rep.Speedup)
 
 	for name, fn := range map[string]func(*testing.B){
-		"GetHit":       microbench.GetHit,
-		"GetMiss":      microbench.GetMiss,
-		"UpdateCommit": microbench.UpdateCommit,
-		"GroupClean":   microbench.GroupClean,
+		"GetHit":            microbench.GetHit,
+		"GetMiss":           microbench.GetMiss,
+		"UpdateCommit":      microbench.UpdateCommit,
+		"GroupClean":        microbench.GroupClean,
+		"TableChurn":        microbench.TableChurn,
+		"MapChurn":          microbench.MapChurn,
+		"SchedulerCalendar": microbench.SchedulerCalendar,
+		"SchedulerHeap":     microbench.SchedulerHeap,
 	} {
 		r := testing.Benchmark(fn)
 		rep.Microbench[name] = microResult{

@@ -7,6 +7,7 @@
 //	bpesim [-divisor N] [-parallel W] <experiment-id> [<experiment-id>...]
 //	bpesim all
 //	bpesim -benchjson BENCH_harness.json
+//	bpesim -cpuprofile cpu.prof -memprofile mem.prof <experiment-id>
 //
 // The divisor scales the paper's sizes and clock down together (default
 // 1024); smaller divisors are slower but closer to paper scale. -parallel
@@ -20,6 +21,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"turbobp/internal/harness"
 )
@@ -30,12 +33,44 @@ func main() {
 	csvOut := flag.Bool("csv", false, "emit figure data as CSV instead of rendered text (figure experiments only)")
 	parallel := flag.Int("parallel", 0, "worker count for experiment cells (0 = GOMAXPROCS, 1 = serial)")
 	benchJSON := flag.String("benchjson", "", "write a machine-readable benchmark report (wall-clock serial vs parallel, allocs/op) to this file and exit")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+	memProfile := flag.String("memprofile", "", "write an allocation profile taken at exit to this file")
 	flag.Usage = usage
 	flag.Parse()
 
 	if *list {
 		printList()
 		return
+	}
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bpesim: cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "bpesim: cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "bpesim: memprofile: %v\n", err)
+				os.Exit(1)
+			}
+			defer f.Close()
+			runtime.GC() // material for the profile: live objects, not GC noise
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "bpesim: memprofile: %v\n", err)
+				os.Exit(1)
+			}
+		}()
 	}
 	harness.SetWorkers(*parallel)
 	scale := harness.Scale{Divisor: *divisor}
@@ -91,6 +126,6 @@ func printList() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: bpesim [-divisor N] [-parallel W] <experiment-id>... | all | -list | -benchjson FILE")
+	fmt.Fprintln(os.Stderr, "usage: bpesim [-divisor N] [-parallel W] [-cpuprofile FILE] [-memprofile FILE] <experiment-id>... | all | -list | -benchjson FILE")
 	printList()
 }

@@ -14,6 +14,7 @@ import (
 
 	"turbobp/internal/lru2"
 	"turbobp/internal/page"
+	"turbobp/internal/pagetab"
 )
 
 // Frame holds one resident page and its bookkeeping bits.
@@ -35,7 +36,7 @@ type Frame struct {
 type Pool struct {
 	payload int
 	frames  []Frame
-	table   map[page.ID]*Frame
+	table   *pagetab.Table[*Frame] // resident pages, a flat open-addressing directory
 	repl    *lru2.Cache
 	free    []*Frame
 }
@@ -48,7 +49,7 @@ func New(capacity, payloadSize int) *Pool {
 	p := &Pool{
 		payload: payloadSize,
 		frames:  make([]Frame, capacity),
-		table:   make(map[page.ID]*Frame, capacity),
+		table:   pagetab.New[*Frame](capacity),
 		repl:    lru2.New(),
 	}
 	p.free = make([]*Frame, 0, capacity)
@@ -63,7 +64,7 @@ func New(capacity, payloadSize int) *Pool {
 func (p *Pool) Capacity() int { return len(p.frames) }
 
 // Resident returns the number of pages currently in the table.
-func (p *Pool) Resident() int { return len(p.table) }
+func (p *Pool) Resident() int { return p.table.Len() }
 
 // FreeFrames returns the number of unused frames.
 func (p *Pool) FreeFrames() int { return len(p.free) }
@@ -74,7 +75,7 @@ func (p *Pool) PayloadSize() int { return p.payload }
 // Lookup returns the resident frame for id and records an access at now, or
 // nil on a miss.
 func (p *Pool) Lookup(id page.ID, now time.Duration) *Frame {
-	f, ok := p.table[id]
+	f, ok := p.table.Get(uint64(id))
 	if !ok {
 		return nil
 	}
@@ -84,7 +85,8 @@ func (p *Pool) Lookup(id page.ID, now time.Duration) *Frame {
 
 // Peek returns the resident frame without touching replacement state.
 func (p *Pool) Peek(id page.ID) *Frame {
-	return p.table[id]
+	f, _ := p.table.Get(uint64(id))
+	return f
 }
 
 // TakeFree removes and returns a free frame, or nil if none remain.
@@ -106,11 +108,11 @@ func (p *Pool) PopVictim() *Frame {
 	if !ok {
 		return nil
 	}
-	f := p.table[page.ID(key)]
+	f, _ := p.table.Get(uint64(key))
 	if f == nil {
 		panic(fmt.Sprintf("bufpool: victim %d not in table", key))
 	}
-	delete(p.table, page.ID(key))
+	p.table.Delete(uint64(key))
 	return f
 }
 
@@ -120,12 +122,12 @@ func (p *Pool) PopVictim() *Frame {
 // free list.
 func (p *Pool) Insert(f *Frame, now time.Duration) (*Frame, bool) {
 	id := f.Pg.ID
-	if existing, ok := p.table[id]; ok {
+	if existing, ok := p.table.Get(uint64(id)); ok {
 		p.Release(f)
 		p.repl.Touch(int64(id), now)
 		return existing, false
 	}
-	p.table[id] = f
+	p.table.Put(uint64(id), f)
 	p.repl.Touch(int64(id), now)
 	return f, true
 }
@@ -144,41 +146,43 @@ func (p *Pool) Release(f *Frame) {
 // (used by the multi-page read path when a stale disk version must be
 // replaced by the SSD version, and by crash simulation).
 func (p *Pool) Drop(id page.ID) {
-	f, ok := p.table[id]
+	f, ok := p.table.Get(uint64(id))
 	if !ok {
 		return
 	}
-	delete(p.table, id)
+	p.table.Delete(uint64(id))
 	p.repl.Remove(int64(id))
 	p.Release(f)
 }
 
-// DirtyPages returns the ids of all dirty resident pages, unordered.
+// DirtyPages returns the ids of all dirty resident pages, in the table's
+// deterministic iteration order.
 func (p *Pool) DirtyPages() []page.ID {
 	var ids []page.ID
-	for id, f := range p.table {
+	p.table.Range(func(id uint64, f *Frame) bool {
 		if f.Dirty {
-			ids = append(ids, id)
+			ids = append(ids, page.ID(id))
 		}
-	}
+		return true
+	})
 	return ids
 }
 
-// Pages returns the ids of all resident pages, unordered.
+// Pages returns the ids of all resident pages, in the table's
+// deterministic iteration order.
 func (p *Pool) Pages() []page.ID {
-	ids := make([]page.ID, 0, len(p.table))
-	for id := range p.table {
-		ids = append(ids, id)
-	}
+	ids := make([]page.ID, 0, p.table.Len())
+	p.table.Range(func(id uint64, _ *Frame) bool {
+		ids = append(ids, page.ID(id))
+		return true
+	})
 	return ids
 }
 
 // Reset empties the pool (crash simulation): every frame is freed and all
 // contents are discarded.
 func (p *Pool) Reset() {
-	for id := range p.table {
-		delete(p.table, id)
-	}
+	p.table.Reset()
 	p.repl = lru2.New()
 	p.free = p.free[:0]
 	for i := len(p.frames) - 1; i >= 0; i-- {

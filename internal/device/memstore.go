@@ -1,19 +1,21 @@
 package device
 
-// memstore is the persistent content of a simulated device: a sparse map of
+import "turbobp/internal/pagetab"
+
+// memstore is the persistent content of a simulated device: a sparse table of
 // page payload copies. Pages never written read back as zero-filled.
 type memstore struct {
-	pages map[PageNum][]byte
+	pages pagetab.Table[[]byte]
 }
 
 func newMemstore() *memstore {
-	return &memstore{pages: make(map[PageNum][]byte)}
+	return &memstore{}
 }
 
 // read copies the stored payload for page into buf (zero-fills if the page
 // was never written). Short or long buffers copy min(len).
 func (m *memstore) read(page PageNum, buf []byte) {
-	src, ok := m.pages[page]
+	src, ok := m.pages.Get(uint64(page))
 	if !ok {
 		for i := range buf {
 			buf[i] = 0
@@ -28,13 +30,13 @@ func (m *memstore) read(page PageNum, buf []byte) {
 
 // write stores a copy of buf as the content of page.
 func (m *memstore) write(page PageNum, buf []byte) {
-	dst, ok := m.pages[page]
+	dst, ok := m.pages.Get(uint64(page))
 	if !ok || len(dst) != len(buf) {
 		dst = make([]byte, len(buf))
-		m.pages[page] = dst
+		m.pages.Put(uint64(page), dst)
 	}
 	copy(dst, buf)
 }
 
 // len reports the number of pages ever written.
-func (m *memstore) len() int { return len(m.pages) }
+func (m *memstore) len() int { return m.pages.Len() }

@@ -5,143 +5,252 @@
 // LRU-2 evicts the entry whose second-most-recent access is oldest. Entries
 // referenced only once have an infinite backward 2-distance and are
 // preferred victims, ordered among themselves by their single access time.
-// The structure is a min-heap with an index map so Touch and Remove are
-// O(log n) — the "SSD heap array" of the paper's Figure 4.
+//
+// Everything is flat: entries live in a slot arena (recycled through a free
+// list, so the steady state allocates nothing), the priority heap is a slice
+// of snapshot nodes, and the key index is a pagetab open-addressing table.
+//
+// The heap is lazy, in the style of the SSD manager's TAC heap: a node
+// records the (prev, last) pair its entry had when pushed, and Touch only
+// updates the entry, leaving the node stale. Victim and Pop revalidate the
+// top — refreshing stale nodes in place and discarding nodes orphaned by
+// Remove (detected by a per-slot generation counter) — until the minimum is
+// genuine. This makes Touch O(1) instead of O(log n), which is what the
+// buffer pool's hit path does on every access. Laziness cannot change any
+// victim sequence: the ordering (prev, last, key) is a total order, an
+// entry's (prev, last) only grows under Touch, so a validated top is the
+// unique true minimum.
 package lru2
 
 import (
-	"container/heap"
 	"time"
+
+	"turbobp/internal/pagetab"
 )
 
 // never is the penultimate-access value of entries seen only once; it sorts
 // before every real timestamp, making such entries preferred victims.
 const never = time.Duration(-1) << 32
 
+// entry is one tracked key, stored in the cache's slot arena.
 type entry struct {
-	key   int64
-	last  time.Duration // most recent access
-	prev  time.Duration // access before that, or never
-	index int           // heap position
+	key  int64
+	last time.Duration // most recent access
+	prev time.Duration // access before that, or never
+	gen  uint32        // bumped on release; orphans outstanding heap nodes
 }
 
-// priority orders the heap: smaller evicts first.
-func (e *entry) less(o *entry) bool {
-	if e.prev != o.prev {
-		return e.prev < o.prev
-	}
-	if e.last != o.last {
-		return e.last < o.last
-	}
-	return e.key < o.key // deterministic tiebreak
-}
-
-type entryHeap []*entry
-
-func (h entryHeap) Len() int           { return len(h) }
-func (h entryHeap) Less(i, j int) bool { return h[i].less(h[j]) }
-func (h entryHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].index = i
-	h[j].index = j
-}
-func (h *entryHeap) Push(x interface{}) {
-	e := x.(*entry)
-	e.index = len(*h)
-	*h = append(*h, e)
-}
-func (h *entryHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
-	return e
+// node is one heap element: a slot plus the snapshot it was ordered by.
+type node struct {
+	slot int32
+	gen  uint32
+	key  int64 // snapshot copies so comparisons never read a reused slot
+	last time.Duration
+	prev time.Duration
 }
 
 // Cache tracks LRU-2 history for a set of keys. The zero value is not
 // usable; call New.
 type Cache struct {
-	heap    entryHeap
-	entries map[int64]*entry
-	free    []*entry // recycled entries; steady-state insert-after-evict reuses them
-}
-
-// alloc returns a blank entry, reusing a recycled one when available.
-func (c *Cache) alloc() *entry {
-	if n := len(c.free); n > 0 {
-		e := c.free[n-1]
-		c.free[n-1] = nil
-		c.free = c.free[:n-1]
-		return e
-	}
-	return &entry{}
-}
-
-// recycle returns e to the free list once it is off the heap and out of the
-// entry map.
-func (c *Cache) recycle(e *entry) {
-	*e = entry{}
-	c.free = append(c.free, e)
+	arena []entry
+	free  []int32 // recycled arena slots; steady-state insert-after-evict reuses them
+	heap  []node  // lazy min-heap of snapshots
+	dead  int     // orphaned nodes still in the heap; bounded by compact
+	index pagetab.Table[int32]
 }
 
 // New returns an empty cache.
 func New() *Cache {
-	return &Cache{entries: make(map[int64]*entry)}
+	return &Cache{}
+}
+
+// less orders the heap by snapshot: the smaller node surfaces first. The
+// key tiebreak makes this a total order, so the validated minimum is unique
+// and independent of heap arrangement.
+func (a *node) less(b *node) bool {
+	if a.prev != b.prev {
+		return a.prev < b.prev
+	}
+	if a.last != b.last {
+		return a.last < b.last
+	}
+	return a.key < b.key
+}
+
+// alloc returns a blank arena slot, reusing a recycled one when available.
+func (c *Cache) alloc() int32 {
+	if n := len(c.free); n > 0 {
+		slot := c.free[n-1]
+		c.free = c.free[:n-1]
+		return slot
+	}
+	c.arena = append(c.arena, entry{})
+	return int32(len(c.arena) - 1)
+}
+
+// release retires a slot: out of the index, onto the free list, and any
+// node still in the heap orphaned by the generation bump.
+func (c *Cache) release(slot int32) {
+	e := &c.arena[slot]
+	c.index.Delete(uint64(e.key))
+	*e = entry{gen: e.gen + 1}
+	c.free = append(c.free, slot)
+}
+
+// up sifts the node at position j toward the root.
+func (c *Cache) up(j int) {
+	h := c.heap
+	for j > 0 {
+		i := (j - 1) / 2 // parent
+		if !h[j].less(&h[i]) {
+			break
+		}
+		h[i], h[j] = h[j], h[i]
+		j = i
+	}
+}
+
+// down sifts the node at position i toward the leaves.
+func (c *Cache) down(i int) {
+	h := c.heap
+	n := len(h)
+	for {
+		j := 2*i + 1
+		if j >= n {
+			break
+		}
+		if j2 := j + 1; j2 < n && h[j2].less(&h[j]) {
+			j = j2
+		}
+		if !h[j].less(&h[i]) {
+			break
+		}
+		h[i], h[j] = h[j], h[i]
+		i = j
+	}
+}
+
+// push adds a fresh snapshot node for slot.
+func (c *Cache) push(slot int32) {
+	if c.dead*2 > len(c.heap) && len(c.heap) >= 64 {
+		c.compact()
+	}
+	e := &c.arena[slot]
+	c.heap = append(c.heap, node{slot: slot, gen: e.gen, key: e.key, last: e.last, prev: e.prev})
+	c.up(len(c.heap) - 1)
+}
+
+// compact drops orphaned nodes, refreshes stale ones and re-heapifies,
+// bounding the heap at twice the live population. Rearranging the heap
+// cannot affect any victim order: the comparison is a total order, so the
+// validated minimum is arrangement-independent.
+func (c *Cache) compact() {
+	h := c.heap[:0]
+	for _, n := range c.heap {
+		e := &c.arena[n.slot]
+		if n.gen != e.gen {
+			continue
+		}
+		n.last, n.prev = e.last, e.prev
+		h = append(h, n)
+	}
+	c.heap = h
+	for i := len(h)/2 - 1; i >= 0; i-- {
+		c.down(i)
+	}
+	c.dead = 0
+}
+
+// clean revalidates the heap top until it is a live, current node, and
+// reports whether one exists. Orphaned nodes (generation mismatch after a
+// Remove) are discarded; stale nodes (entry touched since the snapshot) are
+// refreshed in place and sifted down — a touched entry only grows, so it
+// can only move toward the leaves. Each round removes or freshens a node,
+// so the loop's total work is amortized against past Touch and Remove
+// calls.
+func (c *Cache) clean() bool {
+	for len(c.heap) > 0 {
+		t := &c.heap[0]
+		e := &c.arena[t.slot]
+		if t.gen != e.gen {
+			n := len(c.heap) - 1
+			c.heap[0] = c.heap[n]
+			c.heap = c.heap[:n]
+			c.dead--
+			if n > 0 {
+				c.down(0)
+			}
+			continue
+		}
+		if t.last != e.last || t.prev != e.prev {
+			t.last, t.prev = e.last, e.prev
+			c.down(0)
+			continue
+		}
+		return true
+	}
+	return false
 }
 
 // Len returns the number of tracked keys.
-func (c *Cache) Len() int { return len(c.entries) }
+func (c *Cache) Len() int { return c.index.Len() }
 
 // Contains reports whether key is tracked.
 func (c *Cache) Contains(key int64) bool {
-	_, ok := c.entries[key]
-	return ok
+	return c.index.Contains(uint64(key))
 }
 
 // Touch records an access to key at time now, inserting it if absent.
 func (c *Cache) Touch(key int64, now time.Duration) {
-	if e, ok := c.entries[key]; ok {
+	if slot, ok := c.index.Get(uint64(key)); ok {
+		e := &c.arena[slot]
 		e.prev = e.last
 		e.last = now
-		heap.Fix(&c.heap, e.index)
-		return
+		return // the heap node is now stale; clean() refreshes it lazily
 	}
-	e := c.alloc()
-	e.key, e.last, e.prev = key, now, never
-	c.entries[key] = e
-	heap.Push(&c.heap, e)
+	c.insert(key, now, never)
 }
 
 // TouchHistory inserts (or resets) key with an explicit access history, used
 // to re-insert an entry that was temporarily removed without perturbing its
 // replacement priority.
 func (c *Cache) TouchHistory(key int64, last, prev time.Duration) {
-	if e, ok := c.entries[key]; ok {
+	if slot, ok := c.index.Get(uint64(key)); ok {
+		// Unlike Touch, the history may move backward, which lazy
+		// refreshing cannot handle; orphan the old node and push a fresh
+		// one.
+		e := &c.arena[slot]
 		e.last, e.prev = last, prev
-		heap.Fix(&c.heap, e.index)
+		e.gen++
+		c.dead++
+		c.push(slot)
 		return
 	}
-	e := c.alloc()
+	c.insert(key, last, prev)
+}
+
+// insert adds a new key with the given history.
+func (c *Cache) insert(key int64, last, prev time.Duration) {
+	slot := c.alloc()
+	e := &c.arena[slot]
 	e.key, e.last, e.prev = key, last, prev
-	c.entries[key] = e
-	heap.Push(&c.heap, e)
+	c.index.Put(uint64(key), slot)
+	c.push(slot)
 }
 
 // Remove drops key from the cache; it is a no-op if absent.
 func (c *Cache) Remove(key int64) {
-	e, ok := c.entries[key]
+	slot, ok := c.index.Get(uint64(key))
 	if !ok {
 		return
 	}
-	heap.Remove(&c.heap, e.index)
-	delete(c.entries, key)
-	c.recycle(e)
+	c.release(slot) // the generation bump orphans the heap node
+	c.dead++
 }
 
 // Victim returns the current LRU-2 victim without removing it.
 func (c *Cache) Victim() (key int64, ok bool) {
-	if len(c.heap) == 0 {
+	if !c.clean() {
 		return 0, false
 	}
 	return c.heap[0].key, true
@@ -149,23 +258,28 @@ func (c *Cache) Victim() (key int64, ok bool) {
 
 // Pop removes and returns the current victim.
 func (c *Cache) Pop() (key int64, ok bool) {
-	if len(c.heap) == 0 {
+	if !c.clean() {
 		return 0, false
 	}
-	e := heap.Pop(&c.heap).(*entry)
-	delete(c.entries, e.key)
-	key, ok = e.key, true
-	c.recycle(e)
-	return key, ok
+	t := c.heap[0]
+	n := len(c.heap) - 1
+	c.heap[0] = c.heap[n]
+	c.heap = c.heap[:n]
+	if n > 0 {
+		c.down(0)
+	}
+	c.release(t.slot)
+	return t.key, true
 }
 
 // History returns the last and penultimate access times of key, with seen
 // reporting presence. A penultimate of Never() means one access so far.
 func (c *Cache) History(key int64) (last, prev time.Duration, seen bool) {
-	e, ok := c.entries[key]
+	slot, ok := c.index.Get(uint64(key))
 	if !ok {
 		return 0, 0, false
 	}
+	e := &c.arena[slot]
 	return e.last, e.prev, true
 }
 

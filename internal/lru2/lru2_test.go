@@ -214,3 +214,24 @@ func TestTouchRemoveConsistencyProperty(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestHeapStaysBounded pins the lazy heap's compaction: a workload that
+// removes far more than it pops (the SSD cleaner's pattern) must not
+// accumulate orphaned nodes without bound.
+func TestHeapStaysBounded(t *testing.T) {
+	c := New()
+	for cycle := 0; cycle < 10000; cycle++ {
+		for k := int64(0); k < 32; k++ {
+			c.TouchHistory(k, ms(cycle), Never())
+		}
+		if _, ok := c.Victim(); !ok {
+			t.Fatal("no victim")
+		}
+		for k := int64(0); k < 32; k++ {
+			c.Remove(k)
+		}
+	}
+	if len(c.heap) > 256 {
+		t.Fatalf("heap holds %d nodes for %d live entries; orphans not compacted", len(c.heap), c.Len())
+	}
+}

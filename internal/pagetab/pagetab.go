@@ -1,0 +1,225 @@
+// Package pagetab provides the flat open-addressing hash table behind every
+// hot page directory in the simulator: the memory buffer pool's frame table,
+// the SSD manager's per-shard hash table, the LRU-2 key index and the TAC
+// extent temperatures.
+//
+// The table is keyed by uint64 (page ids, frame indexes and extent numbers
+// all fit) and uses robin-hood linear probing over a power-of-two slot
+// array. The hash is a Fibonacci multiply taking the top bits, which spreads
+// the contiguous page-id runs a database workload produces. Deletion is
+// tombstone-free (backward shifting), so lookup cost depends only on load,
+// never on deletion history. Iteration visits slots in array order — a
+// deterministic order for a deterministic operation history, unlike Go's
+// randomized map ranges.
+package pagetab
+
+// fibMul is 2^64 / φ, the Fibonacci hashing multiplier. The SSD manager
+// uses the same constant to pick shards; both uses take disjoint bit ranges
+// of the product, so shard-mates do not collide within a shard's table.
+const fibMul = 0x9E3779B97F4A7C15
+
+// minCap is the smallest slot-array size; shrinking stops here.
+const minCap = 8
+
+// Table is an open-addressing hash table with uint64 keys. The zero value
+// is an empty table ready for use. Tables must not be copied after use.
+type Table[V any] struct {
+	// dist holds, per slot, 0 for empty or probe distance + 1 (a slot at
+	// its home position stores 1). Robin-hood insertion bounds distances
+	// tightly at the load factors grow maintains.
+	dist []uint8
+	keys []uint64
+	vals []V
+	n    int
+	// shift turns a Fibonacci product into a slot index: home = h >> shift
+	// with shift = 64 - log2(len(keys)).
+	shift uint
+}
+
+// New returns a table pre-sized for hint entries.
+func New[V any](hint int) *Table[V] {
+	t := &Table[V]{}
+	capacity := minCap
+	// Size so hint entries stay below the grow threshold (13/16 load).
+	for capacity*13 < hint*16 {
+		capacity *= 2
+	}
+	t.alloc(capacity)
+	return t
+}
+
+// alloc installs fresh slot arrays of the given power-of-two capacity.
+func (t *Table[V]) alloc(capacity int) {
+	t.dist = make([]uint8, capacity)
+	t.keys = make([]uint64, capacity)
+	t.vals = make([]V, capacity)
+	shift := uint(64)
+	for c := capacity; c > 1; c >>= 1 {
+		shift--
+	}
+	t.shift = shift
+}
+
+// Len returns the number of entries.
+func (t *Table[V]) Len() int { return t.n }
+
+// Cap returns the current slot-array size (test hook for grow/shrink).
+func (t *Table[V]) Cap() int { return len(t.keys) }
+
+func (t *Table[V]) home(key uint64) int {
+	return int((key * fibMul) >> t.shift)
+}
+
+// Get returns the value stored for key.
+func (t *Table[V]) Get(key uint64) (V, bool) {
+	if t.n == 0 {
+		var zero V
+		return zero, false
+	}
+	mask := len(t.keys) - 1
+	i := t.home(key)
+	d := 1
+	for {
+		sd := int(t.dist[i])
+		if sd == 0 || sd < d {
+			// Empty slot, or a resident closer to its home than we are to
+			// ours: robin-hood order proves key is absent.
+			var zero V
+			return zero, false
+		}
+		if sd == d && t.keys[i] == key {
+			return t.vals[i], true
+		}
+		i = (i + 1) & mask
+		d++
+	}
+}
+
+// Contains reports whether key is present.
+func (t *Table[V]) Contains(key uint64) bool {
+	_, ok := t.Get(key)
+	return ok
+}
+
+// Put inserts or updates key.
+func (t *Table[V]) Put(key uint64, val V) {
+	if t.keys == nil {
+		t.alloc(minCap)
+	}
+	if (t.n+1)*16 > len(t.keys)*13 {
+		t.rehash(len(t.keys) * 2)
+	}
+	t.insert(key, val)
+}
+
+// insert places (key, val), robbing richer residents along the probe run.
+func (t *Table[V]) insert(key uint64, val V) {
+	mask := len(t.keys) - 1
+	i := t.home(key)
+	d := 1
+	for {
+		sd := int(t.dist[i])
+		if sd == 0 {
+			t.dist[i] = uint8(d)
+			t.keys[i] = key
+			t.vals[i] = val
+			t.n++
+			return
+		}
+		if sd == d && t.keys[i] == key {
+			t.vals[i] = val
+			return
+		}
+		if sd < d {
+			// The resident is closer to home than we are; rob it — swap and
+			// continue placing the displaced entry further down the run.
+			t.keys[i], key = key, t.keys[i]
+			t.vals[i], val = val, t.vals[i]
+			t.dist[i] = uint8(d)
+			d = sd
+		}
+		if d == int(^uint8(0)) {
+			// Probe distance would overflow the byte; rehashing larger
+			// shortens every run. Unreachable at the maintained load factor.
+			t.rehash(len(t.keys) * 2)
+			t.insert(key, val)
+			return
+		}
+		i = (i + 1) & mask
+		d++
+	}
+}
+
+// Delete removes key, reporting whether it was present.
+func (t *Table[V]) Delete(key uint64) bool {
+	if t.n == 0 {
+		return false
+	}
+	mask := len(t.keys) - 1
+	i := t.home(key)
+	d := 1
+	for {
+		sd := int(t.dist[i])
+		if sd == 0 || sd < d {
+			return false
+		}
+		if sd == d && t.keys[i] == key {
+			break
+		}
+		i = (i + 1) & mask
+		d++
+	}
+	// Backward-shift deletion: pull successors one slot closer to home
+	// until a hole or a home-positioned entry ends the displaced run.
+	j := (i + 1) & mask
+	for t.dist[j] > 1 {
+		t.keys[i] = t.keys[j]
+		t.vals[i] = t.vals[j]
+		t.dist[i] = t.dist[j] - 1
+		i = j
+		j = (j + 1) & mask
+	}
+	var zero V
+	t.keys[i] = 0
+	t.vals[i] = zero
+	t.dist[i] = 0
+	t.n--
+	if len(t.keys) > minCap && t.n*8 < len(t.keys) {
+		t.rehash(len(t.keys) / 2)
+	}
+	return true
+}
+
+// rehash reinserts every entry into arrays of the given capacity.
+func (t *Table[V]) rehash(capacity int) {
+	dist, keys, vals := t.dist, t.keys, t.vals
+	t.alloc(capacity)
+	t.n = 0
+	for i, sd := range dist {
+		if sd != 0 {
+			t.insert(keys[i], vals[i])
+		}
+	}
+}
+
+// Range calls fn on every entry in slot order, stopping early if fn returns
+// false. The order is deterministic for a deterministic operation history.
+// fn must not mutate the table.
+func (t *Table[V]) Range(fn func(key uint64, val V) bool) {
+	for i, sd := range t.dist {
+		if sd != 0 && !fn(t.keys[i], t.vals[i]) {
+			return
+		}
+	}
+}
+
+// Reset empties the table, keeping its current capacity.
+func (t *Table[V]) Reset() {
+	if t.n == 0 {
+		return
+	}
+	clear(t.dist)
+	clear(t.keys)
+	clear(t.vals)
+	t.n = 0
+}

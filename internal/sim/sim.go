@@ -28,7 +28,8 @@ var ErrStopped = errors.New("sim: environment stopped")
 type Env struct {
 	now     time.Duration
 	seq     uint64
-	events  eventHeap
+	until   time.Duration // current Run's limit; only meaningful while running
+	events  calQueue      // see queue.go
 	yield   chan struct{} // handed back by the running process
 	live    map[*Proc]struct{}
 	stopped bool
@@ -67,76 +68,13 @@ func (p *Proc) Now() time.Duration { return p.env.now }
 // Done returns a Signal that is broadcast when the process function returns.
 func (p *Proc) Done() *Signal { return p.done }
 
-// event is a scheduled wakeup for a process.
-type event struct {
-	at   time.Duration
-	seq  uint64 // tiebreak: FIFO among simultaneous events
-	proc *Proc
-}
-
-// eventHeap is a hand-rolled binary min-heap of events ordered by (at, seq).
-// container/heap would box each event into an interface{} on Push, costing an
-// allocation per Sleep; the typed push/pop below keep the hot path
-// allocation-free while preserving the exact same ordering.
-type eventHeap []event
-
-func (h eventHeap) less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
-	}
-	return h[i].seq < h[j].seq
-}
-
-// push inserts ev, sifting it up to its heap position.
-func (h *eventHeap) push(ev event) {
-	*h = append(*h, ev)
-	s := *h
-	i := len(s) - 1
-	for i > 0 {
-		parent := (i - 1) / 2
-		if !s.less(i, parent) {
-			break
-		}
-		s[i], s[parent] = s[parent], s[i]
-		i = parent
-	}
-}
-
-// pop removes and returns the minimum event.
-func (h *eventHeap) pop() event {
-	s := *h
-	n := len(s) - 1
-	ev := s[0]
-	s[0] = s[n]
-	s[n] = event{} // release the *Proc reference
-	s = s[:n]
-	*h = s
-	i := 0
-	for {
-		left := 2*i + 1
-		if left >= n {
-			break
-		}
-		child := left
-		if right := left + 1; right < n && s.less(right, left) {
-			child = right
-		}
-		if !s.less(child, i) {
-			break
-		}
-		s[i], s[child] = s[child], s[i]
-		i = child
-	}
-	return ev
-}
-
 // schedule enqueues a wakeup for p at time at.
 func (e *Env) schedule(at time.Duration, p *Proc) {
 	if at < e.now {
 		at = e.now
 	}
 	e.seq++
-	e.events.push(event{at: at, seq: e.seq, proc: p})
+	e.events.push(event{at: at, seq: e.seq, proc: p}, e.now)
 }
 
 // Go starts a new process running fn. It may be called before Run, or from
@@ -192,7 +130,20 @@ func (p *Proc) Sleep(d time.Duration) {
 	if d < 0 {
 		d = 0
 	}
-	p.env.schedule(p.env.now+d, p)
+	e := p.env
+	at := e.now + d
+	// Fast path: if this wakeup would be the very next dispatch — it strictly
+	// precedes every pending event (a tie loses, FIFO) and the Run limit does
+	// not cut it off — no other process can run in between, so advance the
+	// clock and keep going, skipping the park and its two scheduler handoffs.
+	// Dispatch order is identical either way.
+	if e.running && (e.until < 0 || at <= e.until) {
+		if ev, ok := e.events.peek(); !ok || at < ev.at {
+			e.now = at
+			return
+		}
+	}
+	e.schedule(at, p)
 	p.park()
 }
 
@@ -209,9 +160,10 @@ func (e *Env) Run(until time.Duration) time.Duration {
 		panic("sim: nested Run")
 	}
 	e.running = true
+	e.until = until
 	defer func() { e.running = false }()
-	for len(e.events) > 0 {
-		ev := e.events[0]
+	for e.events.size > 0 {
+		ev, _ := e.events.peek()
 		if until >= 0 && ev.at > until {
 			e.now = until
 			return e.now
@@ -228,7 +180,7 @@ func (e *Env) Run(until time.Duration) time.Duration {
 }
 
 // Idle reports whether no events are pending.
-func (e *Env) Idle() bool { return len(e.events) == 0 }
+func (e *Env) Idle() bool { return e.events.size == 0 }
 
 // Live returns the number of processes that have been started and have not
 // yet returned.
@@ -243,7 +195,7 @@ func (e *Env) Shutdown() {
 		return
 	}
 	e.stopped = true
-	e.events = nil
+	e.events.reset()
 	for p := range e.live {
 		p.resume <- struct{}{}
 		<-e.yield
@@ -288,19 +240,23 @@ func (s *Signal) WaitFired(p *Proc) {
 // or from outside Run.
 func (s *Signal) Broadcast() {
 	s.fired = true
-	for _, w := range s.waiters {
+	for i, w := range s.waiters {
 		s.env.schedule(s.env.now, w)
+		s.waiters[i] = nil // drop the *Proc reference from the backing array
 	}
-	s.waiters = nil
+	s.waiters = s.waiters[:0] // keep the storage for the next wait cycle
 }
 
 // A Resource is a counted FIFO semaphore: at most Cap processes hold it at
-// once and waiters acquire it in arrival order.
+// once and waiters acquire it in arrival order. The wait queue is a slice
+// plus a head index: popped slots are zeroed (no retained *Proc references)
+// and the storage is reused once the queue drains.
 type Resource struct {
 	env     *Env
 	cap     int
 	inUse   int
 	waiters []*Proc
+	head    int // index of the oldest waiter in waiters
 }
 
 // NewResource returns a resource with the given capacity (cap >= 1).
@@ -313,7 +269,7 @@ func NewResource(env *Env, capacity int) *Resource {
 
 // Acquire blocks p until a unit of the resource is available and takes it.
 func (r *Resource) Acquire(p *Proc) {
-	if r.inUse < r.cap && len(r.waiters) == 0 {
+	if r.inUse < r.cap && r.Queued() == 0 {
 		r.inUse++
 		return
 	}
@@ -325,7 +281,7 @@ func (r *Resource) Acquire(p *Proc) {
 // TryAcquire takes a unit if one is free without blocking and reports
 // whether it succeeded.
 func (r *Resource) TryAcquire() bool {
-	if r.inUse < r.cap && len(r.waiters) == 0 {
+	if r.inUse < r.cap && r.Queued() == 0 {
 		r.inUse++
 		return true
 	}
@@ -337,9 +293,14 @@ func (r *Resource) Release() {
 	if r.inUse <= 0 {
 		panic("sim: Release of idle resource")
 	}
-	if len(r.waiters) > 0 {
-		w := r.waiters[0]
-		r.waiters = r.waiters[1:]
+	if r.head < len(r.waiters) {
+		w := r.waiters[r.head]
+		r.waiters[r.head] = nil // drop the reference from the backing array
+		r.head++
+		if r.head == len(r.waiters) {
+			r.waiters = r.waiters[:0] // drained: rewind and reuse the storage
+			r.head = 0
+		}
 		// The unit passes directly to w: inUse stays unchanged.
 		r.env.schedule(r.env.now, w)
 		return
@@ -351,8 +312,8 @@ func (r *Resource) Release() {
 func (r *Resource) InUse() int { return r.inUse }
 
 // Queued returns the number of processes waiting to acquire.
-func (r *Resource) Queued() int { return len(r.waiters) }
+func (r *Resource) Queued() int { return len(r.waiters) - r.head }
 
 // Pending returns held units plus waiters; for a device modelled as a
 // resource this is the "number of pending I/Os" used by throttle control.
-func (r *Resource) Pending() int { return r.inUse + len(r.waiters) }
+func (r *Resource) Pending() int { return r.inUse + r.Queued() }

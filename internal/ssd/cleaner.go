@@ -112,7 +112,7 @@ func (m *Manager) gatherRun(seed int, dst []int) (start page.ID, frames []int) {
 // idle.
 func (m *Manager) dirtyIdleFrame(pid page.ID) (int, bool) {
 	s := m.shardOf(pid)
-	idx, ok := s.table[pid]
+	idx, ok := s.lookup(pid)
 	if !ok {
 		return 0, false
 	}

@@ -1,6 +1,10 @@
 package ssd
 
-import "fmt"
+import (
+	"fmt"
+
+	"turbobp/internal/page"
+)
 
 // CheckInvariants walks the manager's five data structures and verifies
 // their mutual consistency. It is exercised by the randomized property
@@ -45,20 +49,30 @@ func (m *Manager) CheckInvariants() error {
 			}
 			freeCount++
 		}
-		for pid, idx := range s.table {
+		var tableErr error
+		s.table.Range(func(key uint64, fidx int32) bool {
+			pid, idx := page.ID(key), int(fidx)
 			if idx < 0 || idx >= len(m.frames) {
-				return fmt.Errorf("ssd: table entry %d -> frame %d out of range", pid, idx)
+				tableErr = fmt.Errorf("ssd: table entry %d -> frame %d out of range", pid, idx)
+				return false
 			}
 			rec := &m.frames[idx]
 			if !rec.occupied {
-				return fmt.Errorf("ssd: table entry %d -> unoccupied frame %d", pid, idx)
+				tableErr = fmt.Errorf("ssd: table entry %d -> unoccupied frame %d", pid, idx)
+				return false
 			}
 			if rec.pid != pid {
-				return fmt.Errorf("ssd: table entry %d -> frame %d holding page %d", pid, idx, rec.pid)
+				tableErr = fmt.Errorf("ssd: table entry %d -> frame %d holding page %d", pid, idx, rec.pid)
+				return false
 			}
 			if rec.shard != si {
-				return fmt.Errorf("ssd: page %d in shard %d's table, frame home is %d", pid, si, rec.shard)
+				tableErr = fmt.Errorf("ssd: page %d in shard %d's table, frame home is %d", pid, si, rec.shard)
+				return false
 			}
+			return true
+		})
+		if tableErr != nil {
+			return tableErr
 		}
 	}
 
@@ -76,7 +90,7 @@ func (m *Manager) CheckInvariants() error {
 			dirty++
 		}
 		s := &m.shards[rec.shard]
-		if got, ok := s.table[rec.pid]; !ok || got != idx {
+		if got, ok := s.lookup(rec.pid); !ok || got != idx {
 			return fmt.Errorf("ssd: occupied frame %d (page %d) missing from its shard table", idx, rec.pid)
 		}
 		if m.cfg.Design == TAC {

@@ -108,12 +108,12 @@ func TestInvariantsCatchCorruption(t *testing.T) {
 	f.m.occupied--
 	// Corrupt: orphan the hash entry.
 	s := f.m.shardOf(1)
-	idx := s.table[1]
-	delete(s.table, 1)
+	idx, _ := s.table.Get(1)
+	s.table.Delete(1)
 	if err := f.m.CheckInvariants(); err == nil {
 		t.Error("orphaned frame not detected")
 	}
-	s.table[1] = idx
+	s.table.Put(1, idx)
 	if err := f.m.CheckInvariants(); err != nil {
 		t.Errorf("restored state flagged: %v", err)
 	}

@@ -78,7 +78,7 @@ func (m *Manager) RestoreTable(blob []byte) error {
 			continue // duplicate frame in a corrupt blob
 		}
 		s := &m.shards[rec.shard]
-		if _, dup := s.table[pid]; dup {
+		if _, dup := s.lookup(pid); dup {
 			continue
 		}
 		// Remove idx from the shard free list.
@@ -95,7 +95,7 @@ func (m *Manager) RestoreTable(blob []byte) error {
 		rec.restored = true // hint only: content is validated at first read
 		rec.last = now
 		rec.prev = lru2.Never()
-		s.table[pid] = idx
+		s.table.Put(uint64(pid), int32(idx))
 		m.occupied++
 		if m.cfg.Design == TAC {
 			m.pushTac(idx)

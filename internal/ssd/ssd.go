@@ -21,6 +21,7 @@ import (
 	"turbobp/internal/device"
 	"turbobp/internal/lru2"
 	"turbobp/internal/page"
+	"turbobp/internal/pagetab"
 	"turbobp/internal/sim"
 )
 
@@ -140,11 +141,17 @@ type frameRec struct {
 // shard is one partition of the SSD buffer pool (§3.3.4): its own segment
 // of the buffer table, free list and heaps.
 type shard struct {
-	table map[page.ID]int // SSD hash table entries owned by this shard
-	free  []int           // SSD free list
-	clean *lru2.Cache     // clean heap: LRU-2 over clean valid frames
-	dirty *lru2.Cache     // dirty heap: LRU-2 over dirty frames (LC only)
-	tac   tacHeap         // TAC replacement heap (temperature order)
+	table pagetab.Table[int32] // SSD hash table entries owned by this shard
+	free  []int                // SSD free list
+	clean *lru2.Cache          // clean heap: LRU-2 over clean valid frames
+	dirty *lru2.Cache          // dirty heap: LRU-2 over dirty frames (LC only)
+	tac   tacHeap              // TAC replacement heap (temperature order)
+}
+
+// lookup returns the frame index caching pid, if any.
+func (s *shard) lookup(pid page.ID) (int, bool) {
+	idx, ok := s.table.Get(uint64(pid))
+	return int(idx), ok
 }
 
 // Stats counts manager activity.
@@ -181,7 +188,7 @@ type Manager struct {
 	cleanerStop   bool
 	stats         Stats
 
-	temps map[int64]float64 // TAC extent temperatures
+	temps pagetab.Table[float64] // TAC extent temperatures (absent = 0)
 
 	// Free lists for encoded-page scratch buffers, the small [][]byte
 	// vectors that carry them through device transfers, and the group-clean
@@ -243,7 +250,6 @@ func NewManager(env *sim.Env, dev device.Device, disk Disk, cfg Config) *Manager
 		disk:   disk,
 		cfg:    cfg,
 		frames: make([]frameRec, cfg.Frames),
-		temps:  make(map[int64]float64),
 	}
 	m.fillTarget = int(cfg.FillThreshold * float64(cfg.Frames))
 	n := cfg.Partitions
@@ -253,7 +259,6 @@ func NewManager(env *sim.Env, dev device.Device, disk Disk, cfg Config) *Manager
 	m.shards = make([]shard, n)
 	for i := range m.shards {
 		m.shards[i] = shard{
-			table: make(map[page.ID]int),
 			clean: lru2.New(),
 			dirty: lru2.New(),
 		}
@@ -311,7 +316,7 @@ func (m *Manager) Contains(pid page.ID) bool {
 		return false
 	}
 	s := m.shardOf(pid)
-	idx, ok := s.table[pid]
+	idx, ok := s.lookup(pid)
 	return ok && m.frames[idx].valid
 }
 
@@ -322,7 +327,7 @@ func (m *Manager) IsDirty(pid page.ID) bool {
 		return false
 	}
 	s := m.shardOf(pid)
-	idx, ok := s.table[pid]
+	idx, ok := s.lookup(pid)
 	return ok && m.frames[idx].valid && m.frames[idx].dirty
 }
 
@@ -357,7 +362,7 @@ func (m *Manager) Read(p *sim.Proc, pid page.ID, pg *page.Page) (bool, error) {
 		return false, nil
 	}
 	s := m.shardOf(pid)
-	idx, ok := s.table[pid]
+	idx, ok := s.lookup(pid)
 	if !ok || !m.frames[idx].valid {
 		m.stats.Misses++
 		return false, nil
@@ -447,7 +452,7 @@ func (m *Manager) freeFrame(idx int) {
 		panic("ssd: freeing unoccupied frame")
 	}
 	s := &m.shards[rec.shard]
-	delete(s.table, rec.pid)
+	s.table.Delete(uint64(rec.pid))
 	s.clean.Remove(int64(idx))
 	s.dirty.Remove(int64(idx))
 	if rec.dirty {
@@ -471,7 +476,7 @@ func (m *Manager) Invalidate(pid page.ID) {
 		return
 	}
 	s := m.shardOf(pid)
-	idx, ok := s.table[pid]
+	idx, ok := s.lookup(pid)
 	if !ok {
 		return
 	}
@@ -520,7 +525,7 @@ func (m *Manager) allocFrame(pid page.ID, dirty bool) int {
 	rec.dirty = dirty
 	rec.last = m.env.Now()
 	rec.prev = lru2.Never()
-	s.table[pid] = idx
+	s.table.Put(uint64(pid), int32(idx))
 	m.occupied++
 	if dirty {
 		m.dirtyCount++
@@ -580,7 +585,7 @@ func (m *Manager) writeFrame(p *sim.Proc, idx int, pg *page.Page) error {
 // returning false if no frame could be claimed.
 func (m *Manager) admit(p *sim.Proc, pg *page.Page, dirty bool) (bool, error) {
 	s := m.shardOf(pg.ID)
-	if idx, ok := s.table[pg.ID]; ok {
+	if idx, ok := s.lookup(pg.ID); ok {
 		rec := &m.frames[idx]
 		if rec.valid && !dirty {
 			return true, nil // identical clean copy already cached

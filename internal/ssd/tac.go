@@ -52,7 +52,8 @@ func (m *Manager) extentOf(pid page.ID) int64 {
 
 // ExtentTemperature returns the current temperature of pid's extent.
 func (m *Manager) ExtentTemperature(pid page.ID) float64 {
-	return m.temps[m.extentOf(pid)]
+	t, _ := m.temps.Get(uint64(m.extentOf(pid)))
+	return t
 }
 
 // TACNoteMiss records a memory-pool miss for temperature tracking: the
@@ -65,7 +66,9 @@ func (m *Manager) TACNoteMiss(pid page.ID, random bool) {
 	if !random {
 		saved = m.cfg.SeqSavedMs
 	}
-	m.temps[m.extentOf(pid)] += saved
+	ext := uint64(m.extentOf(pid))
+	t, _ := m.temps.Get(ext)
+	m.temps.Put(ext, t+saved)
 }
 
 // TACOnDiskRead schedules TAC's asynchronous admission of a page that was
@@ -99,7 +102,7 @@ func (m *Manager) TACOnDiskRead(pg *page.Page, random bool, stillClean func() bo
 // than the coldest cached page (which is then replaced).
 func (m *Manager) tacAdmit(p *sim.Proc, snap *page.Page) error {
 	s := m.shardOf(snap.ID)
-	if idx, ok := s.table[snap.ID]; ok {
+	if idx, ok := s.lookup(snap.ID); ok {
 		rec := &m.frames[idx]
 		if rec.valid {
 			return nil // already cached
@@ -128,7 +131,7 @@ func (m *Manager) tacAllocFrame(pid page.ID) int {
 			return -1
 		}
 		vrec := &m.frames[victim]
-		if m.temps[m.extentOf(pid)] <= m.temps[m.extentOf(vrec.pid)] {
+		if m.ExtentTemperature(pid) <= m.ExtentTemperature(vrec.pid) {
 			m.pushTac(victim) // not hot enough; victim stays
 			return -1
 		}
@@ -144,7 +147,7 @@ func (m *Manager) tacAllocFrame(pid page.ID) int {
 	rec.dirty = false
 	rec.last = m.env.Now()
 	rec.prev = lru2.Never()
-	s.table[pid] = idx
+	s.table.Put(uint64(pid), int32(idx))
 	m.occupied++
 	m.pushTac(idx)
 	return idx
@@ -155,7 +158,7 @@ func (m *Manager) tacAllocFrame(pid page.ID) int {
 func (m *Manager) pushTac(idx int) {
 	rec := &m.frames[idx]
 	s := &m.shards[rec.shard]
-	heap.Push(&s.tac, tacEntry{idx: idx, gen: rec.gen, temp: m.temps[m.extentOf(rec.pid)]})
+	heap.Push(&s.tac, tacEntry{idx: idx, gen: rec.gen, temp: m.ExtentTemperature(rec.pid)})
 }
 
 // popTacVictim removes and returns the coldest idle frame of the shard,
@@ -174,7 +177,7 @@ func (m *Manager) popTacVictim(s *shard) int {
 		if !rec.occupied || rec.gen != e.gen {
 			continue // stale: frame was freed (and possibly reused)
 		}
-		if cur := m.temps[m.extentOf(rec.pid)]; cur != e.temp {
+		if cur := m.ExtentTemperature(rec.pid); cur != e.temp {
 			heap.Push(&s.tac, tacEntry{idx: e.idx, gen: e.gen, temp: cur})
 			continue
 		}
@@ -195,7 +198,7 @@ func (m *Manager) tacRevalidate(p *sim.Proc, pg *page.Page) error {
 		return nil
 	}
 	s := m.shardOf(pg.ID)
-	idx, ok := s.table[pg.ID]
+	idx, ok := s.lookup(pg.ID)
 	if !ok {
 		return nil
 	}
