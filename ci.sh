@@ -14,6 +14,28 @@ fi
 echo "== go vet =="
 go vet ./...
 
+echo "== package documentation audit =="
+# Every package (internal, public, command, example) must carry a doc
+# comment immediately above its package clause in at least one file.
+missing=0
+for dir in $(go list -f '{{.Dir}}' ./...); do
+  documented=0
+  for f in "$dir"/*.go; do
+    if awk 'prev ~ /^\/\// && /^package / {found=1} {prev=$0} END{exit found?0:1}' "$f"; then
+      documented=1
+      break
+    fi
+  done
+  if [[ $documented -eq 0 ]]; then
+    echo "missing package doc comment: ${dir#"$PWD"/}"
+    missing=1
+  fi
+done
+if [[ $missing -ne 0 ]]; then
+  echo "package documentation audit FAILED"
+  exit 1
+fi
+
 echo "== go build =="
 go build ./...
 
@@ -29,6 +51,12 @@ go build -o /tmp/bpesim-ci ./cmd/bpesim
 /tmp/bpesim-ci -divisor 8192 -parallel 1 all > /tmp/bpesim-ci-serial.out 2>/dev/null
 /tmp/bpesim-ci -divisor 8192 -parallel 4 all > /tmp/bpesim-ci-parallel.out 2>/dev/null
 cmp /tmp/bpesim-ci-serial.out /tmp/bpesim-ci-parallel.out
-rm -f /tmp/bpesim-ci /tmp/bpesim-ci-serial.out /tmp/bpesim-ci-parallel.out
+
+echo "== fault matrix (crash/recover, must pass and be byte-stable) =="
+/tmp/bpesim-ci -parallel 1 faults > /tmp/bpesim-ci-faults-serial.out 2>/dev/null
+/tmp/bpesim-ci -parallel 4 faults > /tmp/bpesim-ci-faults-parallel.out 2>/dev/null
+cmp /tmp/bpesim-ci-faults-serial.out /tmp/bpesim-ci-faults-parallel.out
+rm -f /tmp/bpesim-ci /tmp/bpesim-ci-serial.out /tmp/bpesim-ci-parallel.out \
+      /tmp/bpesim-ci-faults-serial.out /tmp/bpesim-ci-faults-parallel.out
 
 echo "CI OK"

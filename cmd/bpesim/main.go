@@ -15,6 +15,10 @@
 // GOMAXPROCS; 1 forces serial). Rendered output on stdout is
 // byte-identical at any worker count: per-experiment wall-clock timings
 // go to stderr.
+//
+// The faults experiment ignores the divisor (its configuration is fixed so
+// the table is reproducible); -faultseed varies its injected fault
+// schedules. See docs/FAILURES.md for the failure model it exercises.
 package main
 
 import (
@@ -33,6 +37,7 @@ func main() {
 	csvOut := flag.Bool("csv", false, "emit figure data as CSV instead of rendered text (figure experiments only)")
 	parallel := flag.Int("parallel", 0, "worker count for experiment cells (0 = GOMAXPROCS, 1 = serial)")
 	benchJSON := flag.String("benchjson", "", "write a machine-readable benchmark report (wall-clock serial vs parallel, allocs/op) to this file and exit")
+	faultSeed := flag.Uint64("faultseed", harness.FaultSeed(), "seed for the faults experiment's injected fault schedules")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 	memProfile := flag.String("memprofile", "", "write an allocation profile taken at exit to this file")
 	flag.Usage = usage
@@ -73,6 +78,7 @@ func main() {
 		}()
 	}
 	harness.SetWorkers(*parallel)
+	harness.SetFaultSeed(*faultSeed)
 	scale := harness.Scale{Divisor: *divisor}
 	if *benchJSON != "" {
 		if err := writeBenchJSON(*benchJSON, scale); err != nil {

@@ -29,6 +29,13 @@ type PageNum int64
 // ErrOutOfRange is returned for requests beyond a device's capacity.
 var ErrOutOfRange = errors.New("device: page out of range")
 
+// ErrLost reports that the device as a whole has failed (e.g. a dead SSD):
+// every operation fails until the device is replaced. Callers distinguish
+// it (errors.Is) from transient per-request errors, which may be retried or
+// routed around; the engine reacts to a lost SSD by rebuilding its cache on
+// a replacement device and recovering uniquely-dirty pages from the WAL.
+var ErrLost = errors.New("device: device lost")
+
 // Device is a page-granular block device. Read and Write block the calling
 // simulation process for the modelled duration of the request; for the
 // real-file backend p may be nil and the call blocks the OS thread instead.

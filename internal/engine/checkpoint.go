@@ -1,7 +1,10 @@
 package engine
 
 import (
+	"errors"
+
 	"turbobp/internal/device"
+	"turbobp/internal/fault"
 	"turbobp/internal/page"
 	"turbobp/internal/sim"
 	"turbobp/internal/ssd"
@@ -15,6 +18,11 @@ const checkpointBatch = 32
 // memory pool — and, under LC, every dirty page in the SSD — is flushed to
 // the disks, then a checkpoint record is logged. Recovery replays only log
 // records newer than the flush's starting LSN.
+//
+// Two crash points bracket the checkpoint record: mid-checkpoint crashes
+// after the flushes but before the record is durable (recovery falls back
+// to the previous checkpoint — correct, merely slower), post-checkpoint
+// crashes right after the record is durable and the log truncated.
 func (e *Engine) Checkpoint(p *sim.Proc) error {
 	if e.cfg.FuzzyCheckpoints {
 		return e.fuzzyCheckpoint(p)
@@ -22,8 +30,49 @@ func (e *Engine) Checkpoint(p *sim.Proc) error {
 	e.stats.Checkpoints++
 	startLSN := e.log.NextLSN() - 1
 	e.mgr.SetCheckpointing(true)
-	defer e.mgr.SetCheckpointing(false)
+	// Resolve e.mgr at defer time: SSD-loss recovery replaces it mid-flush.
+	defer func() { e.mgr.SetCheckpointing(false) }()
 
+	// An SSD loss mid-flush replaces the manager and redoes its uniquely-
+	// dirty pages into the pool as pool-dirty frames, so the flush must
+	// restart to pick them up: truncating the log without re-flushing them
+	// would lose those updates at the next crash.
+	for attempt := 0; ; attempt++ {
+		err := e.checkpointFlush(p)
+		if err == nil {
+			break
+		}
+		if !errors.Is(err, device.ErrLost) || attempt >= 2 {
+			return err
+		}
+		if rerr := e.RecoverSSDLoss(p); rerr != nil {
+			return rerr
+		}
+		e.mgr.SetCheckpointing(true)
+	}
+
+	if e.cfg.Faults.At(fault.SiteMidCheckpoint) {
+		return fault.ErrCrashPoint
+	}
+
+	// With warm restart enabled, the checkpoint record carries the SSD
+	// buffer table so a restart can reuse the cache (§6).
+	var tableBlob []byte
+	if e.cfg.WarmRestart {
+		tableBlob = e.mgr.SnapshotTable()
+	}
+	lsn := e.log.Append(wal.Record{Type: wal.TypeCheckpoint, StartLSN: startLSN, Payload: tableBlob})
+	e.log.Flush(p, lsn)
+	e.log.TruncateThrough(startLSN)
+	if e.cfg.Faults.At(fault.SitePostCheckpoint) {
+		return fault.ErrCrashPoint
+	}
+	return nil
+}
+
+// checkpointFlush is the flush half of a sharp checkpoint: every dirty pool
+// page, then (LC) every dirty SSD page.
+func (e *Engine) checkpointFlush(p *sim.Proc) error {
 	dirty := e.DirtyPoolPages()
 	i := 0
 	for i < len(dirty) {
@@ -37,22 +86,9 @@ func (e *Engine) Checkpoint(p *sim.Proc) error {
 		}
 		i = j
 	}
-
 	if e.cfg.Design == ssd.LC {
-		if err := e.mgr.FlushDirty(p); err != nil {
-			return err
-		}
+		return e.mgr.FlushDirty(p)
 	}
-
-	// With warm restart enabled, the checkpoint record carries the SSD
-	// buffer table so a restart can reuse the cache (§6).
-	var tableBlob []byte
-	if e.cfg.WarmRestart {
-		tableBlob = e.mgr.SnapshotTable()
-	}
-	lsn := e.log.Append(wal.Record{Type: wal.TypeCheckpoint, StartLSN: startLSN, Payload: tableBlob})
-	e.log.Flush(p, lsn)
-	e.log.TruncateThrough(startLSN)
 	return nil
 }
 
@@ -115,7 +151,9 @@ func (e *Engine) checkpointRun(p *sim.Proc, ids []page.ID) error {
 		return err
 	}
 	for k, id := range kept {
-		e.finishCheckpointPage(p, id, lsns[k], randoms[k])
+		if err := e.finishCheckpointPage(p, id, lsns[k], randoms[k]); err != nil {
+			return err
+		}
 	}
 	return nil
 }
@@ -138,23 +176,25 @@ func (e *Engine) checkpointSingles(p *sim.Proc, ids []page.ID) error {
 		if err := e.db.Write(p, device.PageNum(id), [][]byte{buf}); err != nil {
 			return err
 		}
-		e.finishCheckpointPage(p, id, lsn, random)
+		if err := e.finishCheckpointPage(p, id, lsn, random); err != nil {
+			return err
+		}
 	}
 	return nil
 }
 
 // finishCheckpointPage marks a flushed page clean (unless re-dirtied while
 // the write was in flight) and lets DW piggyback the flush into the SSD
-// (§3.2).
-func (e *Engine) finishCheckpointPage(p *sim.Proc, id page.ID, writtenLSN uint64, random bool) {
+// (§3.2). An SSD error from the piggyback propagates (the page itself is
+// already safely on disk); Checkpoint's retry loop handles a lost device.
+func (e *Engine) finishCheckpointPage(p *sim.Proc, id page.ID, writtenLSN uint64, random bool) error {
 	f := e.pool.Peek(id)
 	if f != nil && f.Dirty && f.Pg.LSN == writtenLSN {
 		f.Dirty = false
 		f.RecLSN = 0
-		if err := e.mgr.OnCheckpointFlush(p, &f.Pg, random); err != nil {
-			panic("engine: checkpoint ssd flush: " + err.Error())
-		}
+		return e.mgr.OnCheckpointFlush(p, &f.Pg, random)
 	}
+	return nil
 }
 
 // startCheckpointer spawns the periodic checkpoint process. A generation
@@ -169,6 +209,12 @@ func (e *Engine) startCheckpointer() {
 				return
 			}
 			if err := e.Checkpoint(p); err != nil {
+				if errors.Is(err, fault.ErrCrashPoint) {
+					// An armed crash site fired inside a periodic
+					// checkpoint: stop here and let the fault driver
+					// (which polls the injector) crash the engine.
+					return
+				}
 				panic("engine: checkpoint: " + err.Error())
 			}
 		}

@@ -13,6 +13,7 @@ import (
 
 	"turbobp/internal/bufpool"
 	"turbobp/internal/device"
+	"turbobp/internal/fault"
 	"turbobp/internal/metrics"
 	"turbobp/internal/page"
 	"turbobp/internal/sim"
@@ -65,6 +66,11 @@ type Config struct {
 	HDDProfile      device.Profile // zero value = paper calibration
 	SSDProfile      device.Profile
 	AsyncAdmitDelay time.Duration // TAC async admission gap
+
+	// Faults, when set, wraps every device in the injector's fault plans
+	// (names "db", "ssd", "wal") and arms the engine's crash points. Nil
+	// costs the hot path only nil checks.
+	Faults *fault.Injector
 
 	// CPU model: page accesses consume CPUPerAccess of one of CPUCores
 	// hardware contexts (the paper's box is a dual quad-core Nehalem with
@@ -151,6 +157,8 @@ type Stats struct {
 	ScanPages   int64
 	RedoApplied int64
 	RedoSkipped int64
+	SSDLosses   int64 // whole-SSD failures survived (fault injection)
+	SSDLossRedo int64 // WAL redo records applied to rebuild lost dirty SSD pages
 	// Classification accuracy counts for disk reads: Truth<X>Label<Y>
 	// counts reads truly of kind X that the classifier labelled Y (truth =
 	// whether the read-ahead mechanism issued the read).
@@ -244,6 +252,13 @@ func New(env *sim.Env, cfg Config) *Engine {
 // NoSSD configurations.
 func NewWithDevices(env *sim.Env, cfg Config, dbDev, ssdDev, logDev device.Device) *Engine {
 	cfg.setDefaults()
+	if cfg.Faults != nil {
+		dbDev = cfg.Faults.Wrap("db", dbDev)
+		if ssdDev != nil {
+			ssdDev = cfg.Faults.Wrap("ssd", ssdDev)
+		}
+		logDev = cfg.Faults.Wrap("wal", logDev)
+	}
 	e := &Engine{env: env, cfg: cfg, db: dbDev, ssdDev: ssdDev, logDev: logDev}
 	// The log packs records into full 8 KB pages; the device charges one
 	// page-write per log page, so the page size here is the accounted 8 KB
@@ -286,6 +301,7 @@ func (e *Engine) newManager() *ssd.Manager {
 		RandSavedMs:     randSaved,
 		SeqSavedMs:      seqSaved,
 		AsyncAdmitDelay: e.cfg.AsyncAdmitDelay,
+		Faults:          e.cfg.Faults,
 	})
 }
 
@@ -424,10 +440,19 @@ func (e *Engine) Begin() uint64 {
 }
 
 // Commit forces the log for everything the transaction wrote (group
-// commit) and counts the commit.
+// commit) and counts the commit. Two crash points bracket the log force:
+// pre-wal-flush crashes with the transaction's records possibly volatile
+// (the commit may be lost), post-wal-flush crashes with the records durable
+// but the caller never acknowledged (the classic commit ambiguity).
 func (e *Engine) Commit(p *sim.Proc, _ uint64) error {
+	if e.cfg.Faults.At(fault.SitePreWALFlush) {
+		return fault.ErrCrashPoint
+	}
 	t0 := e.env.Now()
 	e.log.Flush(p, e.log.NextLSN()-1)
+	if e.cfg.Faults.At(fault.SitePostWALFlush) {
+		return fault.ErrCrashPoint
+	}
 	e.lat.Commit.Observe(e.env.Now() - t0)
 	e.stats.Commits++
 	return nil
@@ -518,6 +543,19 @@ func (e *Engine) fetch(p *sim.Proc, pid page.ID, viaReadAhead, truthScan bool) (
 	hit, err := e.mgr.Read(p, pid, &f.Pg)
 	if err != nil {
 		e.pool.Release(f)
+		if errors.Is(err, device.ErrLost) {
+			// The SSD died. Rebuild the cache on a replacement device and
+			// redo uniquely-dirty pages from the WAL, then re-serve the
+			// request: recovery may have brought pid into the pool already.
+			if rerr := e.RecoverSSDLoss(p); rerr != nil {
+				return nil, rerr
+			}
+			if g := e.pool.Lookup(pid, e.env.Now()); g != nil {
+				return g, nil
+			}
+			e.stats.PoolMisses-- // the retry counts the same miss again
+			return e.fetch(p, pid, viaReadAhead, truthScan)
+		}
 		return nil, err
 	}
 	if hit {
@@ -641,7 +679,19 @@ func (e *Engine) claimFrame(p *sim.Proc) (*bufpool.Frame, error) {
 		// the SSD or the disk (§2.4).
 		e.log.Flush(p, v.Pg.LSN)
 	}
-	if err := e.mgr.OnEvict(p, &v.Pg, dirty, !v.Seq); err != nil {
+	err := e.mgr.OnEvict(p, &v.Pg, dirty, !v.Seq)
+	if err != nil && errors.Is(err, device.ErrLost) {
+		// The SSD died under the eviction. Recover (replacing the manager),
+		// then route the victim through the new manager — for a dirty page
+		// this usually becomes a plain disk write, never a lost update (the
+		// log was already forced above).
+		if rerr := e.RecoverSSDLoss(p); rerr != nil {
+			e.pool.Release(v)
+			return nil, rerr
+		}
+		err = e.mgr.OnEvict(p, &v.Pg, dirty, !v.Seq)
+	}
+	if err != nil {
 		// The victim is already out of the table; without this it would
 		// leak — neither resident nor free — shrinking the pool.
 		e.pool.Release(v)

@@ -1,6 +1,8 @@
 package engine
 
 import (
+	"turbobp/internal/fault"
+	"turbobp/internal/page"
 	"turbobp/internal/sim"
 	"turbobp/internal/wal"
 )
@@ -17,6 +19,71 @@ func (e *Engine) Crash() {
 	e.log.Crash()
 	e.mgr.StopCleaner()
 	e.mgr = e.newManager()
+}
+
+// RecoverSSDLoss handles a whole-SSD failure during forward processing: the
+// cache is rebuilt empty on a replacement device and every page whose only
+// up-to-date copy lived on the SSD (LC's uniquely-dirty pages) is rebuilt in
+// the memory pool by redoing its durable WAL records against the disk image.
+// CW, DW and TAC never have uniquely-dirty SSD pages, so for them this is
+// just a cache rebuild — the paper's §2 durability argument, exercised.
+//
+// The WAL protocol guarantees the redo records exist: a page reaches the SSD
+// only after the log is forced through its LSN, and checkpoints (sharp via
+// FlushDirty, fuzzy via MinDirtyLSN) never truncate records still needed by
+// a dirty SSD page.
+func (e *Engine) RecoverSSDLoss(p *sim.Proc) error {
+	lost := e.mgr.DirtyPageIDs()
+	e.mgr.StopCleaner()
+	e.stats.SSDLosses++
+	if fd, ok := e.ssdDev.(*fault.Device); ok {
+		fd.Replace()
+	}
+	e.mgr = e.newManager()
+	e.mgr.StartCleaner()
+	if len(lost) == 0 {
+		return nil
+	}
+	need := make(map[page.ID]bool, len(lost))
+	for _, pid := range lost {
+		need[pid] = true
+	}
+	redo := make(map[page.ID][]wal.Record, len(lost))
+	for _, rec := range e.log.Durable() {
+		if rec.Type == wal.TypeUpdate && need[rec.Page] {
+			redo[rec.Page] = append(redo[rec.Page], rec)
+		}
+	}
+	for _, pid := range lost {
+		// Get serves pid from the pool if resident, else from disk (the new
+		// SSD is empty) — either way f.Pg.LSN tells which records to apply.
+		f, err := e.Get(p, pid)
+		if err != nil {
+			return err
+		}
+		for _, rec := range redo[pid] {
+			if rec.LSN <= f.Pg.LSN {
+				continue
+			}
+			copy(f.Pg.Payload, rec.Payload)
+			f.Pg.LSN = rec.LSN
+			e.stats.SSDLossRedo++
+		}
+		if !f.Dirty {
+			// The disk copy is stale (the page was uniquely dirty), so the
+			// rebuilt frame must flush eventually. RecLSN is the oldest
+			// durable record for the page — possibly older than the oldest
+			// update actually missing from disk, which only makes fuzzy
+			// checkpoints keep a little extra log, never lose one.
+			f.Dirty = true
+			if recs := redo[pid]; len(recs) > 0 {
+				f.RecLSN = recs[0].LSN
+			} else {
+				f.RecLSN = f.Pg.LSN
+			}
+		}
+	}
+	return nil
 }
 
 // Recover restarts the engine after a Crash: redo every durable update

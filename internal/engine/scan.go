@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"errors"
 	"fmt"
 	"time"
 
@@ -187,6 +188,14 @@ func (e *Engine) readRun(p *sim.Proc, pid page.ID, count int) error {
 			// the stale disk image.
 			hit, err := e.mgr.Read(p, s.pid, &got.Pg)
 			if err != nil {
+				if errors.Is(err, device.ErrLost) {
+					// Recovery redoes the page's WAL records into the
+					// frame just inserted, so the run can continue.
+					if rerr := e.RecoverSSDLoss(p); rerr != nil {
+						return rerr
+					}
+					continue
+				}
 				return err
 			}
 			_ = hit // if the copy vanished meanwhile, the disk version stands

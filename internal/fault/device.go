@@ -1,0 +1,152 @@
+package fault
+
+import (
+	"fmt"
+
+	"turbobp/internal/device"
+	"turbobp/internal/sim"
+)
+
+// Device wraps a device.Device with the injector's fault plan for one
+// device name. It implements device.Device (and forwards device.Preloader
+// when the inner device supports it), consulting the plan before every
+// operation:
+//
+//   - whole-device loss: at the scheduled total-operation count the device
+//     dies; every operation from then on returns device.ErrLost until
+//     Replace installs a fresh device under the same name,
+//   - injected I/O errors: the scheduled Nth read/write fails with
+//     ErrInjectedIO (transient: the next operation succeeds),
+//   - torn writes: the scheduled write persists only a prefix of the
+//     request and reports success.
+//
+// Operation counters live on the shared plan, so the per-name schedule
+// keeps counting across Replace.
+type Device struct {
+	in    *Injector
+	name  string
+	plan  *devPlan
+	inner device.Device
+	lost  bool
+}
+
+var _ device.Device = (*Device)(nil)
+var _ device.Preloader = (*Device)(nil)
+
+// Inner returns the wrapped device.
+func (d *Device) Inner() device.Device { return d.inner }
+
+// Lost reports whether the device has failed for good.
+func (d *Device) Lost() bool { return d.lost }
+
+// Replace models swapping in a fresh, healthy device at the same mount
+// point after a loss: the lost latch clears and operations flow to the
+// inner device again. Prior contents of the inner device are irrelevant —
+// a rebuilt SSD manager never reads a frame it has not first written.
+func (d *Device) Replace() {
+	if d.lost {
+		d.in.note("device %s replaced after loss", d.name)
+	}
+	d.lost = false
+}
+
+// checkOp advances the per-name counters and returns the injected error for
+// this operation, if any. write selects the write-side schedule; the
+// returned tear (keepBytes, true) applies only to writes.
+func (d *Device) checkOp(write bool) (tear int, torn bool, err error) {
+	pl := d.plan
+	op := pl.ops
+	pl.ops++
+	var idx int
+	if write {
+		idx = pl.writes
+		pl.writes++
+	} else {
+		idx = pl.reads
+		pl.reads++
+	}
+	if !pl.lossDone && pl.loseAt >= 0 && op >= pl.loseAt {
+		pl.lossDone = true
+		d.lost = true
+		d.in.note("device %s lost at operation %d", d.name, op)
+	}
+	if d.lost {
+		return 0, false, fmt.Errorf("fault: device %s: %w", d.name, device.ErrLost)
+	}
+	if write {
+		if pl.writeErrs[idx] {
+			delete(pl.writeErrs, idx)
+			d.in.note("device %s write %d failed (injected)", d.name, idx)
+			return 0, false, fmt.Errorf("fault: device %s write %d: %w", d.name, idx, ErrInjectedIO)
+		}
+		if keep, ok := pl.tears[idx]; ok {
+			delete(pl.tears, idx)
+			d.in.note("device %s write %d torn after %d bytes", d.name, idx, keep)
+			return keep, true, nil
+		}
+	} else if pl.readErrs[idx] {
+		delete(pl.readErrs, idx)
+		d.in.note("device %s read %d failed (injected)", d.name, idx)
+		return 0, false, fmt.Errorf("fault: device %s read %d: %w", d.name, idx, ErrInjectedIO)
+	}
+	return 0, false, nil
+}
+
+// Read serves the request from the inner device unless a fault applies.
+func (d *Device) Read(p *sim.Proc, page device.PageNum, bufs [][]byte) error {
+	if _, _, err := d.checkOp(false); err != nil {
+		return err
+	}
+	return d.inner.Read(p, page, bufs)
+}
+
+// Write persists the request to the inner device unless a fault applies. A
+// scheduled torn write persists only the first keepBytes bytes: whole pages
+// before the tear point are written normally, the torn page is written with
+// its unwritten remainder zero-filled, and later pages are dropped. The
+// torn write still returns nil — real torn writes are silent.
+func (d *Device) Write(p *sim.Proc, page device.PageNum, bufs [][]byte) error {
+	keep, torn, err := d.checkOp(true)
+	if err != nil {
+		return err
+	}
+	if !torn {
+		return d.inner.Write(p, page, bufs)
+	}
+	out := make([][]byte, 0, len(bufs))
+	for _, b := range bufs {
+		if keep <= 0 {
+			break
+		}
+		if keep >= len(b) {
+			out = append(out, b)
+			keep -= len(b)
+			continue
+		}
+		part := make([]byte, len(b)) // zero tail: the tear zero-fills the page
+		copy(part, b[:keep])
+		out = append(out, part)
+		keep = 0
+	}
+	if len(out) == 0 {
+		return nil
+	}
+	return d.inner.Write(p, page, out)
+}
+
+// Preload forwards to the inner device's Preloader. Preloads model loading
+// the database before the measured (and faulted) run, so no faults apply.
+func (d *Device) Preload(page device.PageNum, data []byte) error {
+	pre, ok := d.inner.(device.Preloader)
+	if !ok {
+		return fmt.Errorf("fault: device %s does not support preloading", d.name)
+	}
+	return pre.Preload(page, data)
+}
+
+// Pending reports the inner device's in-flight requests.
+func (d *Device) Pending() int { return d.inner.Pending() }
+
+// Stats returns the inner device's counters, so harness samplers see the
+// same numbers with or without the wrapper.
+func (d *Device) Stats() *device.Stats { return d.inner.Stats() }

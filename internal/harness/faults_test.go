@@ -1,0 +1,64 @@
+package harness
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+)
+
+// The full matrix must pass at the default seed: every design survives every
+// scenario with zero lost committed updates.
+func TestFaultMatrixDefaultSeed(t *testing.T) {
+	r, err := RunFaultMatrix()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Err(); err != nil {
+		for _, row := range r.Rows {
+			if !row.Pass {
+				t.Errorf("%s/%s: %s", row.Design, row.Scenario, row.Outcome)
+			}
+		}
+	}
+	if want := len(faultDesigns) * len(faultScenarios); len(r.Rows) != want {
+		t.Errorf("matrix has %d rows, want %d", len(r.Rows), want)
+	}
+}
+
+// The matrix is seed-robust: the fault schedules move around, the
+// guarantees do not.
+func TestFaultMatrixSeedSweep(t *testing.T) {
+	defer SetFaultSeed(0x5EEDFA17)
+	for _, seed := range []uint64{0, 1, 42, 0xDEADBEEF} {
+		SetFaultSeed(seed)
+		r, err := RunFaultMatrix()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := r.Err(); err != nil {
+			t.Errorf("seed %#x: %v", seed, err)
+		}
+	}
+}
+
+// Two runs at the same seed render byte-identical tables (the determinism
+// contract the CI cmp step relies on).
+func TestFaultMatrixDeterministic(t *testing.T) {
+	run := func() (*FaultMatrixResult, []byte) {
+		r, err := RunFaultMatrix()
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		r.Print(&buf)
+		return r, buf.Bytes()
+	}
+	r1, out1 := run()
+	r2, out2 := run()
+	if !reflect.DeepEqual(r1.Rows, r2.Rows) {
+		t.Error("matrix rows differ between identical runs")
+	}
+	if !bytes.Equal(out1, out2) {
+		t.Error("rendered output differs between identical runs")
+	}
+}

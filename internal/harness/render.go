@@ -278,6 +278,14 @@ func Experiments() []Experiment {
 			PrintRestart(w, rows)
 			return nil
 		}},
+		{"faults", "fault-injection crash/recover matrix", func(_ Scale, w io.Writer) error {
+			r, err := RunFaultMatrix()
+			if err != nil {
+				return err
+			}
+			r.Print(w)
+			return r.Err()
+		}},
 	}
 }
 

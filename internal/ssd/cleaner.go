@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"turbobp/internal/device"
+	"turbobp/internal/fault"
 	"turbobp/internal/page"
 	"turbobp/internal/sim"
 )
@@ -195,10 +196,21 @@ func (m *Manager) cleanOnce(p *sim.Proc) bool {
 		sc.rvec = append(sc.rvec[:0], bufs[i])
 		if err := m.dev.Read(p, device.PageNum(idx), sc.rvec); err != nil {
 			readErr = true
+			m.stats.ReadErrors++
+			m.noteDeviceErr(err)
 			break
 		}
 	}
-	if !readErr {
+	// Crash point: the dirty run has been read off the SSD but not yet
+	// written to disk — the SSD still holds the only up-to-date copies. No
+	// state has been mutated; unwind the pins and stop the cleaner so the
+	// driver can crash the engine with the pages still uniquely dirty.
+	crashed := false
+	if !readErr && m.cfg.Faults.At(fault.SiteMidLazyClean) {
+		crashed = true
+		m.cleanerStop = true
+	}
+	if !readErr && !crashed {
 		if err := m.disk.WriteEncoded(p, start, bufs); err != nil {
 			readErr = true
 		}
@@ -206,7 +218,7 @@ func (m *Manager) cleanOnce(p *sim.Proc) bool {
 	for i, idx := range frames {
 		rec := &m.frames[idx]
 		rec.io--
-		if !readErr && rec.occupied && rec.dirty &&
+		if !readErr && !crashed && rec.occupied && rec.dirty &&
 			rec.pid == pinnedPID[i] && rec.lsn == pinnedLSN[i] {
 			rec.dirty = false
 			m.dirtyCount--
@@ -218,7 +230,7 @@ func (m *Manager) cleanOnce(p *sim.Proc) bool {
 		}
 		m.frameIdle(idx)
 	}
-	if readErr {
+	if readErr || crashed {
 		return false
 	}
 	m.stats.CleanerPages += int64(len(frames))
@@ -232,6 +244,9 @@ func (m *Manager) cleanOnce(p *sim.Proc) bool {
 func (m *Manager) FlushDirty(p *sim.Proc) error {
 	before := m.stats.CleanerPages
 	for m.dirtyCount > 0 {
+		if m.lost {
+			return device.ErrLost
+		}
 		if !m.cleanOnce(p) {
 			// The remaining dirty frames are pinned by in-flight
 			// transfers (typically the background cleaner's own run).

@@ -15,10 +15,13 @@
 package ssd
 
 import (
+	"errors"
 	"fmt"
+	"sort"
 	"time"
 
 	"turbobp/internal/device"
+	"turbobp/internal/fault"
 	"turbobp/internal/lru2"
 	"turbobp/internal/page"
 	"turbobp/internal/pagetab"
@@ -83,6 +86,10 @@ type Config struct {
 	// TAC's asynchronous SSD write starting — the window in which forward
 	// processing can dirty the page and abort the admission (§4.2).
 	AsyncAdmitDelay time.Duration
+	// Faults, when set, fires crash points inside the manager (the LC
+	// cleaner's mid-lazy-clean site). Device-level faults are injected by
+	// wrapping the SSD device itself; see internal/fault.
+	Faults *fault.Injector
 }
 
 func (c *Config) setDefaults() {
@@ -170,6 +177,8 @@ type Stats struct {
 	CleanerWrites  int64 // disk write I/Os issued by the cleaner
 	CheckpointPgs  int64 // dirty SSD pages flushed by sharp checkpoints
 	TACAborts      int64 // TAC async admissions dropped (page dirtied first)
+	ReadErrors     int64 // SSD reads that failed (served from disk instead)
+	WriteErrors    int64 // SSD writes that failed (frame dropped, disk fallback)
 }
 
 // Manager is the SSD manager.
@@ -186,6 +195,7 @@ type Manager struct {
 	fillTarget    int
 	checkpointing bool
 	cleanerStop   bool
+	lost          bool // the SSD device failed wholesale (device.ErrLost)
 	stats         Stats
 
 	temps pagetab.Table[float64] // TAC extent temperatures (absent = 0)
@@ -320,6 +330,56 @@ func (m *Manager) Contains(pid page.ID) bool {
 	return ok && m.frames[idx].valid
 }
 
+// Lost reports whether the SSD device failed wholesale. A lost manager
+// rejects every operation with device.ErrLost; the engine replaces it via
+// RecoverSSDLoss.
+func (m *Manager) Lost() bool { return m.lost }
+
+// noteDeviceErr latches the lost state when err is a whole-device loss. The
+// cleaner is stopped too: it could only spin against a dead device.
+func (m *Manager) noteDeviceErr(err error) {
+	if errors.Is(err, device.ErrLost) {
+		m.lost = true
+		m.cleanerStop = true
+	}
+}
+
+// DirtyPageIDs returns, sorted, the ids of pages whose only up-to-date copy
+// lives on the SSD (valid dirty frames — possible only under LC). After an
+// SSD loss this is exactly the set recovery must rebuild from the WAL.
+func (m *Manager) DirtyPageIDs() []page.ID {
+	var ids []page.ID
+	for i := range m.frames {
+		rec := &m.frames[i]
+		if rec.occupied && rec.valid && rec.dirty {
+			ids = append(ids, rec.pid)
+		}
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+// dropFrame invalidates frame idx after a failed device write: the frame's
+// on-device contents are unknown, so the entry must never serve a hit (and
+// a dirty entry must never be "cleaned" from garbage). Non-TAC designs free
+// the frame as soon as it is idle; TAC leaves it occupied-invalid, like a
+// logical invalidation.
+func (m *Manager) dropFrame(idx int) {
+	rec := &m.frames[idx]
+	if !rec.occupied {
+		return
+	}
+	s := &m.shards[rec.shard]
+	if rec.dirty {
+		rec.dirty = false
+		m.dirtyCount--
+		s.dirty.Remove(int64(idx))
+	}
+	s.clean.Remove(int64(idx))
+	rec.valid = false
+	m.frameIdle(idx)
+}
+
 // IsDirty reports whether the cached copy of pid is newer than the disk
 // version (possible only under LC).
 func (m *Manager) IsDirty(pid page.ID) bool {
@@ -361,6 +421,9 @@ func (m *Manager) Read(p *sim.Proc, pid page.ID, pg *page.Page) (bool, error) {
 	if !m.Enabled() {
 		return false, nil
 	}
+	if m.lost {
+		return false, device.ErrLost
+	}
 	s := m.shardOf(pid)
 	idx, ok := s.lookup(pid)
 	if !ok || !m.frames[idx].valid {
@@ -380,9 +443,41 @@ func (m *Manager) Read(p *sim.Proc, pid page.ID, pg *page.Page) (bool, error) {
 	m.putVec(vec)
 	rec.io--
 	if err != nil {
+		m.stats.ReadErrors++
+		m.noteDeviceErr(err)
+		if !m.lost {
+			// Transient error: retry once, the standard storage response —
+			// and necessary for dirty LC frames, whose copy is the only
+			// up-to-date one.
+			rec.io++
+			vec = append(m.getVec(1), buf)
+			err = m.dev.Read(p, device.PageNum(idx), vec)
+			m.putVec(vec)
+			rec.io--
+			if err != nil {
+				m.stats.ReadErrors++
+				m.noteDeviceErr(err)
+			}
+		}
+	}
+	if err != nil {
 		m.putBuf(buf)
-		m.frameIdle(idx)
-		return false, err
+		if m.lost {
+			m.frameIdle(idx)
+			return false, device.ErrLost
+		}
+		if rec.dirty {
+			// The only up-to-date copy is unreadable and the device is not
+			// (yet) declared lost. Surface the error rather than silently
+			// serving the stale disk version.
+			m.frameIdle(idx)
+			return false, err
+		}
+		// Clean frame: degrade to a miss served from disk, dropping the
+		// entry so it cannot keep failing.
+		m.dropFrame(idx)
+		m.stats.Misses++
+		return false, nil
 	}
 	if !rec.occupied || rec.pid != pid {
 		// The frame was reclaimed while we slept in the device queue (the
@@ -584,6 +679,9 @@ func (m *Manager) writeFrame(p *sim.Proc, idx int, pg *page.Page) error {
 // admit caches pg in the SSD (already qualified and not throttled),
 // returning false if no frame could be claimed.
 func (m *Manager) admit(p *sim.Proc, pg *page.Page, dirty bool) (bool, error) {
+	if m.lost {
+		return false, device.ErrLost
+	}
 	s := m.shardOf(pg.ID)
 	if idx, ok := s.lookup(pg.ID); ok {
 		rec := &m.frames[idx]
@@ -604,7 +702,7 @@ func (m *Manager) admit(p *sim.Proc, pg *page.Page, dirty bool) (bool, error) {
 		if dirty {
 			m.stats.DirtyAdmits++
 		}
-		return true, m.writeFrame(p, idx, pg)
+		return m.finishAdmit(idx, m.writeFrame(p, idx, pg))
 	}
 	idx := m.allocFrame(pg.ID, dirty)
 	if idx < 0 {
@@ -615,7 +713,25 @@ func (m *Manager) admit(p *sim.Proc, pg *page.Page, dirty bool) (bool, error) {
 	if dirty {
 		m.stats.DirtyAdmits++
 	}
-	return true, m.writeFrame(p, idx, pg)
+	return m.finishAdmit(idx, m.writeFrame(p, idx, pg))
+}
+
+// finishAdmit resolves a writeFrame outcome: on failure the frame's contents
+// are unknown, so the entry is dropped and the admission reported as not
+// taken — callers fall back to the disk write path for dirty pages, which is
+// exactly the no-SSD behaviour. Only whole-device loss propagates as an
+// error.
+func (m *Manager) finishAdmit(idx int, err error) (bool, error) {
+	if err == nil {
+		return true, nil
+	}
+	m.stats.WriteErrors++
+	m.noteDeviceErr(err)
+	m.dropFrame(idx)
+	if m.lost {
+		return false, device.ErrLost
+	}
+	return false, nil
 }
 
 // SetCheckpointing tells the manager a sharp checkpoint is in progress; LC

@@ -2,7 +2,9 @@ package ssd
 
 import (
 	"container/heap"
+	"errors"
 
+	"turbobp/internal/device"
 	"turbobp/internal/lru2"
 	"turbobp/internal/page"
 	"turbobp/internal/sim"
@@ -92,6 +94,12 @@ func (m *Manager) TACOnDiskRead(pg *page.Page, random bool, stillClean func() bo
 			return
 		}
 		if err := m.tacAdmit(p, snap); err != nil {
+			if errors.Is(err, device.ErrLost) {
+				// The SSD died under the async admission. The write was
+				// optional traffic; the engine notices the loss on its next
+				// synchronous SSD operation.
+				return
+			}
 			panic("ssd: tac admit: " + err.Error())
 		}
 	})
@@ -101,6 +109,9 @@ func (m *Manager) TACOnDiskRead(pg *page.Page, random bool, stillClean func() bo
 // below the filling threshold, otherwise only when its extent is hotter
 // than the coldest cached page (which is then replaced).
 func (m *Manager) tacAdmit(p *sim.Proc, snap *page.Page) error {
+	if m.lost {
+		return device.ErrLost
+	}
 	s := m.shardOf(snap.ID)
 	if idx, ok := s.lookup(snap.ID); ok {
 		rec := &m.frames[idx]
@@ -110,7 +121,8 @@ func (m *Manager) tacAdmit(p *sim.Proc, snap *page.Page) error {
 		rec.valid = true
 		rec.lsn = snap.LSN
 		m.stats.Admissions++
-		return m.writeFrame(p, idx, snap)
+		_, err := m.finishAdmit(idx, m.writeFrame(p, idx, snap))
+		return err
 	}
 	idx := m.tacAllocFrame(snap.ID)
 	if idx < 0 {
@@ -118,7 +130,8 @@ func (m *Manager) tacAdmit(p *sim.Proc, snap *page.Page) error {
 	}
 	m.frames[idx].lsn = snap.LSN
 	m.stats.Admissions++
-	return m.writeFrame(p, idx, snap)
+	_, err := m.finishAdmit(idx, m.writeFrame(p, idx, snap))
+	return err
 }
 
 // tacAllocFrame claims a frame for pid: the free list first, then — when
@@ -197,6 +210,9 @@ func (m *Manager) tacRevalidate(p *sim.Proc, pg *page.Page) error {
 	if !m.Enabled() {
 		return nil
 	}
+	if m.lost {
+		return device.ErrLost
+	}
 	s := m.shardOf(pg.ID)
 	idx, ok := s.lookup(pg.ID)
 	if !ok {
@@ -213,5 +229,6 @@ func (m *Manager) tacRevalidate(p *sim.Proc, pg *page.Page) error {
 	rec.valid = true
 	rec.lsn = pg.LSN
 	m.stats.Revalidations++
-	return m.writeFrame(p, idx, pg)
+	_, err := m.finishAdmit(idx, m.writeFrame(p, idx, pg))
+	return err
 }

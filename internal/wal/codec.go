@@ -75,6 +75,12 @@ func DecodeRecord(buf []byte) (Record, int, error) {
 		return Record{}, 0, ErrTruncated
 	}
 	n := int(binary.LittleEndian.Uint32(buf[0:4]))
+	if n == 0 && binary.LittleEndian.Uint32(buf[4:8]) == 0 {
+		// An all-zero frame header is the clean end of a zero-filled
+		// (preallocated or torn-then-zero-padded) log region, not
+		// corruption: replay stops here.
+		return Record{}, 0, ErrTruncated
+	}
 	if n < frameHeader-8 {
 		return Record{}, 0, fmt.Errorf("%w: impossible body length %d", ErrCorruptRecord, n)
 	}

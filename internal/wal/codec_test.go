@@ -57,9 +57,18 @@ func TestDecodeCorruptionDetected(t *testing.T) {
 }
 
 func TestDecodeImpossibleLength(t *testing.T) {
-	var buf [8]byte // length 0 body
+	var buf [8]byte // length 0 body but a nonzero checksum: not zero-fill
+	buf[4] = 1
 	if _, _, err := DecodeRecord(buf[:]); !errors.Is(err, ErrCorruptRecord) {
 		t.Errorf("err = %v", err)
+	}
+}
+
+func TestDecodeZeroFillIsTruncation(t *testing.T) {
+	// An all-zero header is the clean end of a zero-filled log region.
+	var buf [8]byte
+	if _, _, err := DecodeRecord(buf[:]); !errors.Is(err, ErrTruncated) {
+		t.Errorf("err = %v, want ErrTruncated", err)
 	}
 }
 

@@ -206,6 +206,13 @@ func (l *Log) Crash() {
 // slice is shared; callers must not modify it.
 func (l *Log) Durable() []Record { return l.durable }
 
+// PendingRecords returns a copy of the records appended but not yet durable
+// — what a crash right now would lose. Fault tests use it to build the
+// torn-tail log images they then recover from.
+func (l *Log) PendingRecords() []Record {
+	return append([]Record(nil), l.pending...)
+}
+
 // LastCheckpoint returns the most recent durable checkpoint record, if any.
 func (l *Log) LastCheckpoint() (Record, bool) {
 	for i := len(l.durable) - 1; i >= 0; i-- {

@@ -27,6 +27,7 @@ import (
 
 	"turbobp/internal/device"
 	"turbobp/internal/engine"
+	"turbobp/internal/fault"
 	"turbobp/internal/page"
 	"turbobp/internal/sim"
 	"turbobp/internal/ssd"
@@ -89,6 +90,13 @@ type Options struct {
 	// Dir selects the file backend: page files and the log live under it.
 	// Empty selects the simulated backend.
 	Dir string
+
+	// FaultSeed, when nonzero, enables the deterministic fault-injection
+	// layer: the DB's devices are wrapped so that I/O errors, torn writes
+	// and whole-SSD loss can be injected (see Faults and FailSSD), and the
+	// engine's crash points become armable. The same seed replays the same
+	// fault schedule. Zero disables injection at no cost.
+	FaultSeed uint64
 }
 
 // ErrClosed is returned by operations on a closed DB.
@@ -134,6 +142,9 @@ func Open(opts Options) (*DB, error) {
 		CheckpointInterval: opts.CheckpointInterval,
 		FuzzyCheckpoints:   opts.FuzzyCheckpoints,
 		WarmRestart:        opts.WarmRestart,
+	}
+	if opts.FaultSeed != 0 {
+		cfg.Faults = fault.New(opts.FaultSeed)
 	}
 	env := sim.NewEnv()
 	db := &DB{env: env, opts: opts}
@@ -314,6 +325,36 @@ func (db *DB) Recover() error {
 	})
 }
 
+// Faults returns the DB's fault injector, or nil when Options.FaultSeed was
+// zero. Use it to arm crash points and schedule device faults; the device
+// names are "db", "ssd" and "wal". See docs/FAILURES.md for the failure
+// model and each design's recovery semantics.
+func (db *DB) Faults() *fault.Injector {
+	return db.eng.Config().Faults
+}
+
+// FailSSD makes the SSD device fail on its next operation, modeling a
+// whole-SSD loss during forward processing. The engine detects the loss,
+// replaces the device, rebuilds the cache and — under LC — redoes the
+// uniquely-dirty SSD pages from the WAL; no committed update is lost.
+// Stats.SSDLosses and Stats.SSDRedoRecords report what happened.
+func (db *DB) FailSSD() error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.closed {
+		return ErrClosed
+	}
+	inj := db.eng.Config().Faults
+	if inj == nil {
+		return errors.New("turbobp: fault injection disabled (set Options.FaultSeed)")
+	}
+	if db.eng.SSDDevice() == nil {
+		return errors.New("turbobp: no SSD to fail")
+	}
+	inj.FailDeviceNow("ssd")
+	return nil
+}
+
 // AllocPage reserves the next unused page and returns its id, or an error
 // when the database is full. Allocation is a metadata operation: the page
 // was formatted (zero-filled) at Open.
@@ -372,6 +413,10 @@ type Stats struct {
 	SSDWrites   int64
 	Checkpoints int64
 	VirtualTime time.Duration // simulated backend only
+
+	// Fault-injection outcomes (zero unless Options.FaultSeed is set).
+	SSDLosses      int64 // whole-SSD failures survived
+	SSDRedoRecords int64 // WAL redo records applied to rebuild lost dirty SSD pages
 }
 
 // Stats returns current counters.
@@ -393,6 +438,9 @@ func (db *DB) Stats() Stats {
 		SSDDirty:    db.eng.SSD().DirtyCount(),
 		Checkpoints: es.Checkpoints,
 		VirtualTime: db.env.Now(),
+
+		SSDLosses:      es.SSDLosses,
+		SSDRedoRecords: es.SSDLossRedo,
 	}
 	d := db.eng.DBDevice().Stats().Load()
 	s.DiskReads, s.DiskWrites = d.ReadOps, d.WriteOps
