@@ -56,7 +56,16 @@ echo "== fault matrix (crash/recover, must pass and be byte-stable) =="
 /tmp/bpesim-ci -parallel 1 faults > /tmp/bpesim-ci-faults-serial.out 2>/dev/null
 /tmp/bpesim-ci -parallel 4 faults > /tmp/bpesim-ci-faults-parallel.out 2>/dev/null
 cmp /tmp/bpesim-ci-faults-serial.out /tmp/bpesim-ci-faults-parallel.out
+
+echo "== benchmark regression guard (hot paths vs BENCH_harness.json, 25% margin) =="
+/tmp/bpesim-ci -benchguard BENCH_harness.json
+
+echo "== scale smoke (fig5-tpcc at divisor 256, 120s budget) =="
+timeout 120 /tmp/bpesim-ci -divisor 256 -parallel 1 fig5-tpcc > /tmp/bpesim-ci-scale.out 2>/dev/null
+grep -q "== fig5-tpcc" /tmp/bpesim-ci-scale.out
+
 rm -f /tmp/bpesim-ci /tmp/bpesim-ci-serial.out /tmp/bpesim-ci-parallel.out \
-      /tmp/bpesim-ci-faults-serial.out /tmp/bpesim-ci-faults-parallel.out
+      /tmp/bpesim-ci-faults-serial.out /tmp/bpesim-ci-faults-parallel.out \
+      /tmp/bpesim-ci-scale.out
 
 echo "CI OK"

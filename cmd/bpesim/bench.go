@@ -102,3 +102,51 @@ func writeBenchJSON(path string, scale harness.Scale) error {
 	}
 	return os.WriteFile(path, append(data, '\n'), 0o644)
 }
+
+// guardMargin is how much slower than the recorded baseline a guarded
+// microbenchmark may run before the guard fails. Generous enough to absorb
+// shared-runner noise, tight enough to catch a real hot-path regression.
+const guardMargin = 1.25
+
+// guardedBenches are the hot-path microbenchmarks the regression guard
+// re-measures: the engine's three transaction paths.
+var guardedBenches = map[string]func(*testing.B){
+	"GetHit":       microbench.GetHit,
+	"GetMiss":      microbench.GetMiss,
+	"UpdateCommit": microbench.UpdateCommit,
+}
+
+// runBenchGuard re-runs the guarded microbenchmarks and compares each
+// against the ns/op recorded in the benchjson report at path, failing if
+// any exceeds its baseline by more than guardMargin.
+func runBenchGuard(path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var rep benchReport
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	var failed []string
+	for _, name := range []string{"GetHit", "GetMiss", "UpdateCommit"} {
+		base, ok := rep.Microbench[name]
+		if !ok {
+			return fmt.Errorf("%s: no recorded baseline for %s", path, name)
+		}
+		r := testing.Benchmark(guardedBenches[name])
+		got := float64(r.T.Nanoseconds()) / float64(r.N)
+		limit := base.NsPerOp * guardMargin
+		status := "ok"
+		if got > limit {
+			status = "FAIL"
+			failed = append(failed, name)
+		}
+		fmt.Fprintf(os.Stderr, "benchguard: %-12s %10.0f ns/op (baseline %.0f, limit %.0f) %s\n",
+			name, got, base.NsPerOp, limit, status)
+	}
+	if len(failed) > 0 {
+		return fmt.Errorf("regressed more than %.0f%% over %s: %v", (guardMargin-1)*100, path, failed)
+	}
+	return nil
+}

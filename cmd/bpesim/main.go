@@ -6,8 +6,14 @@
 //	bpesim -list
 //	bpesim [-divisor N] [-parallel W] <experiment-id> [<experiment-id>...]
 //	bpesim all
+//	bpesim scale
 //	bpesim -benchjson BENCH_harness.json
+//	bpesim -benchguard BENCH_harness.json
 //	bpesim -cpuprofile cpu.prof -memprofile mem.prof <experiment-id>
+//
+// "scale" is a standalone scale sweep: the Figure 5 TPC-C grid at
+// successively smaller divisors with events/sec and wall-clock readings
+// (nondeterministic output, so it is not part of "all").
 //
 // The divisor scales the paper's sizes and clock down together (default
 // 1024); smaller divisors are slower but closer to paper scale. -parallel
@@ -37,6 +43,7 @@ func main() {
 	csvOut := flag.Bool("csv", false, "emit figure data as CSV instead of rendered text (figure experiments only)")
 	parallel := flag.Int("parallel", 0, "worker count for experiment cells (0 = GOMAXPROCS, 1 = serial)")
 	benchJSON := flag.String("benchjson", "", "write a machine-readable benchmark report (wall-clock serial vs parallel, allocs/op) to this file and exit")
+	benchGuard := flag.String("benchguard", "", "re-run the hot-path microbenchmarks and fail if any regresses more than 25% against this benchjson report")
 	faultSeed := flag.Uint64("faultseed", harness.FaultSeed(), "seed for the faults experiment's injected fault schedules")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 	memProfile := flag.String("memprofile", "", "write an allocation profile taken at exit to this file")
@@ -87,10 +94,24 @@ func main() {
 		}
 		return
 	}
+	if *benchGuard != "" {
+		if err := runBenchGuard(*benchGuard); err != nil {
+			fmt.Fprintf(os.Stderr, "bpesim: benchguard: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 	args := flag.Args()
 	if len(args) == 0 {
 		usage()
 		os.Exit(2)
+	}
+	if len(args) == 1 && args[0] == "scale" {
+		if err := harness.RunScaleSweep(os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "bpesim: scale: %v\n", err)
+			os.Exit(1)
+		}
+		return
 	}
 	if len(args) == 1 && args[0] == "all" {
 		args = nil
@@ -132,6 +153,6 @@ func printList() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: bpesim [-divisor N] [-parallel W] [-cpuprofile FILE] [-memprofile FILE] <experiment-id>... | all | -list | -benchjson FILE")
+	fmt.Fprintln(os.Stderr, "usage: bpesim [-divisor N] [-parallel W] [-cpuprofile FILE] [-memprofile FILE] <experiment-id>... | all | scale | -list | -benchjson FILE | -benchguard FILE")
 	printList()
 }

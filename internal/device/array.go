@@ -124,6 +124,69 @@ func (a *Array) do(p *sim.Proc, page PageNum, bufs [][]byte, write bool) error {
 	return firstErr
 }
 
+// doTask is the run-to-completion twin of do: the same request splitting,
+// stats accounting and multi-disk fan-out, delivered to k. Single-stripe
+// requests (every single-page I/O) forward straight to the member disk's
+// task path, inheriting its analytic fast path.
+func (a *Array) doTask(t *sim.Task, page PageNum, bufs [][]byte, write bool, k func(error)) {
+	if err := checkRange(page, len(bufs), a.capacity); err != nil {
+		k(err)
+		return
+	}
+	if len(bufs) == 0 {
+		k(nil)
+		return
+	}
+	if write {
+		a.stats.WriteOps.Add(1)
+		a.stats.WritePages.Add(int64(len(bufs)))
+	} else {
+		a.stats.ReadOps.Add(1)
+		a.stats.ReadPages.Add(int64(len(bufs)))
+	}
+	op := func(t *sim.Task, r run, k func(error)) {
+		d := a.disks[r.disk]
+		if write {
+			d.WriteTask(t, r.local, r.bufs, k)
+			return
+		}
+		d.ReadTask(t, r.local, r.bufs, k)
+	}
+	if int(a.stripeUnit-page%a.stripeUnit) >= len(bufs) {
+		disk, local := a.locate(page)
+		op(t, run{disk: disk, local: local, bufs: bufs}, k)
+		return
+	}
+	runs := a.split(page, bufs)
+	if len(runs) == 1 {
+		op(t, runs[0], k)
+		return
+	}
+	// Fan the runs out to their disks in parallel and join.
+	var firstErr error
+	remaining := len(runs)
+	done := sim.NewSignal(a.env)
+	for _, r := range runs {
+		r := r
+		a.env.Spawn("array-io", func(child *sim.Task) {
+			op(child, r, func(err error) {
+				if err != nil && firstErr == nil {
+					firstErr = err
+				}
+				remaining--
+				if remaining == 0 {
+					done.Broadcast()
+				}
+			})
+		})
+	}
+	if remaining > 0 {
+		done.WaitFunc(func() { k(firstErr) })
+		return
+	}
+	k(firstErr)
+}
+
 // Read performs a (possibly multi-disk) page-run read.
 func (a *Array) Read(p *sim.Proc, page PageNum, bufs [][]byte) error {
 	return a.do(p, page, bufs, false)
@@ -132,6 +195,16 @@ func (a *Array) Read(p *sim.Proc, page PageNum, bufs [][]byte) error {
 // Write performs a (possibly multi-disk) page-run write.
 func (a *Array) Write(p *sim.Proc, page PageNum, bufs [][]byte) error {
 	return a.do(p, page, bufs, true)
+}
+
+// ReadTask performs a (possibly multi-disk) page-run read in task form.
+func (a *Array) ReadTask(t *sim.Task, page PageNum, bufs [][]byte, k func(error)) {
+	a.doTask(t, page, bufs, false, k)
+}
+
+// WriteTask performs a (possibly multi-disk) page-run write in task form.
+func (a *Array) WriteTask(t *sim.Task, page PageNum, bufs [][]byte, k func(error)) {
+	a.doTask(t, page, bufs, true, k)
 }
 
 // Preload stores data on the owning disk without charging time.

@@ -18,7 +18,6 @@ package device
 import (
 	"errors"
 	"fmt"
-	"sync/atomic"
 
 	"turbobp/internal/sim"
 )
@@ -39,12 +38,20 @@ var ErrLost = errors.New("device: device lost")
 // Device is a page-granular block device. Read and Write block the calling
 // simulation process for the modelled duration of the request; for the
 // real-file backend p may be nil and the call blocks the OS thread instead.
+// ReadTask and WriteTask are the run-to-completion twins: they perform the
+// identical request on behalf of a sim.Task and deliver the result to k
+// instead of returning it — inline when the device queue is empty and the
+// completion time can be computed analytically, otherwise via the
+// scheduler. Callers must treat them as tail calls (no code after).
 //
 // bufs holds one page-sized buffer per page of a contiguous run starting at
-// page: Read fills them, Write persists copies of them.
+// page: Read fills them, Write persists copies of them. For the task forms
+// the bufs remain in the device's hands until k runs.
 type Device interface {
 	Read(p *sim.Proc, page PageNum, bufs [][]byte) error
 	Write(p *sim.Proc, page PageNum, bufs [][]byte) error
+	ReadTask(t *sim.Task, page PageNum, bufs [][]byte, k func(error))
+	WriteTask(t *sim.Task, page PageNum, bufs [][]byte, k func(error))
 	// Pending reports the number of in-flight plus queued requests; the SSD
 	// throttle-control optimization (§3.3.2) polls this.
 	Pending() int
@@ -58,16 +65,29 @@ type Preloader interface {
 	Preload(page PageNum, data []byte) error
 }
 
-// Stats holds cumulative I/O counters for one device. All fields are
-// maintained atomically so samplers may read them while a simulation runs.
+// Counter is a cumulative I/O counter. It is deliberately not atomic: every
+// writer and reader runs under the simulation kernel's serialization (procs
+// hand off execution one at a time, samplers are simulation processes
+// themselves), the same discipline the devices' buffer free lists already
+// rely on. Keeping the counters plain keeps the per-request hot path free
+// of synchronized memory operations.
+type Counter struct{ v int64 }
+
+// Add increments the counter by d.
+func (c *Counter) Add(d int64) { c.v += d }
+
+// Load returns the current value.
+func (c *Counter) Load() int64 { return c.v }
+
+// Stats holds cumulative I/O counters for one device.
 type Stats struct {
-	ReadOps    atomic.Int64 // I/O requests (a multi-page request counts once)
-	WriteOps   atomic.Int64
-	ReadPages  atomic.Int64 // pages transferred
-	WritePages atomic.Int64
-	SeqReads   atomic.Int64 // requests served without a seek penalty
-	SeqWrites  atomic.Int64
-	BusyNanos  atomic.Int64 // total service time charged
+	ReadOps    Counter // I/O requests (a multi-page request counts once)
+	WriteOps   Counter
+	ReadPages  Counter // pages transferred
+	WritePages Counter
+	SeqReads   Counter // requests served without a seek penalty
+	SeqWrites  Counter
+	BusyNanos  Counter // total service time charged
 }
 
 // Snapshot is a plain-value copy of Stats at one instant.

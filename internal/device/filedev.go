@@ -72,6 +72,18 @@ func (d *File) Write(_ *sim.Proc, page PageNum, bufs [][]byte) error {
 	return nil
 }
 
+// ReadTask performs the real read synchronously (file I/O charges no
+// virtual time) and continues with its result.
+func (d *File) ReadTask(_ *sim.Task, page PageNum, bufs [][]byte, k func(error)) {
+	k(d.Read(nil, page, bufs))
+}
+
+// WriteTask performs the real write synchronously and continues with its
+// result.
+func (d *File) WriteTask(_ *sim.Task, page PageNum, bufs [][]byte, k func(error)) {
+	k(d.Write(nil, page, bufs))
+}
+
 func (d *File) check(page PageNum, bufs [][]byte) error {
 	if err := checkRange(page, len(bufs), d.capacity); err != nil {
 		return err

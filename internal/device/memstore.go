@@ -1,11 +1,14 @@
 package device
 
-import "turbobp/internal/pagetab"
-
-// memstore is the persistent content of a simulated device: a sparse table of
-// page payload copies. Pages never written read back as zero-filled.
+// memstore is the persistent content of a simulated device: one payload-copy
+// slot per page, directly indexed. The slot array grows geometrically to the
+// highest page ever written — FormatDB densifies the database disks anyway,
+// so a flat array is both smaller and faster than a sparse table (page
+// lookup is an index, not a hash probe), while nominally huge devices that
+// are never written (the discarded-content log device) cost nothing. Pages
+// never written read back as zero-filled.
 type memstore struct {
-	pages pagetab.Table[[]byte]
+	pages [][]byte
 }
 
 func newMemstore() *memstore {
@@ -15,12 +18,9 @@ func newMemstore() *memstore {
 // read copies the stored payload for page into buf (zero-fills if the page
 // was never written). Short or long buffers copy min(len).
 func (m *memstore) read(page PageNum, buf []byte) {
-	src, ok := m.pages.Get(uint64(page))
-	if !ok {
-		for i := range buf {
-			buf[i] = 0
-		}
-		return
+	var src []byte
+	if int64(page) < int64(len(m.pages)) {
+		src = m.pages[page]
 	}
 	n := copy(buf, src)
 	for i := n; i < len(buf); i++ {
@@ -30,13 +30,19 @@ func (m *memstore) read(page PageNum, buf []byte) {
 
 // write stores a copy of buf as the content of page.
 func (m *memstore) write(page PageNum, buf []byte) {
-	dst, ok := m.pages.Get(uint64(page))
-	if !ok || len(dst) != len(buf) {
+	if int64(page) >= int64(len(m.pages)) {
+		n := int64(len(m.pages)) * 2
+		if n <= int64(page) {
+			n = int64(page) + 1
+		}
+		grown := make([][]byte, n)
+		copy(grown, m.pages)
+		m.pages = grown
+	}
+	dst := m.pages[page]
+	if len(dst) != len(buf) {
 		dst = make([]byte, len(buf))
-		m.pages.Put(uint64(page), dst)
+		m.pages[page] = dst
 	}
 	copy(dst, buf)
 }
-
-// len reports the number of pages ever written.
-func (m *memstore) len() int { return m.pages.Len() }

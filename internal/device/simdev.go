@@ -43,6 +43,60 @@ type simDevice struct {
 	head     PageNum // page following the last request (for sequential detection)
 	store    *memstore
 	stats    Stats
+
+	// Free list of run-to-completion request states. Requests are taken per
+	// ioTask call and returned at completion, so steady-state task I/O
+	// allocates nothing; the pre-bound method continuations are created once
+	// per state. The simulation kernel serializes access.
+	reqFree []*ioReq
+}
+
+// ioReq carries one in-flight task-form request through acquire → service →
+// complete without per-call closures.
+type ioReq struct {
+	d     *simDevice
+	t     *sim.Task
+	page  PageNum
+	bufs  [][]byte
+	write bool
+	dur   time.Duration
+	seq   bool
+	k     func(error)
+
+	onAcquire func() // bound to (*ioReq).acquired once
+	onDone    func() // bound to (*ioReq).done once
+}
+
+func (d *simDevice) getReq() *ioReq {
+	if n := len(d.reqFree); n > 0 {
+		r := d.reqFree[n-1]
+		d.reqFree[n-1] = nil
+		d.reqFree = d.reqFree[:n-1]
+		return r
+	}
+	r := &ioReq{d: d}
+	r.onAcquire = r.acquired
+	r.onDone = r.done
+	return r
+}
+
+// acquired runs when the device grants the request: cost is computed at
+// service start (head position matters) and the completion is scheduled.
+func (r *ioReq) acquired() {
+	r.dur, r.seq = r.d.cost(r.page, len(r.bufs), r.write)
+	r.t.Sleep(r.dur, r.onDone)
+}
+
+// done applies the request's effects at completion time and recycles the
+// state before continuing, so k may immediately issue another request.
+func (r *ioReq) done() {
+	d := r.d
+	d.complete(r.page, r.bufs, r.write, r.dur, r.seq)
+	d.res.Release()
+	k := r.k
+	r.t, r.bufs, r.k = nil, nil, nil
+	d.reqFree = append(d.reqFree, r)
+	k(nil)
 }
 
 func newSimDevice(env *sim.Env, profile Profile, capacity PageNum) *simDevice {
@@ -69,7 +123,49 @@ func (d *simDevice) cost(page PageNum, n int, write bool) (time.Duration, bool) 
 	return first + time.Duration(n-1)*rest, seq
 }
 
-func (d *simDevice) Read(p *sim.Proc, page PageNum, bufs [][]byte) error {
+// complete applies a request's effects at its completion time: payload
+// transfer, head movement and stats. It runs after the service time has
+// been charged, so queueing semantics and sampler bucket attribution are
+// identical for the blocking and task forms.
+func (d *simDevice) complete(page PageNum, bufs [][]byte, write bool, dur time.Duration, seq bool) {
+	switch {
+	case d.store == nil:
+		if !write {
+			for _, buf := range bufs {
+				for i := range buf {
+					buf[i] = 0
+				}
+			}
+		}
+	case write:
+		for i, buf := range bufs {
+			d.store.write(page+PageNum(i), buf)
+		}
+	default:
+		for i, buf := range bufs {
+			d.store.read(page+PageNum(i), buf)
+		}
+	}
+	d.head = page + PageNum(len(bufs))
+	if write {
+		d.stats.WriteOps.Add(1)
+		d.stats.WritePages.Add(int64(len(bufs)))
+	} else {
+		d.stats.ReadOps.Add(1)
+		d.stats.ReadPages.Add(int64(len(bufs)))
+	}
+	d.stats.BusyNanos.Add(int64(dur))
+	if seq {
+		if write {
+			d.stats.SeqWrites.Add(1)
+		} else {
+			d.stats.SeqReads.Add(1)
+		}
+	}
+}
+
+// io serves one request on behalf of a blocking process.
+func (d *simDevice) io(p *sim.Proc, page PageNum, bufs [][]byte, write bool) error {
 	if err := checkRange(page, len(bufs), d.capacity); err != nil {
 		return err
 	}
@@ -77,53 +173,65 @@ func (d *simDevice) Read(p *sim.Proc, page PageNum, bufs [][]byte) error {
 		return nil
 	}
 	d.res.Acquire(p)
-	dur, seq := d.cost(page, len(bufs), false)
+	dur, seq := d.cost(page, len(bufs), write)
 	p.Sleep(dur)
-	for i, buf := range bufs {
-		d.store.read(page+PageNum(i), buf)
-	}
-	d.head = page + PageNum(len(bufs))
-	d.stats.ReadOps.Add(1)
-	d.stats.ReadPages.Add(int64(len(bufs)))
-	d.stats.BusyNanos.Add(int64(dur))
-	if seq {
-		d.stats.SeqReads.Add(1)
-	}
+	d.complete(page, bufs, write, dur, seq)
 	d.res.Release()
 	return nil
 }
 
-func (d *simDevice) Write(p *sim.Proc, page PageNum, bufs [][]byte) error {
+// ioTask serves one request in run-to-completion form. When the device is
+// idle and the completion is provably the next dispatch, the whole request
+// — queue entry, service time, completion — resolves analytically with no
+// scheduler round-trip at all: AcquireFunc grants inline and Task.Sleep
+// advances the clock inline.
+func (d *simDevice) ioTask(t *sim.Task, page PageNum, bufs [][]byte, write bool, k func(error)) {
 	if err := checkRange(page, len(bufs), d.capacity); err != nil {
-		return err
+		k(err)
+		return
 	}
 	if len(bufs) == 0 {
-		return nil
+		k(nil)
+		return
 	}
-	d.res.Acquire(p)
-	dur, seq := d.cost(page, len(bufs), true)
-	p.Sleep(dur)
-	for i, buf := range bufs {
-		d.store.write(page+PageNum(i), buf)
-	}
-	d.head = page + PageNum(len(bufs))
-	d.stats.WriteOps.Add(1)
-	d.stats.WritePages.Add(int64(len(bufs)))
-	d.stats.BusyNanos.Add(int64(dur))
-	if seq {
-		d.stats.SeqWrites.Add(1)
-	}
-	d.res.Release()
-	return nil
+	r := d.getReq()
+	r.t, r.page, r.bufs, r.write, r.k = t, page, bufs, write, k
+	d.res.AcquireFunc(r.onAcquire)
+}
+
+func (d *simDevice) Read(p *sim.Proc, page PageNum, bufs [][]byte) error {
+	return d.io(p, page, bufs, false)
+}
+
+func (d *simDevice) Write(p *sim.Proc, page PageNum, bufs [][]byte) error {
+	return d.io(p, page, bufs, true)
+}
+
+func (d *simDevice) ReadTask(t *sim.Task, page PageNum, bufs [][]byte, k func(error)) {
+	d.ioTask(t, page, bufs, false, k)
+}
+
+func (d *simDevice) WriteTask(t *sim.Task, page PageNum, bufs [][]byte, k func(error)) {
+	d.ioTask(t, page, bufs, true, k)
 }
 
 func (d *simDevice) Preload(page PageNum, data []byte) error {
 	if err := checkRange(page, 1, d.capacity); err != nil {
 		return err
 	}
-	d.store.write(page, data)
+	if d.store != nil {
+		d.store.write(page, data)
+	}
 	return nil
 }
+
+// DiscardContent switches the device to a timing-only model: writes drop
+// their payloads and reads return zero-filled pages. Timing, queueing and
+// stats are unchanged. The engine uses it for the log device, whose content
+// is never read back (recovery replays the in-memory durable records) but
+// whose ever-advancing write position would otherwise make the store retain
+// a copy of every log page ever flushed.
+func (d *simDevice) DiscardContent() { d.store = nil }
 
 func (d *simDevice) Pending() int  { return d.res.Pending() }
 func (d *simDevice) Stats() *Stats { return &d.stats }

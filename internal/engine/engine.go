@@ -231,6 +231,12 @@ type Engine struct {
 	// proc sleeps in virtual time mid-I/O while holding them.
 	bufFree [][]byte
 	vecFree [][][]byte
+
+	// Free list of run-to-completion access states (see task.go). One is
+	// taken per GetTask/UpdateTask/CommitTask call and returned when its
+	// continuation fires, so steady-state transaction traffic allocates no
+	// continuation closures.
+	opFree []*txOp
 }
 
 // New builds an engine (and its simulated devices) inside env.
@@ -242,6 +248,7 @@ func New(env *sim.Env, cfg Config) *Engine {
 		ssdDev = device.NewSSD(env, cfg.SSDProfile, device.PageNum(cfg.SSDFrames))
 	}
 	logDev := device.NewHDD(env, cfg.HDDProfile, 1<<30)
+	logDev.DiscardContent() // log pages are write-only traffic; keep timing, drop payloads
 	e := NewWithDevices(env, cfg, arr, ssdDev, logDev)
 	e.dbArr = arr
 	return e
@@ -312,6 +319,11 @@ type diskWriter Engine
 // WriteEncoded writes a run of encoded pages to the database disks.
 func (d *diskWriter) WriteEncoded(p *sim.Proc, start page.ID, bufs [][]byte) error {
 	return (*Engine)(d).db.Write(p, device.PageNum(start), bufs)
+}
+
+// WriteEncodedTask is the run-to-completion twin of WriteEncoded.
+func (d *diskWriter) WriteEncodedTask(t *sim.Task, start page.ID, bufs [][]byte, k func(error)) {
+	(*Engine)(d).db.WriteTask(t, device.PageNum(start), bufs, k)
 }
 
 // Env returns the simulation environment.
@@ -596,6 +608,18 @@ func (e *Engine) stillCleanFn(pid page.ID, f *bufpool.Frame) func() bool {
 // start-up behaviour, visible as the initial read burst of the paper's
 // Figure 8. The extra pages land in free frames as sequential arrivals.
 func (e *Engine) diskReadInto(p *sim.Proc, pid page.ID, f *bufpool.Frame, viaReadAhead bool) error {
+	n := e.readSpan(pid, viaReadAhead)
+	bufs := e.getVec(n)
+	defer e.putVec(bufs) // decodeInto copies, so nothing aliases them after
+	if err := e.db.Read(p, device.PageNum(pid), bufs); err != nil {
+		return err
+	}
+	return e.installRead(pid, bufs, f)
+}
+
+// readSpan decides how many contiguous pages a read of pid fetches (the
+// warm-up ReadExpansion widening) and latches poolFilled.
+func (e *Engine) readSpan(pid page.ID, viaReadAhead bool) int {
 	n := 1
 	if !viaReadAhead && e.cfg.ReadExpansion > 1 && !e.poolFilled &&
 		e.pool.FreeFrames() >= e.cfg.ReadExpansion {
@@ -607,17 +631,18 @@ func (e *Engine) diskReadInto(p *sim.Proc, pid page.ID, f *bufpool.Frame, viaRea
 	if e.pool.FreeFrames() == 0 {
 		e.poolFilled = true
 	}
-	bufs := e.getVec(n)
-	defer e.putVec(bufs) // decodeInto copies, so nothing aliases them after
-	if err := e.db.Read(p, device.PageNum(pid), bufs); err != nil {
-		return err
-	}
+	return n
+}
+
+// installRead decodes the fetched images: the requested page into f, the
+// expansion tail into free frames. Shared by both process forms.
+func (e *Engine) installRead(pid page.ID, bufs [][]byte, f *bufpool.Frame) error {
 	if err := e.decodeInto(pid, bufs[0], f); err != nil {
 		return err
 	}
 	// Stash the expansion tail into free frames; they arrived as part of
 	// one contiguous request, so they count as sequential for admission.
-	for i := 1; i < n; i++ {
+	for i := 1; i < len(bufs); i++ {
 		id := pid + page.ID(i)
 		if e.pool.Peek(id) != nil || e.mgr.IsDirty(id) {
 			continue // resident, or the SSD holds a newer version

@@ -1,0 +1,382 @@
+package engine
+
+import (
+	"errors"
+	"time"
+
+	"turbobp/internal/bufpool"
+	"turbobp/internal/device"
+	"turbobp/internal/fault"
+	"turbobp/internal/page"
+	"turbobp/internal/sim"
+	"turbobp/internal/ssd"
+	"turbobp/internal/wal"
+)
+
+// This file holds the run-to-completion twins of the engine's transaction
+// path: GetTask/UpdateTask/CommitTask mirror Get/Update/Commit operation for
+// operation, expressing device waits as continuations instead of parking a
+// goroutine. The synchronous tails (decode, frame install, classification,
+// stats) are shared helpers called by both forms, so either form drives the
+// simulation through the identical event sequence.
+//
+// Continuation state lives in a per-access txOp taken from a free list, with
+// method continuations bound once per struct, so the steady-state access
+// path allocates no closures.
+//
+// SSD-loss recovery is the one place a task path re-enters the blocking
+// world: RecoverSSDLoss replays the WAL with multi-step blocking I/O, so the
+// task spawns a recovery process and continues from it. The golden
+// experiments never lose an SSD; only fault runs take that bridge.
+
+// txOp carries one Get/Update access (or one Commit) from CPU charge through
+// frame claim, eviction, SSD probe and disk read to the caller's
+// continuation.
+type txOp struct {
+	e   *Engine
+	t   *sim.Task
+	pid page.ID
+	t0  time.Duration
+
+	ssdHitsBefore int64
+	viaReadAhead  bool
+	truthScan     bool
+	seqLabel      bool
+
+	isUpdate bool
+	tx       uint64
+	mutate   func(payload []byte)
+	gk       func(*bufpool.Frame, error) // Get completion
+	uk       func(error)                 // Update completion
+	ck       func(error)                 // Commit completion
+
+	v     *bufpool.Frame // eviction victim
+	dirty bool           // victim was dirty
+	f     *bufpool.Frame // claimed frame
+	bufs  [][]byte       // in-flight disk read vector
+
+	onCPUAcquired  func()            // bound: CPU resource granted
+	onCPUDone      func()            // bound: CPU slice elapsed
+	onEvictFlushed func()            // bound: WAL forced before eviction
+	onEvicted      func(error)       // bound: manager routed the victim
+	onSSDRead      func(bool, error) // bound: SSD probe finished
+	onDbRead       func(error)       // bound: disk read finished
+	onCommitFlush  func()            // bound: commit's WAL flush finished
+}
+
+func (e *Engine) getOp() *txOp {
+	if n := len(e.opFree); n > 0 {
+		o := e.opFree[n-1]
+		e.opFree[n-1] = nil
+		e.opFree = e.opFree[:n-1]
+		return o
+	}
+	o := &txOp{e: e}
+	o.onCPUAcquired = o.cpuAcquired
+	o.onCPUDone = o.cpuDone
+	o.onEvictFlushed = o.evict
+	o.onEvicted = o.evicted
+	o.onSSDRead = o.ssdRead
+	o.onDbRead = o.dbRead
+	o.onCommitFlush = o.commitFlushed
+	return o
+}
+
+// recycle returns the op to the free list; callers grab the continuation
+// they are about to invoke first, since the next access may reuse the op
+// immediately.
+func (o *txOp) recycle() {
+	e := o.e
+	o.t, o.mutate, o.gk, o.uk, o.ck = nil, nil, nil, nil, nil
+	o.v, o.f, o.bufs = nil, nil, nil
+	e.opFree = append(e.opFree, o)
+}
+
+// GetTask is the run-to-completion twin of Get.
+func (e *Engine) GetTask(t *sim.Task, pid page.ID, k func(*bufpool.Frame, error)) {
+	if err := e.checkPage(pid); err != nil {
+		k(nil, err)
+		return
+	}
+	o := e.getOp()
+	o.t, o.pid, o.gk = t, pid, k
+	o.isUpdate = false
+	o.viaReadAhead, o.truthScan = false, false
+	o.start()
+}
+
+// UpdateTask is the run-to-completion twin of Update.
+func (e *Engine) UpdateTask(t *sim.Task, tx uint64, pid page.ID, mutate func(payload []byte), k func(error)) {
+	if err := e.checkPage(pid); err != nil {
+		k(err)
+		return
+	}
+	o := e.getOp()
+	o.t, o.pid, o.uk = t, pid, k
+	o.isUpdate = true
+	o.tx, o.mutate = tx, mutate
+	o.viaReadAhead, o.truthScan = false, false
+	o.start()
+}
+
+// CommitTask is the run-to-completion twin of Commit.
+func (e *Engine) CommitTask(t *sim.Task, _ uint64, k func(error)) {
+	if e.cfg.Faults.At(fault.SitePreWALFlush) {
+		k(fault.ErrCrashPoint)
+		return
+	}
+	o := e.getOp()
+	o.t, o.ck = t, k
+	o.t0 = e.env.Now()
+	e.log.FlushTask(t, e.log.NextLSN()-1, o.onCommitFlush)
+}
+
+func (o *txOp) commitFlushed() {
+	e := o.e
+	ck, t0 := o.ck, o.t0
+	o.recycle()
+	if e.cfg.Faults.At(fault.SitePostWALFlush) {
+		ck(fault.ErrCrashPoint)
+		return
+	}
+	e.lat.Commit.Observe(e.env.Now() - t0)
+	e.stats.Commits++
+	ck(nil)
+}
+
+// start charges CPU for the access, then resolves it against the pool.
+func (o *txOp) start() {
+	e := o.e
+	o.t0 = e.env.Now()
+	if e.cfg.CPUPerAccess <= 0 {
+		o.cpuCharged()
+		return
+	}
+	e.cpu.AcquireFunc(o.onCPUAcquired)
+}
+
+func (o *txOp) cpuAcquired() { o.t.Sleep(o.e.cfg.CPUPerAccess, o.onCPUDone) }
+
+func (o *txOp) cpuDone() {
+	o.e.cpu.Release()
+	o.cpuCharged()
+}
+
+func (o *txOp) cpuCharged() {
+	e := o.e
+	e.stats.Reads++
+	if f := e.pool.Lookup(o.pid, e.env.Now()); f != nil {
+		e.stats.PoolHits++
+		e.lat.PoolHit.Observe(e.env.Now() - o.t0)
+		o.finish(f, nil)
+		return
+	}
+	o.ssdHitsBefore = e.mgr.Stats().Hits
+	o.fetch()
+}
+
+// fetch is the run-to-completion twin of the blocking fetch.
+func (o *txOp) fetch() {
+	e := o.e
+	e.stats.PoolMisses++
+	o.seqLabel = e.classifier.label(o.pid, o.viaReadAhead)
+	e.mgr.TACNoteMiss(o.pid, !o.seqLabel)
+	o.claim()
+}
+
+// claim is the run-to-completion twin of claimFrame.
+func (o *txOp) claim() {
+	e := o.e
+	if f := e.pool.TakeFree(); f != nil {
+		o.claimed(f, nil)
+		return
+	}
+	v := e.pool.PopVictim()
+	if v == nil {
+		o.claimed(nil, ErrNoFrames)
+		return
+	}
+	e.stats.Evictions++
+	o.v, o.dirty = v, v.Dirty
+	if o.dirty {
+		e.stats.DirtyEvicts++
+		// WAL protocol: force the log before the page can be written to the
+		// SSD or the disk (§2.4).
+		e.log.FlushTask(o.t, v.Pg.LSN, o.onEvictFlushed)
+		return
+	}
+	o.evict()
+}
+
+func (o *txOp) evict() {
+	o.e.mgr.OnEvictTask(o.t, &o.v.Pg, o.dirty, !o.v.Seq, o.onEvicted)
+}
+
+func (o *txOp) evicted(err error) {
+	e := o.e
+	if err != nil && errors.Is(err, device.ErrLost) {
+		// The SSD died under the eviction: recover on a process (WAL replay
+		// blocks), then route the victim through the new manager — for a
+		// dirty page this usually becomes a plain disk write, never a lost
+		// update (the log was forced above). Fault-only path; the closures
+		// here never allocate in golden runs.
+		e.env.Go("ssd-recovery", func(p *sim.Proc) {
+			if rerr := e.RecoverSSDLoss(p); rerr != nil {
+				e.pool.Release(o.v)
+				o.v = nil
+				o.claimed(nil, rerr)
+				return
+			}
+			o.claimFinish(e.mgr.OnEvict(p, &o.v.Pg, o.dirty, !o.v.Seq))
+		})
+		return
+	}
+	o.claimFinish(err)
+}
+
+func (o *txOp) claimFinish(err error) {
+	e := o.e
+	v := o.v
+	o.v = nil
+	if err != nil {
+		// The victim is already out of the table; without this it would
+		// leak — neither resident nor free — shrinking the pool.
+		e.pool.Release(v)
+		o.claimed(nil, err)
+		return
+	}
+	v.Dirty = false
+	v.Seq = false
+	v.RecLSN = 0
+	o.claimed(v, nil)
+}
+
+func (o *txOp) claimed(f *bufpool.Frame, err error) {
+	if err != nil {
+		o.finishFetch(nil, err)
+		return
+	}
+	o.f = f
+	f.Pg.ID = o.pid
+	o.e.mgr.ReadTask(o.t, o.pid, &f.Pg, o.onSSDRead)
+}
+
+func (o *txOp) ssdRead(hit bool, err error) {
+	e := o.e
+	if err != nil {
+		e.pool.Release(o.f)
+		o.f = nil
+		if errors.Is(err, device.ErrLost) {
+			// The SSD died. Recovery replays the WAL with blocking I/O, so
+			// bridge to a process, then re-enter the task path: recovery may
+			// have brought pid in already. Fault-only path.
+			e.env.Go("ssd-recovery", func(p *sim.Proc) {
+				if rerr := e.RecoverSSDLoss(p); rerr != nil {
+					o.finishFetch(nil, rerr)
+					return
+				}
+				if g := e.pool.Lookup(o.pid, e.env.Now()); g != nil {
+					o.finishFetch(g, nil)
+					return
+				}
+				e.stats.PoolMisses-- // the retry counts the same miss again
+				o.fetch()
+			})
+			return
+		}
+		o.finishFetch(nil, err)
+		return
+	}
+	if hit {
+		f := o.f
+		o.f = nil
+		f.Seq = false // SSD-cached pages were random by admission
+		got, _ := e.pool.Insert(f, e.env.Now())
+		o.finishFetch(got, nil)
+		return
+	}
+	// Miss: read from the database disk (the twin of diskReadInto).
+	n := e.readSpan(o.pid, o.viaReadAhead)
+	o.bufs = e.getVec(n)
+	e.db.ReadTask(o.t, device.PageNum(o.pid), o.bufs, o.onDbRead)
+}
+
+func (o *txOp) dbRead(err error) {
+	e := o.e
+	if err == nil {
+		err = e.installRead(o.pid, o.bufs, o.f)
+	}
+	e.putVec(o.bufs) // installRead copies, so nothing aliases them after
+	o.bufs = nil
+	if err != nil {
+		e.pool.Release(o.f)
+		o.f = nil
+		o.finishFetch(nil, err)
+		return
+	}
+	f := o.f
+	o.f = nil
+	f.Seq = o.seqLabel
+	e.noteClassification(o.truthScan, o.seqLabel)
+	e.classifier.noteDiskRead(o.pid)
+	got, inserted := e.pool.Insert(f, e.env.Now())
+	if inserted && e.cfg.Design == ssd.TAC {
+		// Gated on the design so the race-check closure (an allocation) is
+		// only built when TAC will actually consider the admission.
+		e.mgr.TACOnDiskReadTask(&got.Pg, !o.seqLabel, e.stillCleanFn(o.pid, got))
+	}
+	o.finishFetch(got, nil)
+}
+
+// finishFetch attributes the miss latency (SSD hit vs disk read) and hands
+// the frame to the access completion.
+func (o *txOp) finishFetch(f *bufpool.Frame, err error) {
+	e := o.e
+	if err == nil {
+		if e.mgr.Stats().Hits > o.ssdHitsBefore {
+			e.lat.SSDHit.Observe(e.env.Now() - o.t0)
+		} else {
+			e.lat.DiskRead.Observe(e.env.Now() - o.t0)
+		}
+	}
+	o.finish(f, err)
+}
+
+// finish completes the access: Get hands the frame to the caller; Update
+// applies the mutation and logs it first.
+func (o *txOp) finish(f *bufpool.Frame, err error) {
+	e := o.e
+	if !o.isUpdate {
+		gk := o.gk
+		o.recycle()
+		gk(f, err)
+		return
+	}
+	if err != nil {
+		uk := o.uk
+		o.recycle()
+		uk(err)
+		return
+	}
+	if !f.Dirty {
+		f.Dirty = true
+		f.RecLSN = e.log.NextLSN()
+		// A clean page in memory being modified invalidates its SSD copy
+		// (§2.2).
+		e.mgr.Invalidate(o.pid)
+	}
+	o.mutate(f.Pg.Payload)
+	// wal.Append copies the payload into log-owned storage, so the frame's
+	// buffer can be handed over directly.
+	lsn := e.log.Append(wal.Record{
+		Type:    wal.TypeUpdate,
+		Page:    o.pid,
+		TxID:    o.tx,
+		Payload: f.Pg.Payload,
+	})
+	f.Pg.LSN = lsn
+	e.stats.Updates++
+	uk := o.uk
+	o.recycle()
+	uk(nil)
+}

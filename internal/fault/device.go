@@ -134,6 +134,51 @@ func (d *Device) Write(p *sim.Proc, page device.PageNum, bufs [][]byte) error {
 	return d.inner.Write(p, page, out)
 }
 
+// ReadTask is the run-to-completion twin of Read: the fault check happens
+// at request time, then the inner device serves the request.
+func (d *Device) ReadTask(t *sim.Task, page device.PageNum, bufs [][]byte, k func(error)) {
+	if _, _, err := d.checkOp(false); err != nil {
+		k(err)
+		return
+	}
+	d.inner.ReadTask(t, page, bufs, k)
+}
+
+// WriteTask is the run-to-completion twin of Write, with the same torn-write
+// semantics: only the prefix before the tear point persists (the torn page
+// zero-filled past it) and the write still completes successfully.
+func (d *Device) WriteTask(t *sim.Task, page device.PageNum, bufs [][]byte, k func(error)) {
+	keep, torn, err := d.checkOp(true)
+	if err != nil {
+		k(err)
+		return
+	}
+	if !torn {
+		d.inner.WriteTask(t, page, bufs, k)
+		return
+	}
+	out := make([][]byte, 0, len(bufs))
+	for _, b := range bufs {
+		if keep <= 0 {
+			break
+		}
+		if keep >= len(b) {
+			out = append(out, b)
+			keep -= len(b)
+			continue
+		}
+		part := make([]byte, len(b)) // zero tail: the tear zero-fills the page
+		copy(part, b[:keep])
+		out = append(out, part)
+		keep = 0
+	}
+	if len(out) == 0 {
+		k(nil)
+		return
+	}
+	d.inner.WriteTask(t, page, out, k)
+}
+
 // Preload forwards to the inner device's Preloader. Preloads model loading
 // the database before the measured (and faulted) run, so no faults apply.
 func (d *Device) Preload(page device.PageNum, data []byte) error {

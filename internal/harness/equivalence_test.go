@@ -1,0 +1,131 @@
+package harness
+
+import (
+	"math/rand"
+	"runtime"
+	"testing"
+	"time"
+
+	"turbobp/internal/engine"
+	"turbobp/internal/sim"
+	"turbobp/internal/ssd"
+	"turbobp/internal/workload"
+)
+
+// dispatch is one observed queue dispatch.
+type dispatch struct {
+	at  time.Duration
+	seq uint64
+}
+
+// runTraced runs one small OLTP simulation and returns its dispatch trace
+// plus final engine and device statistics. With the inline nesting cap
+// raised past the run's event count, both process forms consume sequence
+// numbers identically, so their traces must compare equal element by
+// element.
+func runTraced(t *testing.T, wl workload.OLTP, cfg engine.Config, dur time.Duration) ([]dispatch, engine.Stats, ssd.Stats, int64, int64) {
+	t.Helper()
+	env := sim.NewEnv()
+	env.SetInlineLimit(1 << 30)
+	var trace []dispatch
+	env.SetDispatchHook(func(at time.Duration, seq uint64) {
+		trace = append(trace, dispatch{at, seq})
+	})
+	e := engine.New(env, cfg)
+	if err := e.FormatDB(); err != nil {
+		t.Fatal(err)
+	}
+	wl.Start(env, e, nil)
+	env.Run(dur)
+	e.StopBackground()
+	es, ss := e.Stats(), e.SSD().Stats()
+	disk := e.DiskArray().Stats().Load()
+	var ssdPages int64
+	if dev := e.SSDDevice(); dev != nil {
+		s := dev.Stats().Load()
+		ssdPages = s.ReadPages + s.WritePages
+	}
+	env.Shutdown()
+	return trace, es, ss, disk.ReadPages + disk.WritePages, ssdPages
+}
+
+// TestProcTaskEquivalenceProperty is the simulator's core equivalence
+// property: across randomized workload and engine configurations, the
+// goroutine-backed (Proc) and run-to-completion (Task) worker forms drive
+// the identical (at, seq) dispatch sequence and land on identical engine
+// and device statistics.
+func TestProcTaskEquivalenceProperty(t *testing.T) {
+	designs := []ssd.Design{ssd.NoSSD, ssd.CW, ssd.DW, ssd.LC, ssd.TAC}
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 8; trial++ {
+		dbPages := int64(400 + rng.Intn(1200))
+		wl := workload.TPCC(dbPages)
+		if rng.Intn(2) == 0 {
+			wl = workload.TPCE(dbPages)
+		}
+		wl.Workers = 1 + rng.Intn(8)
+		wl.AccessesPerTx = 1 + rng.Intn(8)
+		wl.UpdateFrac = rng.Float64() * 0.6
+		wl.Seed = rng.Int63()
+		cfg := engine.Config{
+			Design:      designs[rng.Intn(len(designs))],
+			DBPages:     dbPages,
+			PoolPages:   32 + rng.Intn(96),
+			SSDFrames:   64 + rng.Intn(192),
+			PayloadSize: 64,
+		}
+		dur := time.Duration(50+rng.Intn(200)) * time.Millisecond
+
+		procWL, taskWL := wl, wl
+		procWL.ProcWorkers = true
+		taskWL.ProcWorkers = false
+		procTrace, procES, procSS, procDisk, procSSD := runTraced(t, procWL, cfg, dur)
+		taskTrace, taskES, taskSS, taskDisk, taskSSD := runTraced(t, taskWL, cfg, dur)
+
+		if len(procTrace) != len(taskTrace) {
+			t.Fatalf("trial %d (%s/%v): trace lengths differ: proc %d, task %d",
+				trial, wl.Name, cfg.Design, len(procTrace), len(taskTrace))
+		}
+		for i := range procTrace {
+			if procTrace[i] != taskTrace[i] {
+				t.Fatalf("trial %d (%s/%v): dispatch %d differs: proc (%v, %d), task (%v, %d)",
+					trial, wl.Name, cfg.Design, i,
+					procTrace[i].at, procTrace[i].seq, taskTrace[i].at, taskTrace[i].seq)
+			}
+		}
+		if procES != taskES {
+			t.Errorf("trial %d (%s/%v): engine stats differ:\nproc %+v\ntask %+v",
+				trial, wl.Name, cfg.Design, procES, taskES)
+		}
+		if procSS != taskSS {
+			t.Errorf("trial %d (%s/%v): ssd stats differ:\nproc %+v\ntask %+v",
+				trial, wl.Name, cfg.Design, procSS, taskSS)
+		}
+		if procDisk != taskDisk || procSSD != taskSSD {
+			t.Errorf("trial %d (%s/%v): device page counts differ: disk %d vs %d, ssd %d vs %d",
+				trial, wl.Name, cfg.Design, procDisk, taskDisk, procSSD, taskSSD)
+		}
+	}
+}
+
+// TestExperimentLeavesNoGoroutines audits the simulator's goroutine
+// hygiene: after a full experiment run (engines, device queues, background
+// checkpointer/cleaner processes, Shutdown) the process must be back to
+// its baseline goroutine count — nothing parked forever on a channel.
+func TestExperimentLeavesNoGoroutines(t *testing.T) {
+	SetWorkers(1)
+	defer SetWorkers(0)
+	baseline := runtime.NumGoroutine()
+	RunTable1()
+	if _, err := Fig5TPCC(tiny); err != nil {
+		t.Fatal(err)
+	}
+	// Exited goroutines may take a beat to be reaped.
+	for i := 0; i < 100; i++ {
+		if runtime.NumGoroutine() <= baseline {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("goroutines: %d after experiments, baseline %d", runtime.NumGoroutine(), baseline)
+}

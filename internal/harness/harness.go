@@ -98,6 +98,7 @@ type OLTPResult struct {
 
 	FinalTPS   float64 // mean committed tx/s over the final "hour"
 	SSDHitRate float64 // SSD hits / (hits+misses)
+	Events     uint64  // logical simulation events dispatched during the run
 	Engine     engine.Stats
 	SSD        ssd.Stats
 	SSDInvalid int // occupied-but-invalid frames at end (TAC waste)
@@ -128,6 +129,7 @@ func RunOLTP(run OLTPRun) (*OLTPResult, error) {
 	env.Run(run.Duration)
 	e.StopBackground()
 
+	res.Events = env.Dispatched()
 	res.Engine = e.Stats()
 	res.SSD = e.SSD().Stats()
 	res.SSDInvalid = e.SSD().InvalidCount()

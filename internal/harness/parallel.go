@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"fmt"
 	"io"
+	"os"
 	"runtime"
 	"sync"
 	"time"
@@ -30,16 +31,25 @@ var (
 func init() { SetWorkers(0) }
 
 // SetWorkers sets the global worker budget shared by all RunGrid and
-// RunAll calls. n = 1 forces fully serial execution; n <= 0 resets to
-// runtime.GOMAXPROCS(0).
-func SetWorkers(n int) {
-	if n <= 0 {
-		n = runtime.GOMAXPROCS(0)
+// RunAll calls and returns the effective budget. n = 1 forces fully serial
+// execution; n <= 0 resets to runtime.GOMAXPROCS(0). Requests beyond
+// GOMAXPROCS are capped there with a warning: simulation cells are pure
+// CPU, so oversubscribing the scheduler only adds contention (measured as
+// a parallel-suite slowdown on a single-processor runner).
+func SetWorkers(n int) int {
+	maxp := runtime.GOMAXPROCS(0)
+	switch {
+	case n <= 0:
+		n = maxp
+	case n > maxp:
+		fmt.Fprintf(os.Stderr, "harness: %d workers requested but GOMAXPROCS=%d; capping at %d\n", n, maxp, maxp)
+		n = maxp
 	}
 	workerMu.Lock()
 	workerN = n
 	slots = make(chan struct{}, n-1)
 	workerMu.Unlock()
+	return n
 }
 
 // Workers reports the current worker budget.

@@ -1,0 +1,50 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"turbobp/internal/ssd"
+)
+
+// ScaleDivisors is the default scale sweep: each halving doubles the
+// database, pool and virtual-clock sizes toward paper scale (divisor 1).
+var ScaleDivisors = []int64{2048, 1024, 512, 256, 128}
+
+// ScaleSmokeDivisor sizes the single-cell smoke run appended to the sweep.
+const ScaleSmokeDivisor = 64
+
+// RunScaleSweep measures simulator throughput on the approach to paper
+// scale: the full Figure 5 TPC-C grid (12 independent runs) at each sweep
+// divisor, reporting dispatched simulation events, wall-clock time and
+// events/sec, followed by one TAC 1K-warehouse cell at the smoke divisor.
+// Wall-clock readings make the output nondeterministic, so the sweep is a
+// standalone command rather than a registered experiment.
+func RunScaleSweep(out io.Writer) error {
+	fmt.Fprintf(out, "fig5-tpcc scale sweep (%d workers)\n", Workers())
+	fmt.Fprintf(out, "%8s %6s %14s %10s %14s\n", "divisor", "cells", "events", "wall", "events/sec")
+	for _, d := range ScaleDivisors {
+		start := time.Now()
+		res, err := Fig5TPCC(Scale{Divisor: d})
+		if err != nil {
+			return err
+		}
+		wall := time.Since(start)
+		var events uint64
+		for _, r := range res.Details {
+			events += r.Events
+		}
+		fmt.Fprintf(out, "%8d %6d %14d %9.2fs %14.0f\n",
+			d, len(res.Details), events, wall.Seconds(), float64(events)/wall.Seconds())
+	}
+	start := time.Now()
+	r, err := RunOLTP(buildOLTP(Scale{Divisor: ScaleSmokeDivisor}, ssd.TAC, "tpcc", TPCCSizesGB[1], nil))
+	if err != nil {
+		return err
+	}
+	wall := time.Since(start)
+	fmt.Fprintf(out, "smoke: divisor %d TAC 1K-warehouse cell: %d events in %.2fs (%.0f events/sec, final %.1f tx/s)\n",
+		ScaleSmokeDivisor, r.Events, wall.Seconds(), float64(r.Events)/wall.Seconds(), r.FinalTPS)
+	return nil
+}

@@ -216,10 +216,18 @@ func (c *Cache) Touch(key int64, now time.Duration) {
 // replacement priority.
 func (c *Cache) TouchHistory(key int64, last, prev time.Duration) {
 	if slot, ok := c.index.Get(uint64(key)); ok {
-		// Unlike Touch, the history may move backward, which lazy
-		// refreshing cannot handle; orphan the old node and push a fresh
-		// one.
 		e := &c.arena[slot]
+		if prev > e.prev || (prev == e.prev && last >= e.last) {
+			// The history moves forward (or stays put) in the heap's
+			// (prev, last) order — the same monotonic growth Touch relies
+			// on, so the lazy update applies: the node goes stale and
+			// clean() refreshes it by sifting down. This is the hot case
+			// (the SSD manager touches a frame on every hit).
+			e.last, e.prev = last, prev
+			return
+		}
+		// Backward move, which lazy refreshing cannot handle; orphan the
+		// old node and push a fresh one.
 		e.last, e.prev = last, prev
 		e.gen++
 		c.dead++

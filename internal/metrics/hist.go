@@ -3,7 +3,7 @@ package metrics
 import (
 	"fmt"
 	"io"
-	"math"
+	"math/bits"
 	"time"
 )
 
@@ -34,7 +34,7 @@ func (h *Histogram) Observe(d time.Duration) {
 		h.under++
 		return
 	}
-	i := int(math.Log2(float64(us)))
+	i := bits.Len64(uint64(us)) - 1 // floor(log2(us)) for us >= 1
 	if i >= len(h.buckets) {
 		i = len(h.buckets) - 1
 	}

@@ -166,6 +166,10 @@ func (d arrayDisk) WriteEncoded(p *sim.Proc, start page.ID, bufs [][]byte) error
 	return d.arr.Write(p, device.PageNum(start), bufs)
 }
 
+func (d arrayDisk) WriteEncodedTask(t *sim.Task, start page.ID, bufs [][]byte, k func(error)) {
+	d.arr.WriteTask(t, device.PageNum(start), bufs, k)
+}
+
 // GroupClean measures one LC cleaning cycle at the SSD-manager level:
 // α dirty admissions followed by a FlushDirty that gathers the
 // contiguous run, reads it back from the SSD and writes it to disk as a

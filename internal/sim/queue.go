@@ -16,11 +16,13 @@ import (
 // against. Both dispatch in exactly (at, seq) order, so swapping them can
 // never change simulation output.
 
-// event is a scheduled wakeup for a process.
+// event is a scheduled wakeup: either a process to resume (proc) or a
+// run-to-completion continuation to call (fn). Exactly one is set.
 type event struct {
 	at   time.Duration
 	seq  uint64 // tiebreak: FIFO among simultaneous events
 	proc *Proc
+	fn   func()
 }
 
 // before reports whether a dispatches ahead of b: earlier time first,

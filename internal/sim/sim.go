@@ -11,6 +11,11 @@
 // acquiring a Resource. While a process is blocked, virtual time advances to
 // the next scheduled event. Virtual time never advances while a process is
 // running: computation is free unless a process explicitly sleeps.
+//
+// A second, run-to-completion process form (Task, see task.go) expresses
+// the same blocking points as explicit continuations executed on the
+// scheduler's goroutine, eliminating the per-wakeup goroutine handoffs.
+// The two forms schedule events identically and may be mixed freely.
 package sim
 
 import (
@@ -34,14 +39,48 @@ type Env struct {
 	live    map[*Proc]struct{}
 	stopped bool
 	running bool
+
+	dispatched  uint64 // logical events processed (queue pops + inline sleeps)
+	inlineDepth int    // current nesting of inline Task.Sleep continuations
+	inlineLimit int    // nesting cap before falling back to the queue
+	onDispatch  func(at time.Duration, seq uint64) // test hook, nil in production
 }
+
+// defaultInlineLimit bounds how deeply Task.Sleep continuations nest on the
+// native stack before a wakeup is routed through the event queue instead.
+// Routing preserves dispatch order exactly (the wakeup is strictly earlier
+// than every pending event), so the cap only trades a queue round-trip for
+// bounded stack growth.
+const defaultInlineLimit = 256
 
 // NewEnv returns an empty environment with the clock at zero.
 func NewEnv() *Env {
 	return &Env{
-		yield: make(chan struct{}),
-		live:  make(map[*Proc]struct{}),
+		yield:       make(chan struct{}),
+		live:        make(map[*Proc]struct{}),
+		inlineLimit: defaultInlineLimit,
 	}
+}
+
+// Dispatched returns the number of logical events processed so far: queue
+// dispatches plus sleeps completed inline by the fast paths. It is the
+// natural "simulator events" figure for throughput reporting.
+func (e *Env) Dispatched() uint64 { return e.dispatched }
+
+// SetDispatchHook installs fn to observe every queue dispatch as (at, seq).
+// Test instrumentation: the equivalence property tests record dispatch
+// traces with it. Pass nil to remove.
+func (e *Env) SetDispatchHook(fn func(at time.Duration, seq uint64)) { e.onDispatch = fn }
+
+// SetInlineLimit overrides the inline-continuation nesting cap. Test
+// instrumentation: raising it past any workload's event count makes the
+// task form consume sequence numbers exactly like the blocking form, so
+// dispatch traces compare equal. n <= 0 restores the default.
+func (e *Env) SetInlineLimit(n int) {
+	if n <= 0 {
+		n = defaultInlineLimit
+	}
+	e.inlineLimit = n
 }
 
 // Now returns the current virtual time.
@@ -140,6 +179,7 @@ func (p *Proc) Sleep(d time.Duration) {
 	if e.running && (e.until < 0 || at <= e.until) {
 		if ev, ok := e.events.peek(); !ok || at < ev.at {
 			e.now = at
+			e.dispatched++
 			return
 		}
 	}
@@ -170,6 +210,16 @@ func (e *Env) Run(until time.Duration) time.Duration {
 		}
 		e.events.pop()
 		e.now = ev.at
+		e.dispatched++
+		if e.onDispatch != nil {
+			e.onDispatch(ev.at, ev.seq)
+		}
+		if ev.fn != nil {
+			// Run-to-completion continuation: a direct call on this
+			// goroutine, no handoff.
+			ev.fn()
+			continue
+		}
 		ev.proc.resume <- struct{}{}
 		<-e.yield
 	}
@@ -205,11 +255,28 @@ func (e *Env) Shutdown() {
 	}
 }
 
+// waiter is one entry of a Signal or Resource wait queue: a blocked process
+// or a task continuation. Exactly one field is set; both kinds are woken by
+// scheduling an event at the current instant, so they interleave FIFO.
+type waiter struct {
+	p  *Proc
+	fn func()
+}
+
+// wake schedules the wakeup of w at the current virtual time.
+func (e *Env) wake(w waiter) {
+	if w.fn != nil {
+		e.scheduleFn(e.now, w.fn)
+		return
+	}
+	e.schedule(e.now, w.p)
+}
+
 // A Signal is a broadcast condition: processes wait on it and a later
 // Broadcast wakes all current waiters at the current virtual time.
 type Signal struct {
 	env     *Env
-	waiters []*Proc
+	waiters []waiter
 	fired   bool
 }
 
@@ -222,7 +289,7 @@ func (s *Signal) Fired() bool { return s.fired }
 // Wait blocks p until the next Broadcast. If the signal has already fired,
 // Wait still blocks until the *next* Broadcast, except via WaitFired.
 func (s *Signal) Wait(p *Proc) {
-	s.waiters = append(s.waiters, p)
+	s.waiters = append(s.waiters, waiter{p: p})
 	p.park()
 }
 
@@ -235,14 +302,24 @@ func (s *Signal) WaitFired(p *Proc) {
 	s.Wait(p)
 }
 
+// Reset clears the fired flag so the Signal can be reused for another wait
+// cycle. It must only be called when no waiters are queued (e.g. by an
+// owner recycling a join signal after all parties have continued).
+func (s *Signal) Reset() {
+	if len(s.waiters) != 0 {
+		panic("sim: Signal.Reset with queued waiters")
+	}
+	s.fired = false
+}
+
 // Broadcast wakes all current waiters. The wakeups are scheduled at the
 // current virtual time in FIFO order. Broadcast may be called from a process
 // or from outside Run.
 func (s *Signal) Broadcast() {
 	s.fired = true
 	for i, w := range s.waiters {
-		s.env.schedule(s.env.now, w)
-		s.waiters[i] = nil // drop the *Proc reference from the backing array
+		s.env.wake(w)
+		s.waiters[i] = waiter{} // drop the references from the backing array
 	}
 	s.waiters = s.waiters[:0] // keep the storage for the next wait cycle
 }
@@ -255,7 +332,7 @@ type Resource struct {
 	env     *Env
 	cap     int
 	inUse   int
-	waiters []*Proc
+	waiters []waiter
 	head    int // index of the oldest waiter in waiters
 }
 
@@ -267,13 +344,29 @@ func NewResource(env *Env, capacity int) *Resource {
 	return &Resource{env: env, cap: capacity}
 }
 
+// enqueue appends a waiter, first compacting popped head slots when they
+// dominate the backing array. Without compaction a queue that never fully
+// drains (a saturated device) grows its storage without bound.
+func (r *Resource) enqueue(w waiter) {
+	if r.head > 0 && len(r.waiters) == cap(r.waiters) {
+		n := copy(r.waiters, r.waiters[r.head:])
+		tail := r.waiters[n:]
+		for i := range tail {
+			tail[i] = waiter{}
+		}
+		r.waiters = r.waiters[:n]
+		r.head = 0
+	}
+	r.waiters = append(r.waiters, w)
+}
+
 // Acquire blocks p until a unit of the resource is available and takes it.
 func (r *Resource) Acquire(p *Proc) {
 	if r.inUse < r.cap && r.Queued() == 0 {
 		r.inUse++
 		return
 	}
-	r.waiters = append(r.waiters, p)
+	r.enqueue(waiter{p: p})
 	p.park()
 	// Ownership was transferred by Release; inUse already accounts for us.
 }
@@ -295,14 +388,14 @@ func (r *Resource) Release() {
 	}
 	if r.head < len(r.waiters) {
 		w := r.waiters[r.head]
-		r.waiters[r.head] = nil // drop the reference from the backing array
+		r.waiters[r.head] = waiter{} // drop the references from the backing array
 		r.head++
 		if r.head == len(r.waiters) {
 			r.waiters = r.waiters[:0] // drained: rewind and reuse the storage
 			r.head = 0
 		}
 		// The unit passes directly to w: inUse stays unchanged.
-		r.env.schedule(r.env.now, w)
+		r.env.wake(w)
 		return
 	}
 	r.inUse--

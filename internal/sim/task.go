@@ -1,0 +1,127 @@
+package sim
+
+import "time"
+
+// This file adds the simulator's second process form: run-to-completion
+// tasks. A Task never blocks — where a Proc would park its goroutine, a
+// Task passes an explicit continuation that the scheduler later calls
+// directly on its own goroutine. That removes the two channel handoffs a
+// Proc pays per wakeup, which dominate the cost of simulating an I/O-bound
+// workload.
+//
+// The two forms are interchangeable event-for-event. Every task primitive
+// consumes scheduler sequence numbers exactly as its blocking twin does
+// (Spawn like Go, the Sleep slow path like Sleep's schedule+park, resource
+// and signal waits like their blocking counterparts), and the inline fast
+// paths of both forms fire under the identical "provably next" condition —
+// so a simulation produces the same dispatch order, and therefore the same
+// results, whichever form its processes use. The one asymmetry is the
+// inline nesting cap: past inlineLimit, Task.Sleep routes a wakeup through
+// the queue that Proc.Sleep would have taken inline. The wakeup is strictly
+// earlier than every pending event, so it still dispatches next and order
+// is preserved; only the sequence numbering shifts (uniformly, which FIFO
+// tie-breaking cannot observe).
+//
+// Discipline for code written in task form: calling a continuation-taking
+// primitive must be the last thing a function does (tail call). The
+// primitive either completes inline — running the continuation before
+// returning — or schedules it and returns immediately; either way, code
+// after the call would run at an undefined virtual time.
+
+// Task is a run-to-completion simulated process. Like a Proc it may only be
+// used from within the simulation (its continuations run serially on the
+// scheduler goroutine); unlike a Proc it has no goroutine of its own.
+type Task struct {
+	env  *Env
+	name string
+}
+
+// Env returns the environment the task belongs to.
+func (t *Task) Env() *Env { return t.env }
+
+// Name returns the name given to Spawn.
+func (t *Task) Name() string { return t.name }
+
+// Now returns the current virtual time.
+func (t *Task) Now() time.Duration { return t.env.now }
+
+// scheduleFn enqueues a continuation at time at.
+func (e *Env) scheduleFn(at time.Duration, fn func()) {
+	if at < e.now {
+		at = e.now
+	}
+	e.seq++
+	e.events.push(event{at: at, seq: e.seq, fn: fn}, e.now)
+}
+
+// Spawn starts a new run-to-completion task executing fn. Like Go it may be
+// called before Run or from inside a running process of either form, and
+// the task starts at the current virtual time after already-queued events
+// for the same instant.
+func (e *Env) Spawn(name string, fn func(t *Task)) *Task {
+	if e.stopped {
+		panic("sim: Spawn after environment stopped")
+	}
+	t := &Task{env: e, name: name}
+	e.scheduleFn(e.now, func() { fn(t) })
+	return t
+}
+
+// Sleep advances the task d of virtual time, then runs k. Negative
+// durations sleep for zero time (yielding to other events scheduled at the
+// same instant). When the wakeup is provably the next dispatch it happens
+// inline — same condition as Proc.Sleep's fast path — up to the
+// environment's inline nesting cap.
+func (t *Task) Sleep(d time.Duration, k func()) {
+	if d < 0 {
+		d = 0
+	}
+	e := t.env
+	at := e.now + d
+	if e.running && (e.until < 0 || at <= e.until) {
+		if ev, ok := e.events.peek(); !ok || at < ev.at {
+			if e.inlineDepth < e.inlineLimit {
+				e.now = at
+				e.dispatched++
+				e.inlineDepth++
+				k()
+				e.inlineDepth--
+				return
+			}
+			// Nesting cap reached: unwind the stack through the queue. The
+			// event is strictly earlier than everything pending, so it is
+			// dispatched next regardless of its sequence number.
+		}
+	}
+	e.scheduleFn(at, k)
+}
+
+// Yield runs k after all other events at the current instant.
+func (t *Task) Yield(k func()) { t.Sleep(0, k) }
+
+// AcquireFunc takes a unit of the resource and then runs k: inline when a
+// unit is free (as a blocking Acquire would return immediately), otherwise
+// k joins the FIFO wait queue alongside any blocked processes.
+func (r *Resource) AcquireFunc(k func()) {
+	if r.inUse < r.cap && r.Queued() == 0 {
+		r.inUse++
+		k()
+		return
+	}
+	r.enqueue(waiter{fn: k})
+}
+
+// WaitFunc runs k at the signal's next Broadcast.
+func (s *Signal) WaitFunc(k func()) {
+	s.waiters = append(s.waiters, waiter{fn: k})
+}
+
+// WaitFiredFunc runs k once the signal has fired at least once: inline if
+// it already has, otherwise at the next Broadcast.
+func (s *Signal) WaitFiredFunc(k func()) {
+	if s.fired {
+		k()
+		return
+	}
+	s.WaitFunc(k)
+}

@@ -60,8 +60,10 @@ func (d Design) String() string {
 
 // Disk is the view of the database disk subsystem the SSD manager needs:
 // the lazy cleaner and dual writes push encoded page runs to it.
+// WriteEncodedTask is the run-to-completion twin of WriteEncoded.
 type Disk interface {
 	WriteEncoded(p *sim.Proc, start page.ID, bufs [][]byte) error
+	WriteEncodedTask(t *sim.Task, start page.ID, bufs [][]byte, k func(error))
 }
 
 // Config parameterizes the manager. The defaults mirror the paper's
@@ -208,6 +210,15 @@ type Manager struct {
 	bufFree     [][]byte
 	vecFree     [][][]byte
 	scratchFree []*cleanScratch
+
+	// Free lists of run-to-completion operation states (see task.go). Taken
+	// per call and returned at completion, so steady-state task-form traffic
+	// allocates no continuation closures.
+	readFree  []*readOp
+	wfFree    []*wfOp
+	wdFree    []*wdOp
+	evictFree []*evictOp
+	taFree    []*tacAdmitOp
 }
 
 // getBuf takes an encoded-page buffer from the free list.
@@ -460,6 +471,15 @@ func (m *Manager) Read(p *sim.Proc, pid page.ID, pg *page.Page) (bool, error) {
 			}
 		}
 	}
+	return m.readOutcome(pid, idx, buf, pg, err)
+}
+
+// readOutcome resolves a frame read once the device transfers (including
+// the one retry) are done: error triage, reclaimed-frame check, decode and
+// hit accounting. Shared by the blocking and task forms; buf is consumed
+// (returned to the free list) on every path.
+func (m *Manager) readOutcome(pid page.ID, idx int, buf []byte, pg *page.Page, err error) (bool, error) {
+	rec := &m.frames[idx]
 	if err != nil {
 		m.putBuf(buf)
 		if m.lost {

@@ -26,6 +26,10 @@ func (d *recordingDisk) WriteEncoded(_ *sim.Proc, start page.ID, bufs [][]byte) 
 	return nil
 }
 
+func (d *recordingDisk) WriteEncodedTask(_ *sim.Task, start page.ID, bufs [][]byte, k func(error)) {
+	k(d.WriteEncoded(nil, start, bufs))
+}
+
 func (d *recordingDisk) pagesWritten() int {
 	n := 0
 	for _, w := range d.writes {
@@ -187,6 +191,10 @@ type slowDisk struct{ d time.Duration }
 func (s *slowDisk) WriteEncoded(p *sim.Proc, _ page.ID, _ [][]byte) error {
 	p.Sleep(s.d)
 	return nil
+}
+
+func (s *slowDisk) WriteEncodedTask(t *sim.Task, _ page.ID, _ [][]byte, k func(error)) {
+	t.Sleep(s.d, func() { k(nil) })
 }
 
 func TestLCDirtyEvictionGoesOnlyToSSD(t *testing.T) {

@@ -1,0 +1,571 @@
+package ssd
+
+import (
+	"errors"
+
+	"turbobp/internal/device"
+	"turbobp/internal/page"
+	"turbobp/internal/sim"
+)
+
+// This file holds the run-to-completion twins of the manager's blocking
+// entry points. Each twin mirrors its blocking counterpart operation for
+// operation — same policy checks in the same order, same stats, same
+// buffer-pool discipline — with device waits expressed as continuations, so
+// a simulation using either form dispatches the identical event sequence.
+// The shared synchronous tails (readOutcome, finishAdmit, allocFrame, the
+// policy predicates) live in ssd.go/tac.go and are called by both forms.
+//
+// Continuation state lives in per-operation structs taken from free lists
+// on the Manager, with method continuations bound once per struct, so the
+// steady-state task path allocates no closures.
+
+// readOp carries one ReadTask through the device read and its single retry.
+type readOp struct {
+	m       *Manager
+	t       *sim.Task
+	pid     page.ID
+	idx     int
+	buf     []byte
+	vec     [][]byte
+	pg      *page.Page
+	k       func(bool, error)
+	retried bool
+
+	onRead func(error) // bound to (*readOp).read once
+}
+
+func (m *Manager) getReadOp() *readOp {
+	if n := len(m.readFree); n > 0 {
+		o := m.readFree[n-1]
+		m.readFree[n-1] = nil
+		m.readFree = m.readFree[:n-1]
+		return o
+	}
+	o := &readOp{m: m}
+	o.onRead = o.read
+	return o
+}
+
+func (o *readOp) read(err error) {
+	m := o.m
+	m.putVec(o.vec)
+	o.vec = nil
+	rec := &m.frames[o.idx]
+	rec.io--
+	if err != nil {
+		m.stats.ReadErrors++
+		m.noteDeviceErr(err)
+		if !m.lost && !o.retried {
+			// Transient error: retry once, as the blocking form does.
+			o.retried = true
+			rec.io++
+			o.vec = append(m.getVec(1), o.buf)
+			m.dev.ReadTask(o.t, device.PageNum(o.idx), o.vec, o.onRead)
+			return
+		}
+	}
+	pid, idx, buf, pg, k := o.pid, o.idx, o.buf, o.pg, o.k
+	o.t, o.buf, o.pg, o.k = nil, nil, nil, nil
+	m.readFree = append(m.readFree, o)
+	k(m.readOutcome(pid, idx, buf, pg, err))
+}
+
+// ReadTask is the run-to-completion twin of Read.
+func (m *Manager) ReadTask(t *sim.Task, pid page.ID, pg *page.Page, k func(bool, error)) {
+	if !m.Enabled() {
+		k(false, nil)
+		return
+	}
+	if m.lost {
+		k(false, device.ErrLost)
+		return
+	}
+	s := m.shardOf(pid)
+	idx, ok := s.lookup(pid)
+	if !ok || !m.frames[idx].valid {
+		m.stats.Misses++
+		k(false, nil)
+		return
+	}
+	rec := &m.frames[idx]
+	if !rec.dirty && m.throttled() {
+		m.stats.ThrottleReads++
+		m.stats.Misses++
+		k(false, nil)
+		return
+	}
+	rec.io++
+	o := m.getReadOp()
+	o.t, o.pid, o.idx, o.pg, o.k, o.retried = t, pid, idx, pg, k, false
+	o.buf = m.getBuf()
+	o.vec = append(m.getVec(1), o.buf)
+	m.dev.ReadTask(t, device.PageNum(idx), o.vec, o.onRead)
+}
+
+// wfOp carries one frame write (writeFrameTask or the admit variants)
+// through the SSD device write.
+type wfOp struct {
+	m   *Manager
+	idx int
+	buf []byte
+	vec [][]byte
+	k   func(error)       // plain completion
+	ka  func(bool, error) // admit completion: k(finishAdmit(idx, err))
+	kae func(error)       // admit completion dropping the bool (TAC paths)
+
+	onWritten func(error) // bound to (*wfOp).written once
+}
+
+func (m *Manager) getWfOp() *wfOp {
+	if n := len(m.wfFree); n > 0 {
+		o := m.wfFree[n-1]
+		m.wfFree[n-1] = nil
+		m.wfFree = m.wfFree[:n-1]
+		return o
+	}
+	o := &wfOp{m: m}
+	o.onWritten = o.written
+	return o
+}
+
+func (o *wfOp) written(err error) {
+	m := o.m
+	m.putVec(o.vec)
+	m.putBuf(o.buf)
+	m.frames[o.idx].io--
+	m.frameIdle(o.idx)
+	idx, k, ka, kae := o.idx, o.k, o.ka, o.kae
+	o.buf, o.vec, o.k, o.ka, o.kae = nil, nil, nil, nil, nil
+	m.wfFree = append(m.wfFree, o)
+	switch {
+	case ka != nil:
+		ka(m.finishAdmit(idx, err))
+	case kae != nil:
+		_, err = m.finishAdmit(idx, err)
+		kae(err)
+	default:
+		k(err)
+	}
+}
+
+// frameWrite starts the device write for one of the three completion modes;
+// exactly one of k, ka, kae is non-nil. The encode-error path takes the
+// same completion as the device-write path, as in the blocking forms.
+func (m *Manager) frameWrite(t *sim.Task, idx int, pg *page.Page, k func(error), ka func(bool, error), kae func(error)) {
+	rec := &m.frames[idx]
+	rec.io++
+	buf := m.getBuf()
+	if err := page.Encode(pg, buf); err != nil {
+		m.putBuf(buf)
+		rec.io--
+		switch {
+		case ka != nil:
+			ka(m.finishAdmit(idx, err))
+		case kae != nil:
+			_, err = m.finishAdmit(idx, err)
+			kae(err)
+		default:
+			k(err)
+		}
+		return
+	}
+	o := m.getWfOp()
+	o.idx, o.buf, o.k, o.ka, o.kae = idx, buf, k, ka, kae
+	o.vec = append(m.getVec(1), buf)
+	m.dev.WriteTask(t, device.PageNum(idx), o.vec, o.onWritten)
+}
+
+// writeFrameTask is the run-to-completion twin of writeFrame.
+func (m *Manager) writeFrameTask(t *sim.Task, idx int, pg *page.Page, k func(error)) {
+	m.frameWrite(t, idx, pg, k, nil, nil)
+}
+
+// wdOp carries one writeDiskTask through the database-disk write.
+type wdOp struct {
+	m   *Manager
+	buf []byte
+	vec [][]byte
+	k   func(error)
+
+	onWritten func(error) // bound to (*wdOp).written once
+}
+
+func (m *Manager) getWdOp() *wdOp {
+	if n := len(m.wdFree); n > 0 {
+		o := m.wdFree[n-1]
+		m.wdFree[n-1] = nil
+		m.wdFree = m.wdFree[:n-1]
+		return o
+	}
+	o := &wdOp{m: m}
+	o.onWritten = o.written
+	return o
+}
+
+func (o *wdOp) written(err error) {
+	m := o.m
+	m.putVec(o.vec)
+	m.putBuf(o.buf)
+	k := o.k
+	o.buf, o.vec, o.k = nil, nil, nil
+	m.wdFree = append(m.wdFree, o)
+	k(err)
+}
+
+// writeDiskTask is the run-to-completion twin of writeDisk.
+func (m *Manager) writeDiskTask(t *sim.Task, pg *page.Page, k func(error)) {
+	buf := m.getBuf()
+	if err := page.Encode(pg, buf); err != nil {
+		m.putBuf(buf)
+		k(err)
+		return
+	}
+	o := m.getWdOp()
+	o.buf, o.k = buf, k
+	o.vec = append(m.getVec(1), buf)
+	m.disk.WriteEncodedTask(t, pg.ID, o.vec, o.onWritten)
+}
+
+// admitTask is the run-to-completion twin of admit.
+func (m *Manager) admitTask(t *sim.Task, pg *page.Page, dirty bool, k func(bool, error)) {
+	if m.lost {
+		k(false, device.ErrLost)
+		return
+	}
+	s := m.shardOf(pg.ID)
+	if idx, ok := s.lookup(pg.ID); ok {
+		rec := &m.frames[idx]
+		if rec.valid && !dirty {
+			k(true, nil) // identical clean copy already cached
+			return
+		}
+		// Overwrite in place; publish the new state before the device write.
+		if dirty && !rec.dirty {
+			m.dirtyCount++
+			s.clean.Remove(int64(idx))
+		}
+		rec.valid = true
+		rec.dirty = rec.dirty || dirty
+		rec.lsn = pg.LSN
+		m.touch(idx)
+		m.stats.Admissions++
+		if dirty {
+			m.stats.DirtyAdmits++
+		}
+		m.frameWrite(t, idx, pg, nil, k, nil)
+		return
+	}
+	idx := m.allocFrame(pg.ID, dirty)
+	if idx < 0 {
+		k(false, nil)
+		return
+	}
+	m.frames[idx].lsn = pg.LSN
+	m.stats.Admissions++
+	if dirty {
+		m.stats.DirtyAdmits++
+	}
+	m.frameWrite(t, idx, pg, nil, k, nil)
+}
+
+// evictOp carries one OnEvictTask through its per-design routing: the disk
+// write-back, the SSD admission and (for DW) the concurrent dual-write join.
+type evictOp struct {
+	m  *Manager
+	t  *sim.Task
+	pg *page.Page
+	k  func(error)
+
+	// DW dual-write state.
+	snapBuf []byte
+	snap    page.Page
+	done    *sim.Signal
+	ssdErr  error
+	diskErr error
+
+	spawnDW      func(*sim.Task)   // bound: the dw-ssd-write child body
+	onDWAdmit    func(bool, error) // bound: SSD leg completion
+	onDWDisk     func(error)       // bound: disk leg completion
+	onDWJoin     func()            // bound: both legs done
+	onCleanAdmit func(bool, error) // bound: clean-eviction admit completion
+	onLCAdmit    func(bool, error) // bound: LC dirty-admit completion
+	onTACDisk    func(error)       // bound: TAC disk write-back completion
+	finishF      func(error)       // bound to (*evictOp).finish once
+}
+
+func (m *Manager) getEvictOp() *evictOp {
+	if n := len(m.evictFree); n > 0 {
+		o := m.evictFree[n-1]
+		m.evictFree[n-1] = nil
+		m.evictFree = m.evictFree[:n-1]
+		return o
+	}
+	o := &evictOp{m: m, done: sim.NewSignal(m.env)}
+	o.spawnDW = func(child *sim.Task) { o.m.admitTask(child, &o.snap, false, o.onDWAdmit) }
+	o.onDWAdmit = func(_ bool, err error) {
+		o.ssdErr = err
+		o.done.Broadcast()
+	}
+	o.onDWDisk = func(err error) {
+		o.diskErr = err
+		o.done.WaitFiredFunc(o.onDWJoin)
+	}
+	o.onDWJoin = o.dwJoin
+	o.onCleanAdmit = func(_ bool, err error) { o.finish(err) }
+	o.onLCAdmit = o.lcAdmit
+	o.onTACDisk = o.tacDisk
+	o.finishF = o.finish
+	return o
+}
+
+// finish recycles the op before continuing, so k may immediately evict again.
+func (o *evictOp) finish(err error) {
+	m, k := o.m, o.k
+	o.t, o.pg, o.k = nil, nil, nil
+	m.evictFree = append(m.evictFree, o)
+	k(err)
+}
+
+func (o *evictOp) dwJoin() {
+	m := o.m
+	m.putBuf(o.snapBuf)
+	o.snapBuf = nil
+	o.snap = page.Page{}
+	err := o.diskErr
+	if err == nil {
+		err = o.ssdErr
+	}
+	o.finish(err)
+}
+
+func (o *evictOp) lcAdmit(ok bool, err error) {
+	if err != nil {
+		o.finish(err)
+		return
+	}
+	if !ok {
+		o.m.writeDiskTask(o.t, o.pg, o.finishF)
+		return
+	}
+	o.finish(nil)
+}
+
+func (o *evictOp) tacDisk(err error) {
+	if err != nil {
+		o.finish(err)
+		return
+	}
+	o.m.tacRevalidateTask(o.t, o.pg, o.finishF)
+}
+
+// OnEvictTask is the run-to-completion twin of OnEvict: the same per-design
+// routing of a page evicted from the memory buffer pool.
+func (m *Manager) OnEvictTask(t *sim.Task, pg *page.Page, dirty, random bool, k func(error)) {
+	o := m.getEvictOp()
+	o.t, o.pg, o.k = t, pg, k
+
+	if !dirty {
+		// evictClean: admit qualifying clean evictions (CW/DW/LC).
+		switch m.cfg.Design {
+		case CW, DW, LC:
+			if !m.Qualifies(random) {
+				o.finish(nil)
+				return
+			}
+			if m.throttled() {
+				m.stats.ThrottleWrites++
+				o.finish(nil)
+				return
+			}
+			m.admitTask(t, pg, false, o.onCleanAdmit)
+		default:
+			o.finish(nil)
+		}
+		return
+	}
+	switch m.cfg.Design {
+	case NoSSD, CW:
+		m.writeDiskTask(t, pg, o.finishF)
+		return
+
+	case DW:
+		// Dual-write: SSD and disk writes issued concurrently, the eviction
+		// completes when both have (§2.3.2).
+		if !m.Qualifies(random) {
+			m.writeDiskTask(t, pg, o.finishF)
+			return
+		}
+		if m.throttled() {
+			m.stats.ThrottleWrites++
+			m.writeDiskTask(t, pg, o.finishF)
+			return
+		}
+		o.snapBuf = m.getBuf()
+		o.snap = page.Page{ID: pg.ID, LSN: pg.LSN, Payload: append(o.snapBuf[:0], pg.Payload...)}
+		o.ssdErr, o.diskErr = nil, nil
+		o.done.Reset()
+		m.env.Spawn("dw-ssd-write", o.spawnDW)
+		m.writeDiskTask(t, pg, o.onDWDisk)
+		return
+
+	case LC:
+		if m.checkpointing || !m.Qualifies(random) {
+			m.writeDiskTask(t, pg, o.finishF)
+			return
+		}
+		if m.throttled() {
+			m.stats.ThrottleWrites++
+			m.writeDiskTask(t, pg, o.finishF)
+			return
+		}
+		m.admitTask(t, pg, true, o.onLCAdmit)
+		return
+
+	case TAC:
+		m.writeDiskTask(t, pg, o.onTACDisk)
+		return
+	}
+	m.writeDiskTask(t, pg, o.finishF)
+}
+
+// tacRevalidateTask is the run-to-completion twin of tacRevalidate.
+func (m *Manager) tacRevalidateTask(t *sim.Task, pg *page.Page, k func(error)) {
+	if !m.Enabled() {
+		k(nil)
+		return
+	}
+	if m.lost {
+		k(device.ErrLost)
+		return
+	}
+	s := m.shardOf(pg.ID)
+	idx, ok := s.lookup(pg.ID)
+	if !ok {
+		k(nil)
+		return
+	}
+	rec := &m.frames[idx]
+	if rec.valid {
+		k(nil)
+		return
+	}
+	if m.throttled() {
+		m.stats.ThrottleWrites++
+		k(nil)
+		return
+	}
+	rec.valid = true
+	rec.lsn = pg.LSN
+	m.stats.Revalidations++
+	m.frameWrite(t, idx, pg, nil, nil, k)
+}
+
+// tacAdmitOp carries one asynchronous TAC admission (TACOnDiskReadTask)
+// through its delay, race check and SSD write.
+type tacAdmitOp struct {
+	m          *Manager
+	child      *sim.Task
+	snapBuf    []byte
+	snap       page.Page
+	stillClean func() bool
+
+	spawnF  func(*sim.Task) // bound: child body (sleeps AsyncAdmitDelay)
+	onAwake func()          // bound: delay elapsed
+	onAdmit func(error)     // bound: admission finished
+}
+
+func (m *Manager) getTacAdmitOp() *tacAdmitOp {
+	if n := len(m.taFree); n > 0 {
+		o := m.taFree[n-1]
+		m.taFree[n-1] = nil
+		m.taFree = m.taFree[:n-1]
+		return o
+	}
+	o := &tacAdmitOp{m: m}
+	o.spawnF = func(child *sim.Task) {
+		o.child = child
+		child.Sleep(o.m.cfg.AsyncAdmitDelay, o.onAwake)
+	}
+	o.onAwake = o.awake
+	o.onAdmit = o.admitted
+	return o
+}
+
+func (o *tacAdmitOp) recycle() {
+	m := o.m
+	if o.snapBuf != nil {
+		m.putBuf(o.snapBuf)
+	}
+	o.child, o.snapBuf, o.stillClean = nil, nil, nil
+	o.snap = page.Page{}
+	m.taFree = append(m.taFree, o)
+}
+
+func (o *tacAdmitOp) awake() {
+	m := o.m
+	if !o.stillClean() {
+		m.stats.TACAborts++
+		o.recycle()
+		return
+	}
+	if m.throttled() {
+		m.stats.ThrottleWrites++
+		o.recycle()
+		return
+	}
+	m.tacAdmitTask(o.child, &o.snap, o.onAdmit)
+}
+
+func (o *tacAdmitOp) admitted(err error) {
+	if err != nil && !errors.Is(err, device.ErrLost) {
+		panic("ssd: tac admit: " + err.Error())
+	}
+	// An ErrLost admission is swallowed: the write was optional traffic; the
+	// engine notices the loss on its next synchronous SSD operation.
+	o.recycle()
+}
+
+// TACOnDiskReadTask is the run-to-completion twin of TACOnDiskRead: it
+// spawns the same asynchronous admission as a child task instead of a
+// goroutine-backed process.
+func (m *Manager) TACOnDiskReadTask(pg *page.Page, random bool, stillClean func() bool) {
+	if m.cfg.Design != TAC || !m.Enabled() {
+		return
+	}
+	_ = random
+	o := m.getTacAdmitOp()
+	o.snapBuf = m.getBuf()
+	o.snap = page.Page{ID: pg.ID, LSN: pg.LSN, Payload: append(o.snapBuf[:0], pg.Payload...)}
+	o.stillClean = stillClean
+	m.env.Spawn("tac-admit", o.spawnF)
+}
+
+// tacAdmitTask is the run-to-completion twin of tacAdmit.
+func (m *Manager) tacAdmitTask(t *sim.Task, snap *page.Page, k func(error)) {
+	if m.lost {
+		k(device.ErrLost)
+		return
+	}
+	s := m.shardOf(snap.ID)
+	if idx, ok := s.lookup(snap.ID); ok {
+		rec := &m.frames[idx]
+		if rec.valid {
+			k(nil) // already cached
+			return
+		}
+		rec.valid = true
+		rec.lsn = snap.LSN
+		m.stats.Admissions++
+		m.frameWrite(t, idx, snap, nil, nil, k)
+		return
+	}
+	idx := m.tacAllocFrame(snap.ID)
+	if idx < 0 {
+		k(nil)
+		return
+	}
+	m.frames[idx].lsn = snap.LSN
+	m.stats.Admissions++
+	m.frameWrite(t, idx, snap, nil, nil, k)
+}

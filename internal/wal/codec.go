@@ -140,7 +140,12 @@ func DecodeStream(buf []byte) ([]Record, error) {
 // WriteTo serializes the log's durable records to w (an export of exactly
 // the state recovery may rely on).
 func (l *Log) WriteTo(w io.Writer) (int64, error) {
-	buf := EncodeStream(l.durable)
+	var buf []byte
+	for _, b := range l.durable.blocks {
+		for _, r := range b {
+			buf = EncodeRecord(buf, r)
+		}
+	}
 	n, err := w.Write(buf)
 	return int64(n), err
 }
@@ -157,7 +162,7 @@ func (l *Log) ReadDurable(r io.Reader) error {
 	if err != nil {
 		return err
 	}
-	l.durable = recs
+	l.durable.reset(recs)
 	l.pending = nil
 	l.pendingB = 0
 	for _, rec := range recs {

@@ -57,6 +57,89 @@ type byteSlab struct {
 	cur []byte
 }
 
+// durableBlock is the number of records per block of the durable deque.
+const durableBlock = 8192
+
+// recDeque stores the durable records as a sequence of fixed-size blocks.
+// Unlike a flat slice — whose doubling growth re-copies and re-zeroes the
+// entire accumulated history, a measurable cost once a long run holds
+// hundreds of thousands of durable records — appending here never moves an
+// existing record, and truncation recycles whole emptied blocks.
+type recDeque struct {
+	blocks [][]Record
+	count  int
+	spare  []Record // one recycled emptied block
+}
+
+// push appends one record (records arrive in LSN order).
+func (d *recDeque) push(r Record) {
+	n := len(d.blocks)
+	if n == 0 || len(d.blocks[n-1]) == durableBlock {
+		b := d.spare
+		d.spare = nil
+		if b == nil {
+			b = make([]Record, 0, durableBlock)
+		}
+		d.blocks = append(d.blocks, b)
+		n++
+	}
+	d.blocks[n-1] = append(d.blocks[n-1], r)
+	d.count++
+}
+
+// all materializes the records, oldest first, into a fresh slice.
+func (d *recDeque) all() []Record {
+	out := make([]Record, 0, d.count)
+	for _, b := range d.blocks {
+		out = append(out, b...)
+	}
+	return out
+}
+
+// reset replaces the contents with recs.
+func (d *recDeque) reset(recs []Record) {
+	*d = recDeque{}
+	for _, r := range recs {
+		d.push(r)
+	}
+}
+
+// truncateThrough drops every record with LSN <= lsn, relying on LSN order.
+// Fully-covered leading blocks are zeroed and recycled; a partially-covered
+// boundary block is shifted in place.
+func (d *recDeque) truncateThrough(lsn uint64) {
+	for len(d.blocks) > 0 {
+		b := d.blocks[0]
+		if len(b) == 0 || b[len(b)-1].LSN > lsn {
+			break
+		}
+		d.count -= len(b)
+		for i := range b {
+			b[i] = Record{} // drop payload refs
+		}
+		d.spare = b[:0]
+		d.blocks = d.blocks[1:]
+	}
+	if len(d.blocks) == 0 {
+		d.blocks = nil
+		return
+	}
+	b := d.blocks[0]
+	i := 0
+	for i < len(b) && b[i].LSN <= lsn {
+		i++
+	}
+	if i > 0 {
+		n := copy(b, b[i:])
+		tail := b[n:]
+		for j := range tail {
+			tail[j] = Record{}
+		}
+		d.blocks[0] = b[:n]
+		d.count -= i
+	}
+}
+
 // stash copies b into the slab and returns the copy (capacity-clipped so
 // appends to it cannot clobber a neighbour).
 func (s *byteSlab) stash(b []byte) []byte {
@@ -87,7 +170,7 @@ type Log struct {
 	flushedLSN uint64
 	pending    []Record
 	pendingB   int
-	durable    []Record
+	durable    recDeque
 	slab       byteSlab
 
 	writePos device.PageNum
@@ -99,6 +182,13 @@ type Log struct {
 	spare     []Record // recycled pending-batch backing array
 	flushBuf  []byte
 	flushBufs [][]byte
+
+	// Run-to-completion flush state: fl is the single in-flight flush (the
+	// flushing flag serializes flushes, so one reusable struct suffices) and
+	// wFree pools the coalescing waiters, so steady-state task-form flushes
+	// allocate no continuation closures.
+	fl    *flight
+	wFree []*fwait
 
 	appends      int64
 	flushes      int64
@@ -178,7 +268,9 @@ func (l *Log) Flush(p *sim.Proc, upTo uint64) {
 			// The simulated log device cannot fail in-range; surface loudly.
 			panic("wal: log device write failed: " + err.Error())
 		}
-		l.durable = append(l.durable, batch...)
+		for _, r := range batch {
+			l.durable.push(r)
+		}
 		for i := range batch {
 			batch[i] = Record{} // drop payload refs before recycling
 		}
@@ -195,6 +287,127 @@ func (l *Log) Flush(p *sim.Proc, upTo uint64) {
 	}
 }
 
+// flight is the state of the one in-flight task-form flush. The flushing
+// flag serializes flushes, so a single reusable struct (with its completion
+// bound once) carries every device write.
+type flight struct {
+	l      *Log
+	t      *sim.Task
+	upTo   uint64
+	k      func()
+	batch  []Record
+	endLSN uint64
+	nPages device.PageNum
+
+	onWritten func(error) // bound to (*flight).written once
+}
+
+func (f *flight) written(err error) {
+	if err != nil {
+		// The simulated log device cannot fail in-range; surface loudly.
+		panic("wal: log device write failed: " + err.Error())
+	}
+	l := f.l
+	for _, r := range f.batch {
+		l.durable.push(r)
+	}
+	for i := range f.batch {
+		f.batch[i] = Record{} // drop payload refs before recycling
+	}
+	if l.spare == nil || cap(f.batch) > cap(l.spare) {
+		l.spare = f.batch[:0]
+	}
+	if f.endLSN > l.flushedLSN {
+		l.flushedLSN = f.endLSN
+	}
+	l.flushes++
+	l.flushedPages += int64(f.nPages)
+	l.flushing = false
+	l.fsignal.Broadcast()
+	// Copy out before re-entering FlushTask: the recursion may start a new
+	// flush that reuses this struct.
+	t, upTo, k := f.t, f.upTo, f.k
+	f.t, f.k, f.batch = nil, nil, nil
+	l.FlushTask(t, upTo, k) // re-check, as Flush's loop does
+}
+
+// fwait is one pooled coalescing waiter: a FlushTask call parked behind an
+// in-flight flush, re-entered when the flush signal fires.
+type fwait struct {
+	l    *Log
+	t    *sim.Task
+	upTo uint64
+	k    func()
+
+	fn func() // bound to (*fwait).run once
+}
+
+func (w *fwait) run() {
+	l, t, upTo, k := w.l, w.t, w.upTo, w.k
+	w.t, w.k = nil, nil
+	l.wFree = append(l.wFree, w)
+	l.FlushTask(t, upTo, k)
+}
+
+// FlushTask is the run-to-completion twin of Flush: same coalescing, batch
+// construction and group-commit accounting, continuing with k once every
+// record with LSN <= upTo is durable. Each re-entry mirrors one iteration
+// of Flush's loop.
+func (l *Log) FlushTask(t *sim.Task, upTo uint64, k func()) {
+	if l.flushedLSN >= upTo {
+		k()
+		return
+	}
+	if l.flushing {
+		var w *fwait
+		if n := len(l.wFree); n > 0 {
+			w = l.wFree[n-1]
+			l.wFree[n-1] = nil
+			l.wFree = l.wFree[:n-1]
+		} else {
+			w = &fwait{l: l}
+			w.fn = w.run
+		}
+		w.t, w.upTo, w.k = t, upTo, k
+		l.fsignal.WaitFunc(w.fn)
+		return
+	}
+	if len(l.pending) == 0 {
+		k() // nothing buffered; upTo was never appended
+		return
+	}
+	batch := l.pending
+	batchBytes := l.pendingB
+	l.pending = nil
+	l.pendingB = 0
+	endLSN := batch[len(batch)-1].LSN
+	l.flushing = true
+
+	nPages := device.PageNum((batchBytes + l.pageSize - 1) / l.pageSize)
+	if need := int(nPages) * l.pageSize; cap(l.flushBuf) < need {
+		l.flushBuf = make([]byte, need)
+		l.flushBufs = make([][]byte, 0, int(nPages))
+	}
+	buf := l.flushBuf[:int(nPages)*l.pageSize]
+	bufs := l.flushBufs[:0]
+	for i := 0; i < int(nPages); i++ {
+		bufs = append(bufs, buf[i*l.pageSize:(i+1)*l.pageSize])
+	}
+	l.flushBufs = bufs[:0]
+	start := l.writePos
+	if start+nPages > l.capacity {
+		start = 0 // wrap the circular log
+	}
+	l.writePos = start + nPages
+	if l.fl == nil {
+		l.fl = &flight{l: l}
+		l.fl.onWritten = l.fl.written
+	}
+	f := l.fl
+	f.t, f.upTo, f.k, f.batch, f.endLSN, f.nPages = t, upTo, k, batch, endLSN, nPages
+	l.dev.WriteTask(t, start, bufs, f.onWritten)
+}
+
 // Crash discards pending (non-durable) records, as a power failure would.
 func (l *Log) Crash() {
 	l.pending = nil
@@ -202,9 +415,10 @@ func (l *Log) Crash() {
 	l.flushing = false
 }
 
-// Durable returns the records that survived flushes, oldest first. The
-// slice is shared; callers must not modify it.
-func (l *Log) Durable() []Record { return l.durable }
+// Durable returns the records that survived flushes, oldest first, as a
+// fresh slice (the log stores them in blocks internally). Payloads are
+// shared; callers must not modify them.
+func (l *Log) Durable() []Record { return l.durable.all() }
 
 // PendingRecords returns a copy of the records appended but not yet durable
 // — what a crash right now would lose. Fault tests use it to build the
@@ -215,22 +429,22 @@ func (l *Log) PendingRecords() []Record {
 
 // LastCheckpoint returns the most recent durable checkpoint record, if any.
 func (l *Log) LastCheckpoint() (Record, bool) {
-	for i := len(l.durable) - 1; i >= 0; i-- {
-		if l.durable[i].Type == TypeCheckpoint {
-			return l.durable[i], true
+	for bi := len(l.durable.blocks) - 1; bi >= 0; bi-- {
+		b := l.durable.blocks[bi]
+		for i := len(b) - 1; i >= 0; i-- {
+			if b[i].Type == TypeCheckpoint {
+				return b[i], true
+			}
 		}
 	}
 	return Record{}, false
 }
 
 // TruncateThrough discards durable records with LSN <= lsn (called after a
-// checkpoint makes them unnecessary for recovery).
+// checkpoint makes them unnecessary for recovery), zeroing dropped slots so
+// payload chunks can be reclaimed.
 func (l *Log) TruncateThrough(lsn uint64) {
-	i := 0
-	for i < len(l.durable) && l.durable[i].LSN <= lsn {
-		i++
-	}
-	l.durable = append([]Record(nil), l.durable[i:]...)
+	l.durable.truncateThrough(lsn)
 }
 
 // Stats reports append/flush activity.

@@ -18,6 +18,7 @@ import (
 	"math/rand"
 	"time"
 
+	"turbobp/internal/bufpool"
 	"turbobp/internal/engine"
 	"turbobp/internal/page"
 	"turbobp/internal/sim"
@@ -44,6 +45,12 @@ type OLTP struct {
 	UpdateTier int
 	Workers    int // concurrent clients
 	Seed       int64
+	// ProcWorkers runs each worker as a goroutine-backed process (the
+	// original form) instead of a run-to-completion task. The two forms
+	// drive the simulation through the identical event sequence; tasks are
+	// the default because they avoid the park/resume channel handoffs.
+	// Equivalence tests exercise both.
+	ProcWorkers bool
 }
 
 // TPCC returns the paper's TPC-C-like profile for a database of dbPages:
@@ -84,8 +91,10 @@ func TPCE(dbPages int64) OLTP {
 // the hot set is spread over the whole database rather than being one
 // contiguous (and extent-aligned) region.
 func scatter(i, n int64) page.ID {
-	const mult = 2654435761 // Knuth's multiplicative hash constant
-	return page.ID(((i*mult)%n + n) % n)
+	// Knuth's multiplicative hash constant. i < 2^32 always (page indices),
+	// so i*mult < 2^63 cannot overflow negative and one modulo suffices.
+	const mult = 2654435761
+	return page.ID((i * mult) % n)
 }
 
 // pick draws a page according to the graded skew; tier >= 0 restricts the
@@ -126,18 +135,110 @@ func (o *OLTP) Start(env *sim.Env, e *engine.Engine, onCommit func(t time.Durati
 	stopped := false
 	for w := 0; w < o.Workers; w++ {
 		rng := rand.New(rand.NewSource(o.Seed + int64(w)*7919))
-		env.Go(o.Name+"-worker", func(p *sim.Proc) {
-			for !stopped {
-				if err := o.runTx(p, e, rng); err != nil {
-					panic("workload: " + err.Error())
+		if o.ProcWorkers {
+			env.Go(o.Name+"-worker", func(p *sim.Proc) {
+				for !stopped {
+					if err := o.runTx(p, e, rng); err != nil {
+						panic("workload: " + err.Error())
+					}
+					if onCommit != nil {
+						onCommit(p.Now())
+					}
 				}
-				if onCommit != nil {
-					onCommit(p.Now())
-				}
-			}
+			})
+			continue
+		}
+		w := &taskWorker{o: o, e: e, rng: rng, stopped: &stopped, onCommit: onCommit}
+		w.mutateF = w.mutatePayload
+		w.afterGetF = w.afterGet
+		w.afterUpF = w.afterUpdate
+		w.afterCommitF = w.afterCommit
+		env.Spawn(o.Name+"-worker", func(t *sim.Task) {
+			w.t = t
+			w.loop()
 		})
 	}
 	return func() { stopped = true }
+}
+
+// taskWorker is one run-to-completion OLTP client: the state of runTx as a
+// struct, with its continuations bound once at Start, so the steady-state
+// transaction loop allocates nothing. It draws from the RNG in exactly the
+// order runTx does, and the continuation chain is stack-safe: every access
+// charges CPU time, and the kernel's inline-depth cap periodically
+// reschedules the continuation, unwinding the stack.
+type taskWorker struct {
+	o        *OLTP
+	e        *engine.Engine
+	t        *sim.Task
+	rng      *rand.Rand
+	stopped  *bool
+	onCommit func(t time.Duration)
+
+	tx uint64
+	a  int  // accesses issued in the current transaction
+	v  byte // update value for the in-flight access
+
+	mutateF      func([]byte)
+	afterGetF    func(*bufpool.Frame, error)
+	afterUpF     func(error)
+	afterCommitF func(error)
+}
+
+func (w *taskWorker) loop() {
+	if *w.stopped {
+		return
+	}
+	w.tx = w.e.Begin()
+	w.a = 0
+	w.step()
+}
+
+// step issues the next access of the current transaction.
+func (w *taskWorker) step() {
+	o := w.o
+	if w.a >= o.AccessesPerTx {
+		w.e.CommitTask(w.t, w.tx, w.afterCommitF)
+		return
+	}
+	w.a++
+	if w.rng.Float64() < o.UpdateFrac {
+		pid := o.pick(w.rng, o.UpdateTier)
+		w.v = byte(w.rng.Intn(256))
+		w.e.UpdateTask(w.t, w.tx, pid, w.mutateF, w.afterUpF)
+		return
+	}
+	pid := o.pick(w.rng, -1)
+	w.e.GetTask(w.t, pid, w.afterGetF)
+}
+
+func (w *taskWorker) mutatePayload(pl []byte) {
+	pl[0] = w.v
+	pl[1]++
+}
+
+func (w *taskWorker) afterGet(_ *bufpool.Frame, err error) {
+	if err != nil {
+		panic("workload: " + err.Error())
+	}
+	w.step()
+}
+
+func (w *taskWorker) afterUpdate(err error) {
+	if err != nil {
+		panic("workload: " + err.Error())
+	}
+	w.step()
+}
+
+func (w *taskWorker) afterCommit(err error) {
+	if err != nil {
+		panic("workload: " + err.Error())
+	}
+	if w.onCommit != nil {
+		w.onCommit(w.t.Now())
+	}
+	w.loop()
 }
 
 // runTx executes one transaction.
