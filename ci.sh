@@ -57,6 +57,11 @@ echo "== fault matrix (crash/recover, must pass and be byte-stable) =="
 /tmp/bpesim-ci -parallel 4 faults > /tmp/bpesim-ci-faults-parallel.out 2>/dev/null
 cmp /tmp/bpesim-ci-faults-serial.out /tmp/bpesim-ci-faults-parallel.out
 
+echo "== corruption matrix (silent-corruption defense, must pass and be byte-stable) =="
+/tmp/bpesim-ci -parallel 1 corrupt > /tmp/bpesim-ci-corrupt-serial.out 2>/dev/null
+/tmp/bpesim-ci -parallel 4 corrupt > /tmp/bpesim-ci-corrupt-parallel.out 2>/dev/null
+cmp /tmp/bpesim-ci-corrupt-serial.out /tmp/bpesim-ci-corrupt-parallel.out
+
 echo "== benchmark regression guard (hot paths vs BENCH_harness.json, 25% margin) =="
 /tmp/bpesim-ci -benchguard BENCH_harness.json
 
@@ -66,6 +71,7 @@ grep -q "== fig5-tpcc" /tmp/bpesim-ci-scale.out
 
 rm -f /tmp/bpesim-ci /tmp/bpesim-ci-serial.out /tmp/bpesim-ci-parallel.out \
       /tmp/bpesim-ci-faults-serial.out /tmp/bpesim-ci-faults-parallel.out \
+      /tmp/bpesim-ci-corrupt-serial.out /tmp/bpesim-ci-corrupt-parallel.out \
       /tmp/bpesim-ci-scale.out
 
 echo "CI OK"

@@ -22,9 +22,11 @@
 // byte-identical at any worker count: per-experiment wall-clock timings
 // go to stderr.
 //
-// The faults experiment ignores the divisor (its configuration is fixed so
-// the table is reproducible); -faultseed varies its injected fault
-// schedules. See docs/FAILURES.md for the failure model it exercises.
+// The faults experiment (crash/recover matrix) and the corrupt experiment
+// (silent-corruption detect/repair matrix) ignore the divisor (their
+// configurations are fixed so the tables are reproducible); -faultseed
+// varies the injected fault schedules of both. See docs/FAILURES.md for
+// the failure model they exercise.
 package main
 
 import (

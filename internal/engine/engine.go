@@ -72,6 +72,19 @@ type Config struct {
 	// costs the hot path only nil checks.
 	Faults *fault.Injector
 
+	// Retry bounds transient-I/O retries on the database-disk read/write
+	// paths (the SSD manager shares the same policy). The zero value is
+	// replaced by device.DefaultRetryPolicy.
+	Retry device.RetryPolicy
+	// ScrubPeriod enables the background SSD scrubber (0, the default,
+	// disables it); ScrubBatch caps the frames verified per wake-up.
+	ScrubPeriod time.Duration
+	ScrubBatch  int
+	// RetireAfter / QuarantineAfter forward to the SSD manager's slot-
+	// retirement and quarantine thresholds (see ssd.Config).
+	RetireAfter     int
+	QuarantineAfter int
+
 	// CPU model: page accesses consume CPUPerAccess of one of CPUCores
 	// hardware contexts (the paper's box is a dual quad-core Nehalem with
 	// 16 contexts, saturating around 110k tpmC). Scan pages charge a
@@ -129,6 +142,9 @@ func (c *Config) setDefaults() {
 	if c.CPUPerAccess == 0 {
 		c.CPUPerAccess = 1200 * time.Microsecond
 	}
+	if c.Retry.Attempts <= 0 {
+		c.Retry = device.DefaultRetryPolicy()
+	}
 	// A read-ahead batch claims one frame per page; bound it so a single
 	// batch can never exhaust the pool.
 	if c.ReadAhead > c.PoolPages/2 {
@@ -159,6 +175,15 @@ type Stats struct {
 	RedoSkipped int64
 	SSDLosses   int64 // whole-SSD failures survived (fault injection)
 	SSDLossRedo int64 // WAL redo records applied to rebuild lost dirty SSD pages
+
+	// Silent-corruption defense (see docs/FAILURES.md). SSD-side detection
+	// counters live on ssd.Stats; these count the engine's repairs.
+	DiskCorruptions  int64 // disk pages that failed checksum/id verification
+	DiskRepairsSSD   int64 // of which healed from an intact SSD copy
+	DiskRepairsWAL   int64 // of which rebuilt from the newest WAL record
+	CorruptRedo      int64 // dirty SSD frames reconstructed through WAL redo
+	DiskReadRetries  int64 // failed disk read attempts that were re-issued
+	DiskWriteRetries int64 // failed disk write attempts that were re-issued
 	// Classification accuracy counts for disk reads: Truth<X>Label<Y>
 	// counts reads truly of kind X that the classifier labelled Y (truth =
 	// whether the read-ahead mechanism issued the read).
@@ -237,6 +262,11 @@ type Engine struct {
 	// continuation fires, so steady-state transaction traffic allocates no
 	// continuation closures.
 	opFree []*txOp
+
+	// Free list of retrying disk-transfer states (diskOp) and a one-element
+	// scratch vector for single-buffer blocking reads.
+	diskOpFree  []*diskOp
+	scratchVec1 [][]byte
 }
 
 // New builds an engine (and its simulated devices) inside env.
@@ -276,6 +306,7 @@ func NewWithDevices(env *sim.Env, cfg Config, dbDev, ssdDev, logDev device.Devic
 	e.classifier = newClassifier(cfg.Classifier)
 	e.cpu = sim.NewResource(env, e.cfg.CPUCores)
 	e.mgr.StartCleaner()
+	e.mgr.StartScrubber()
 	if cfg.CheckpointInterval > 0 {
 		e.startCheckpointer()
 	}
@@ -309,21 +340,165 @@ func (e *Engine) newManager() *ssd.Manager {
 		SeqSavedMs:      seqSaved,
 		AsyncAdmitDelay: e.cfg.AsyncAdmitDelay,
 		Faults:          e.cfg.Faults,
+		Retry:           e.cfg.Retry,
+		ScrubPeriod:     e.cfg.ScrubPeriod,
+		ScrubBatch:      e.cfg.ScrubBatch,
+		RetireAfter:     e.cfg.RetireAfter,
+		QuarantineAfter: e.cfg.QuarantineAfter,
+		Repair:          (*walRepairer)(e),
 	})
 }
 
+// walRepairer adapts the engine's page-granular WAL redo to the SSD
+// manager's Repairer dependency (corrupt dirty frames, scrubber and lazy
+// cleaner detections).
+type walRepairer Engine
+
+// RepairDirtyPage reconstructs a uniquely-dirty page whose SSD frame was
+// condemned.
+func (r *walRepairer) RepairDirtyPage(p *sim.Proc, pid page.ID) error {
+	return (*Engine)(r).repairDirtySSD(p, pid)
+}
+
 // diskWriter adapts the engine's database array to the SSD manager's Disk
-// interface (logical page ids map one-to-one onto array pages).
+// interface (logical page ids map one-to-one onto array pages). It also
+// implements ssd.DiskReader so the scrubber can fetch disk copies for
+// in-place frame repair. All forms route through the engine's retrying
+// disk helpers.
 type diskWriter Engine
 
 // WriteEncoded writes a run of encoded pages to the database disks.
 func (d *diskWriter) WriteEncoded(p *sim.Proc, start page.ID, bufs [][]byte) error {
-	return (*Engine)(d).db.Write(p, device.PageNum(start), bufs)
+	return (*Engine)(d).dbWrite(p, device.PageNum(start), bufs)
 }
 
 // WriteEncodedTask is the run-to-completion twin of WriteEncoded.
 func (d *diskWriter) WriteEncodedTask(t *sim.Task, start page.ID, bufs [][]byte, k func(error)) {
-	(*Engine)(d).db.WriteTask(t, device.PageNum(start), bufs, k)
+	(*Engine)(d).dbWriteTask(t, device.PageNum(start), bufs, k)
+}
+
+// ReadEncoded reads one encoded page image from the database disks.
+func (d *diskWriter) ReadEncoded(p *sim.Proc, pid page.ID, buf []byte) error {
+	e := (*Engine)(d)
+	e.scratchVec1 = append(e.scratchVec1[:0], buf)
+	err := e.dbRead(p, device.PageNum(pid), e.scratchVec1)
+	e.scratchVec1[0] = nil
+	return err
+}
+
+// ReadEncodedTask is the run-to-completion twin of ReadEncoded.
+func (d *diskWriter) ReadEncodedTask(t *sim.Task, pid page.ID, buf []byte, k func(error)) {
+	e := (*Engine)(d)
+	vec := e.getVecShell(1)
+	vec = append(vec, buf)
+	o := e.getDiskOp()
+	o.t, o.start, o.bufs, o.k, o.write, o.attempt = t, device.PageNum(pid), vec, k, false, 1
+	o.ownsVec = true
+	e.db.ReadTask(t, o.start, vec, o.onDone)
+}
+
+// dbRead reads a run of encoded pages from the database disks, retrying
+// transient failures under the configured policy.
+func (e *Engine) dbRead(p *sim.Proc, start device.PageNum, bufs [][]byte) error {
+	for attempt := 1; ; attempt++ {
+		err := e.db.Read(p, start, bufs)
+		if err == nil {
+			return nil
+		}
+		if !e.cfg.Retry.Retryable(err, attempt) {
+			return err
+		}
+		e.stats.DiskReadRetries++
+		p.Sleep(e.cfg.Retry.Delay(attempt))
+	}
+}
+
+// dbWrite writes a run of encoded pages to the database disks, retrying
+// transient failures under the configured policy.
+func (e *Engine) dbWrite(p *sim.Proc, start device.PageNum, bufs [][]byte) error {
+	for attempt := 1; ; attempt++ {
+		err := e.db.Write(p, start, bufs)
+		if err == nil {
+			return nil
+		}
+		if !e.cfg.Retry.Retryable(err, attempt) {
+			return err
+		}
+		e.stats.DiskWriteRetries++
+		p.Sleep(e.cfg.Retry.Delay(attempt))
+	}
+}
+
+// diskOp carries one retrying task-form disk transfer (the twin of
+// dbRead/dbWrite); pooled so steady-state traffic allocates nothing.
+type diskOp struct {
+	e       *Engine
+	t       *sim.Task
+	start   device.PageNum
+	bufs    [][]byte
+	k       func(error)
+	write   bool
+	ownsVec bool // return bufs' shell (not the buffers) to the vec pool
+	attempt int
+
+	onDone  func(error)
+	onRetry func()
+}
+
+func (e *Engine) getDiskOp() *diskOp {
+	if n := len(e.diskOpFree); n > 0 {
+		o := e.diskOpFree[n-1]
+		e.diskOpFree[n-1] = nil
+		e.diskOpFree = e.diskOpFree[:n-1]
+		return o
+	}
+	o := &diskOp{e: e}
+	o.onDone = o.done
+	o.onRetry = o.reissue
+	return o
+}
+
+func (o *diskOp) reissue() {
+	if o.write {
+		o.e.db.WriteTask(o.t, o.start, o.bufs, o.onDone)
+	} else {
+		o.e.db.ReadTask(o.t, o.start, o.bufs, o.onDone)
+	}
+}
+
+func (o *diskOp) done(err error) {
+	e := o.e
+	if err != nil && e.cfg.Retry.Retryable(err, o.attempt) {
+		if o.write {
+			e.stats.DiskWriteRetries++
+		} else {
+			e.stats.DiskReadRetries++
+		}
+		d := e.cfg.Retry.Delay(o.attempt)
+		o.attempt++
+		if d > 0 {
+			o.t.Sleep(d, o.onRetry)
+			return
+		}
+		o.reissue()
+		return
+	}
+	k := o.k
+	if o.ownsVec {
+		o.bufs[0] = nil
+		e.putVecShell(o.bufs[:0])
+	}
+	o.t, o.bufs, o.k = nil, nil, nil
+	e.diskOpFree = append(e.diskOpFree, o)
+	k(err)
+}
+
+// dbWriteTask is the run-to-completion twin of dbWrite.
+func (e *Engine) dbWriteTask(t *sim.Task, start device.PageNum, bufs [][]byte, k func(error)) {
+	o := e.getDiskOp()
+	o.t, o.start, o.bufs, o.k, o.write, o.attempt = t, start, bufs, k, true, 1
+	o.ownsVec = false
+	e.db.WriteTask(t, start, bufs, o.onDone)
 }
 
 // Env returns the simulation environment.
@@ -403,6 +578,28 @@ func (e *Engine) getVec(n int) [][]byte {
 func (e *Engine) putVec(v [][]byte) {
 	for i, b := range v {
 		e.putPageBuf(b)
+		v[i] = nil
+	}
+	e.vecFree = append(e.vecFree, v[:0])
+}
+
+// getVecShell returns an empty pooled vector with capacity for n entries;
+// the caller provides the buffers (unlike getVec, which fills them).
+func (e *Engine) getVecShell(n int) [][]byte {
+	if m := len(e.vecFree); m > 0 {
+		v := e.vecFree[m-1]
+		e.vecFree[m-1] = nil
+		e.vecFree = e.vecFree[:m-1]
+		if cap(v) >= n {
+			return v[:0]
+		}
+	}
+	return make([][]byte, 0, n)
+}
+
+// putVecShell returns a vector shell whose buffers the caller owns.
+func (e *Engine) putVecShell(v [][]byte) {
+	for i := range v {
 		v[i] = nil
 	}
 	e.vecFree = append(e.vecFree, v[:0])
@@ -568,6 +765,20 @@ func (e *Engine) fetch(p *sim.Proc, pid page.ID, viaReadAhead, truthScan bool) (
 			e.stats.PoolMisses-- // the retry counts the same miss again
 			return e.fetch(p, pid, viaReadAhead, truthScan)
 		}
+		var dce *ssd.DirtyCorruptError
+		if errors.As(err, &dce) {
+			// The page's only up-to-date copy failed verification; its frame
+			// is condemned. Rebuild it from the WAL, then serve from the pool
+			// (repair leaves it resident and dirty).
+			if rerr := e.repairDirtySSD(p, dce.PID); rerr != nil {
+				return nil, rerr
+			}
+			if g := e.pool.Lookup(pid, e.env.Now()); g != nil {
+				return g, nil
+			}
+			e.stats.PoolMisses-- // the retry counts the same miss again
+			return e.fetch(p, pid, viaReadAhead, truthScan)
+		}
 		return nil, err
 	}
 	if hit {
@@ -577,8 +788,16 @@ func (e *Engine) fetch(p *sim.Proc, pid page.ID, viaReadAhead, truthScan bool) (
 	}
 
 	if err := e.diskReadInto(p, pid, f, viaReadAhead); err != nil {
-		e.pool.Release(f)
-		return nil, err
+		var ce *page.ChecksumError
+		if errors.As(err, &ce) {
+			// The disk image is corrupt: climb the repair ladder (SSD copy,
+			// then WAL) instead of surfacing wrong or no data.
+			err = e.repairDiskPage(p, pid, f, err)
+		}
+		if err != nil {
+			e.pool.Release(f)
+			return nil, err
+		}
 	}
 	f.Seq = seqLabel
 	e.noteClassification(truthScan, seqLabel)
@@ -611,7 +830,7 @@ func (e *Engine) diskReadInto(p *sim.Proc, pid page.ID, f *bufpool.Frame, viaRea
 	n := e.readSpan(pid, viaReadAhead)
 	bufs := e.getVec(n)
 	defer e.putVec(bufs) // decodeInto copies, so nothing aliases them after
-	if err := e.db.Read(p, device.PageNum(pid), bufs); err != nil {
+	if err := e.dbRead(p, device.PageNum(pid), bufs); err != nil {
 		return err
 	}
 	return e.installRead(pid, bufs, f)
@@ -654,6 +873,14 @@ func (e *Engine) installRead(pid page.ID, bufs [][]byte, f *bufpool.Frame) error
 		}
 		if err := e.decodeInto(id, bufs[i], g); err != nil {
 			e.pool.Release(g)
+			var ce *page.ChecksumError
+			if errors.As(err, &ce) {
+				// A corrupt page in the opportunistic expansion tail is not
+				// the page the caller asked for: count the detection and skip
+				// it — the repair ladder runs when the page is read directly.
+				e.stats.DiskCorruptions++
+				continue
+			}
 			return err
 		}
 		g.Seq = true
@@ -663,7 +890,9 @@ func (e *Engine) installRead(pid page.ID, bufs [][]byte, f *bufpool.Frame) error
 }
 
 // decodeInto fills frame f from an encoded page image, tolerating blank
-// (never-formatted) device space.
+// (never-formatted) device space. Verification failures come back as
+// *page.ChecksumError annotated with the disk location, so callers can
+// route them into the repair ladder (repairDiskPage).
 func (e *Engine) decodeInto(pid page.ID, buf []byte, f *bufpool.Frame) error {
 	if page.Blank(buf) {
 		f.Pg.ID = pid
@@ -675,14 +904,95 @@ func (e *Engine) decodeInto(pid page.ID, buf []byte, f *bufpool.Frame) error {
 	}
 	var got page.Page
 	if err := page.Decode(buf, &got); err != nil {
-		return fmt.Errorf("engine: page %d: %w", pid, err)
+		var ce *page.ChecksumError
+		if errors.As(err, &ce) {
+			ce.ID, ce.Device, ce.Slot = pid, "db", int64(pid)
+		}
+		return err
 	}
 	if got.ID != pid {
-		return fmt.Errorf("engine: disk page %d holds id %d", pid, got.ID)
+		return &page.ChecksumError{ID: pid, Device: "db", Slot: int64(pid),
+			Reason: "id", Got: uint64(got.ID), Want: uint64(pid)}
 	}
 	f.Pg.ID = got.ID
 	f.Pg.LSN = got.LSN
 	copy(f.Pg.Payload, got.Payload)
+	return nil
+}
+
+// repairDiskPage rebuilds frame f after pid's disk image failed
+// verification, climbing the repair ladder: an intact SSD copy first (the
+// disk is healed in place by writing it back — safe, the SSD version is
+// never older than the disk's), then the newest durable WAL record (a full
+// after-image; the rebuilt frame is marked dirty so it reflushes). When
+// neither source exists the typed cause is surfaced — never a silently
+// wrong page.
+func (e *Engine) repairDiskPage(p *sim.Proc, pid page.ID, f *bufpool.Frame, cause error) error {
+	e.stats.DiskCorruptions++
+	f.Pg.ID = pid
+	hit, err := e.mgr.Read(p, pid, &f.Pg)
+	if err == nil && hit {
+		buf := e.getPageBuf()
+		werr := page.Encode(&f.Pg, buf)
+		if werr == nil {
+			e.scratchVec1 = append(e.scratchVec1[:0], buf)
+			werr = e.dbWrite(p, device.PageNum(pid), e.scratchVec1)
+			e.scratchVec1[0] = nil
+		}
+		e.putPageBuf(buf)
+		if werr != nil {
+			// The heal write failed, but the frame itself is good; keep it
+			// dirty so the normal flush machinery retries the disk.
+			f.Dirty = true
+			f.RecLSN = f.Pg.LSN
+		}
+		e.stats.DiskRepairsSSD++
+		return nil
+	}
+	if err != nil {
+		var dce *ssd.DirtyCorruptError
+		if !errors.As(err, &dce) {
+			return err
+		}
+		// The SSD copy was corrupt too (and dirty); fall through to the WAL,
+		// which by I1/I2 still holds the page's newest record.
+	}
+	if rec, ok := e.log.LatestUpdate(pid); ok {
+		f.Pg.ID = pid
+		copy(f.Pg.Payload, rec.Payload)
+		f.Pg.LSN = rec.LSN
+		f.Dirty = true
+		f.RecLSN = rec.LSN
+		e.stats.DiskRepairsWAL++
+		return nil
+	}
+	return fmt.Errorf("engine: page %d unrepairable (no SSD copy, no WAL record): %w", pid, cause)
+}
+
+// repairDirtySSD reconstructs a uniquely-dirty page whose SSD frame was
+// condemned for corruption — the page-granular variant of RecoverSSDLoss.
+// The stale disk version is fetched and the newest durable WAL record (a
+// full after-image, guaranteed present by invariant I2) applied on top;
+// the page stays dirty in the pool until a checkpoint or eviction reflushes
+// it.
+func (e *Engine) repairDirtySSD(p *sim.Proc, pid page.ID) error {
+	f, err := e.Get(p, pid)
+	if err != nil {
+		return err
+	}
+	if rec, ok := e.log.LatestUpdate(pid); ok && rec.LSN > f.Pg.LSN {
+		copy(f.Pg.Payload, rec.Payload)
+		f.Pg.LSN = rec.LSN
+		e.stats.CorruptRedo++
+	}
+	if !f.Dirty {
+		f.Dirty = true
+		f.RecLSN = f.Pg.LSN
+		// Mirror Update's protocol: dirtying the pool copy invalidates any
+		// SSD copy (the stale disk version may have been re-admitted by the
+		// fetch above, e.g. under TAC).
+		e.mgr.Invalidate(pid)
+	}
 	return nil
 }
 

@@ -18,6 +18,7 @@ func (e *Engine) Crash() {
 	e.pool.Reset()
 	e.log.Crash()
 	e.mgr.StopCleaner()
+	e.mgr.StopScrubber()
 	e.mgr = e.newManager()
 }
 
@@ -35,12 +36,16 @@ func (e *Engine) Crash() {
 func (e *Engine) RecoverSSDLoss(p *sim.Proc) error {
 	lost := e.mgr.DirtyPageIDs()
 	e.mgr.StopCleaner()
+	e.mgr.StopScrubber()
 	e.stats.SSDLosses++
 	if fd, ok := e.ssdDev.(*fault.Device); ok {
 		fd.Replace()
 	}
 	e.mgr = e.newManager()
 	e.mgr.StartCleaner()
+	if !e.checkpointStop {
+		e.mgr.StartScrubber()
+	}
 	if len(lost) == 0 {
 		return nil
 	}
@@ -132,6 +137,9 @@ func (e *Engine) Recover(p *sim.Proc) error {
 	}
 	e.crashed = false
 	e.mgr.StartCleaner()
+	if !e.checkpointStop {
+		e.mgr.StartScrubber()
+	}
 	if e.cfg.CheckpointInterval > 0 && !e.checkpointStop {
 		e.startCheckpointer()
 	}

@@ -150,7 +150,7 @@ func (e *Engine) readRun(p *sim.Proc, pid page.ID, count int) error {
 	// One multi-page disk request for the whole run, into pooled buffers.
 	bufs := e.getVec(runLen)
 	defer e.putVec(bufs) // decodeInto copies, so nothing aliases them after
-	if err := e.db.Read(p, device.PageNum(slots[lo].pid), bufs); err != nil {
+	if err := e.dbRead(p, device.PageNum(slots[lo].pid), bufs); err != nil {
 		for _, f := range frames {
 			if f != nil {
 				e.pool.Release(f)
@@ -173,8 +173,17 @@ func (e *Engine) readRun(p *sim.Proc, pid page.ID, count int) error {
 		seqLabel := e.classifier.label(s.pid, true)
 		e.mgr.TACNoteMiss(s.pid, !seqLabel)
 		if err := e.decodeInto(s.pid, bufs[i], f); err != nil {
-			e.pool.Release(f)
-			return err
+			var ce *page.ChecksumError
+			if errors.As(err, &ce) {
+				// A rotten disk page in the middle of the run: repair it in
+				// place — this is where an SSD-resident copy naturally heals
+				// HDD corruption — and keep scanning.
+				err = e.repairDiskPage(p, s.pid, f, err)
+			}
+			if err != nil {
+				e.pool.Release(f)
+				return err
+			}
 		}
 		f.Seq = seqLabel
 		e.noteClassification(true, seqLabel)
@@ -192,6 +201,16 @@ func (e *Engine) readRun(p *sim.Proc, pid page.ID, count int) error {
 					// Recovery redoes the page's WAL records into the
 					// frame just inserted, so the run can continue.
 					if rerr := e.RecoverSSDLoss(p); rerr != nil {
+						return rerr
+					}
+					continue
+				}
+				var dce *ssd.DirtyCorruptError
+				if errors.As(err, &dce) {
+					// The dirty SSD copy is corrupt; its frame is condemned.
+					// Redo the page from the WAL over the stale disk image
+					// already resident, then continue the run.
+					if rerr := e.repairDirtySSD(p, s.pid); rerr != nil {
 						return rerr
 					}
 					continue

@@ -50,10 +50,11 @@ type txOp struct {
 	uk       func(error)                 // Update completion
 	ck       func(error)                 // Commit completion
 
-	v     *bufpool.Frame // eviction victim
-	dirty bool           // victim was dirty
-	f     *bufpool.Frame // claimed frame
-	bufs  [][]byte       // in-flight disk read vector
+	v         *bufpool.Frame // eviction victim
+	dirty     bool           // victim was dirty
+	f         *bufpool.Frame // claimed frame
+	bufs      [][]byte       // in-flight disk read vector
+	dbAttempt int            // disk read attempt number (retry policy)
 
 	onCPUAcquired  func()            // bound: CPU resource granted
 	onCPUDone      func()            // bound: CPU slice elapsed
@@ -61,6 +62,7 @@ type txOp struct {
 	onEvicted      func(error)       // bound: manager routed the victim
 	onSSDRead      func(bool, error) // bound: SSD probe finished
 	onDbRead       func(error)       // bound: disk read finished
+	onDbRetry      func()            // bound: backoff elapsed, re-issue the read
 	onCommitFlush  func()            // bound: commit's WAL flush finished
 }
 
@@ -78,6 +80,7 @@ func (e *Engine) getOp() *txOp {
 	o.onEvicted = o.evicted
 	o.onSSDRead = o.ssdRead
 	o.onDbRead = o.dbRead
+	o.onDbRetry = o.dbReissue
 	o.onCommitFlush = o.commitFlushed
 	return o
 }
@@ -284,6 +287,25 @@ func (o *txOp) ssdRead(hit bool, err error) {
 			})
 			return
 		}
+		var dce *ssd.DirtyCorruptError
+		if errors.As(err, &dce) {
+			// The page's only up-to-date copy failed verification; its
+			// frame is condemned. Rebuild it from the WAL on a process
+			// (blocking I/O), then serve from the pool. Fault-only path.
+			e.env.Go("ssd-corrupt-repair", func(p *sim.Proc) {
+				if rerr := e.repairDirtySSD(p, dce.PID); rerr != nil {
+					o.finishFetch(nil, rerr)
+					return
+				}
+				if g := e.pool.Lookup(o.pid, e.env.Now()); g != nil {
+					o.finishFetch(g, nil)
+					return
+				}
+				e.stats.PoolMisses-- // the retry counts the same miss again
+				o.fetch()
+			})
+			return
+		}
 		o.finishFetch(nil, err)
 		return
 	}
@@ -298,22 +320,61 @@ func (o *txOp) ssdRead(hit bool, err error) {
 	// Miss: read from the database disk (the twin of diskReadInto).
 	n := e.readSpan(o.pid, o.viaReadAhead)
 	o.bufs = e.getVec(n)
+	o.dbAttempt = 1
 	e.db.ReadTask(o.t, device.PageNum(o.pid), o.bufs, o.onDbRead)
 }
 
 func (o *txOp) dbRead(err error) {
 	e := o.e
+	if err != nil && e.cfg.Retry.Retryable(err, o.dbAttempt) {
+		e.stats.DiskReadRetries++
+		d := e.cfg.Retry.Delay(o.dbAttempt)
+		o.dbAttempt++
+		if d > 0 {
+			o.t.Sleep(d, o.onDbRetry)
+			return
+		}
+		o.dbReissue()
+		return
+	}
 	if err == nil {
 		err = e.installRead(o.pid, o.bufs, o.f)
 	}
 	e.putVec(o.bufs) // installRead copies, so nothing aliases them after
 	o.bufs = nil
 	if err != nil {
+		var ce *page.ChecksumError
+		if errors.As(err, &ce) {
+			// Corrupt disk image: the repair ladder reads the SSD and disk
+			// with blocking I/O, so bridge to a process. Fault-only path.
+			cause := err
+			e.env.Go("disk-repair", func(p *sim.Proc) {
+				if rerr := e.repairDiskPage(p, o.pid, o.f, cause); rerr != nil {
+					e.pool.Release(o.f)
+					o.f = nil
+					o.finishFetch(nil, rerr)
+					return
+				}
+				o.installed()
+			})
+			return
+		}
 		e.pool.Release(o.f)
 		o.f = nil
 		o.finishFetch(nil, err)
 		return
 	}
+	o.installed()
+}
+
+// dbReissue re-issues the in-flight disk read after a retry backoff.
+func (o *txOp) dbReissue() {
+	o.e.db.ReadTask(o.t, device.PageNum(o.pid), o.bufs, o.onDbRead)
+}
+
+// installed finishes a disk-served fetch once frame o.f holds good bytes.
+func (o *txOp) installed() {
+	e := o.e
 	f := o.f
 	o.f = nil
 	f.Seq = o.seqLabel

@@ -50,14 +50,14 @@ func (d *Device) Replace() {
 	d.lost = false
 }
 
-// checkOp advances the per-name counters and returns the injected error for
-// this operation, if any. write selects the write-side schedule; the
-// returned tear (keepBytes, true) applies only to writes.
-func (d *Device) checkOp(write bool) (tear int, torn bool, err error) {
+// checkOp advances the per-name counters and returns this operation's
+// index on its side of the schedule plus the injected error, if any. write
+// selects the write-side schedule; the returned tear (keepBytes, true)
+// applies only to writes.
+func (d *Device) checkOp(write bool) (idx, tear int, torn bool, err error) {
 	pl := d.plan
 	op := pl.ops
 	pl.ops++
-	var idx int
 	if write {
 		idx = pl.writes
 		pl.writes++
@@ -71,33 +71,99 @@ func (d *Device) checkOp(write bool) (tear int, torn bool, err error) {
 		d.in.note("device %s lost at operation %d", d.name, op)
 	}
 	if d.lost {
-		return 0, false, fmt.Errorf("fault: device %s: %w", d.name, device.ErrLost)
+		return idx, 0, false, fmt.Errorf("fault: device %s: %w", d.name, device.ErrLost)
 	}
 	if write {
 		if pl.writeErrs[idx] {
 			delete(pl.writeErrs, idx)
 			d.in.note("device %s write %d failed (injected)", d.name, idx)
-			return 0, false, fmt.Errorf("fault: device %s write %d: %w", d.name, idx, ErrInjectedIO)
+			return idx, 0, false, fmt.Errorf("fault: device %s write %d: %w", d.name, idx, ErrInjectedIO)
 		}
 		if keep, ok := pl.tears[idx]; ok {
 			delete(pl.tears, idx)
 			d.in.note("device %s write %d torn after %d bytes", d.name, idx, keep)
-			return keep, true, nil
+			return idx, keep, true, nil
 		}
 	} else if pl.readErrs[idx] {
 		delete(pl.readErrs, idx)
 		d.in.note("device %s read %d failed (injected)", d.name, idx)
-		return 0, false, fmt.Errorf("fault: device %s read %d: %w", d.name, idx, ErrInjectedIO)
+		return idx, 0, false, fmt.Errorf("fault: device %s read %d: %w", d.name, idx, ErrInjectedIO)
 	}
-	return 0, false, nil
+	return idx, 0, false, nil
+}
+
+// maybePlantRot services a RotOnRead schedule: the read with index idx
+// plants decay on the first slot it covers, with the flipped bit drawn
+// from the injector's PRNG.
+func (d *Device) maybePlantRot(idx int, page device.PageNum, bufs [][]byte) {
+	pl := d.plan
+	if !pl.rotOnRead[idx] || len(bufs) == 0 || len(bufs[0]) == 0 {
+		return
+	}
+	delete(pl.rotOnRead, idx)
+	bit := uint(d.in.Rand() % uint64(8*len(bufs[0])))
+	pl.rot[int64(page)] = bit
+	d.in.note("device %s read %d decayed slot %d (bit %d)", d.name, idx, int64(page), bit)
+}
+
+// applyRot flips the planted bits in freshly-read buffers. The read has
+// already reported success; only checksums can see the lie.
+func (d *Device) applyRot(page device.PageNum, bufs [][]byte) {
+	pl := d.plan
+	if len(pl.rot) == 0 {
+		return
+	}
+	for i, b := range bufs {
+		if bit, ok := pl.rot[int64(page)+int64(i)]; ok && int(bit/8) < len(b) {
+			b[bit/8] ^= 1 << (bit % 8)
+		}
+	}
+}
+
+// settleWrite accounts for fresh data landing on n slots starting at page:
+// ordinary rot is overwritten away, sticky rot (a failing cell) re-arms.
+func (d *Device) settleWrite(page device.PageNum, n int) {
+	pl := d.plan
+	if len(pl.rot) == 0 && len(pl.sticky) == 0 {
+		return
+	}
+	for i := 0; i < n; i++ {
+		slot := int64(page) + int64(i)
+		if bit, ok := pl.sticky[slot]; ok {
+			pl.rot[slot] = bit
+		} else {
+			delete(pl.rot, slot)
+		}
+	}
+}
+
+// redirect services a MisdirectWrite schedule: write idx lands delta slots
+// away from where the caller asked.
+func (d *Device) redirect(idx int, page device.PageNum) device.PageNum {
+	pl := d.plan
+	delta, ok := pl.misdirect[idx]
+	if !ok {
+		return page
+	}
+	delete(pl.misdirect, idx)
+	target := device.PageNum(int64(page) + delta)
+	d.in.note("device %s write %d misdirected: slot %d -> %d", d.name, idx, int64(page), int64(target))
+	return target
 }
 
 // Read serves the request from the inner device unless a fault applies.
+// Planted rot is applied to the returned buffers after the inner read.
 func (d *Device) Read(p *sim.Proc, page device.PageNum, bufs [][]byte) error {
-	if _, _, err := d.checkOp(false); err != nil {
+	idx, _, _, err := d.checkOp(false)
+	if err != nil {
 		return err
 	}
-	return d.inner.Read(p, page, bufs)
+	d.maybePlantRot(idx, page, bufs)
+	if err := d.inner.Read(p, page, bufs); err != nil {
+		return err
+	}
+	d.applyRot(page, bufs)
+	return nil
 }
 
 // Write persists the request to the inner device unless a fault applies. A
@@ -106,11 +172,13 @@ func (d *Device) Read(p *sim.Proc, page device.PageNum, bufs [][]byte) error {
 // its unwritten remainder zero-filled, and later pages are dropped. The
 // torn write still returns nil — real torn writes are silent.
 func (d *Device) Write(p *sim.Proc, page device.PageNum, bufs [][]byte) error {
-	keep, torn, err := d.checkOp(true)
+	idx, keep, torn, err := d.checkOp(true)
 	if err != nil {
 		return err
 	}
+	page = d.redirect(idx, page)
 	if !torn {
+		d.settleWrite(page, len(bufs))
 		return d.inner.Write(p, page, bufs)
 	}
 	out := make([][]byte, 0, len(bufs))
@@ -131,29 +199,45 @@ func (d *Device) Write(p *sim.Proc, page device.PageNum, bufs [][]byte) error {
 	if len(out) == 0 {
 		return nil
 	}
+	d.settleWrite(page, len(out))
 	return d.inner.Write(p, page, out)
 }
 
 // ReadTask is the run-to-completion twin of Read: the fault check happens
-// at request time, then the inner device serves the request.
+// at request time, rot is applied when the inner read completes.
 func (d *Device) ReadTask(t *sim.Task, page device.PageNum, bufs [][]byte, k func(error)) {
-	if _, _, err := d.checkOp(false); err != nil {
+	idx, _, _, err := d.checkOp(false)
+	if err != nil {
 		k(err)
 		return
 	}
-	d.inner.ReadTask(t, page, bufs, k)
+	d.maybePlantRot(idx, page, bufs)
+	if len(d.plan.rot) == 0 {
+		// No decay anywhere on this device: hand k through untouched so
+		// the fault-free hot path stays allocation-free.
+		d.inner.ReadTask(t, page, bufs, k)
+		return
+	}
+	d.inner.ReadTask(t, page, bufs, func(err error) {
+		if err == nil {
+			d.applyRot(page, bufs)
+		}
+		k(err)
+	})
 }
 
 // WriteTask is the run-to-completion twin of Write, with the same torn-write
 // semantics: only the prefix before the tear point persists (the torn page
 // zero-filled past it) and the write still completes successfully.
 func (d *Device) WriteTask(t *sim.Task, page device.PageNum, bufs [][]byte, k func(error)) {
-	keep, torn, err := d.checkOp(true)
+	idx, keep, torn, err := d.checkOp(true)
 	if err != nil {
 		k(err)
 		return
 	}
+	page = d.redirect(idx, page)
 	if !torn {
+		d.settleWrite(page, len(bufs))
 		d.inner.WriteTask(t, page, bufs, k)
 		return
 	}
@@ -176,6 +260,7 @@ func (d *Device) WriteTask(t *sim.Task, page device.PageNum, bufs [][]byte, k fu
 		k(nil)
 		return
 	}
+	d.settleWrite(page, len(out))
 	d.inner.WriteTask(t, page, out, k)
 }
 

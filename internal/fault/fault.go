@@ -75,6 +75,12 @@ type devPlan struct {
 	lossDone  bool         // the loss already fired (one-shot)
 	cur       *Device      // the wrapper currently carrying this name
 
+	// Silent faults: the operation succeeds, the bytes lie.
+	rot       map[int64]uint // slot -> flipped bit, applied to every read until the slot is rewritten
+	sticky    map[int64]uint // slot -> bit that re-arms after every write (a failing cell)
+	rotOnRead map[int]bool   // read index -> plant rot on the first slot that read touches
+	misdirect map[int]int64  // write index -> slot delta (payload lands at slot+delta)
+
 	reads, writes, ops int
 }
 
@@ -180,6 +186,10 @@ func (in *Injector) planFor(name string) *devPlan {
 			readErrs:  make(map[int]bool),
 			writeErrs: make(map[int]bool),
 			tears:     make(map[int]int),
+			rot:       make(map[int64]uint),
+			sticky:    make(map[int64]uint),
+			rotOnRead: make(map[int]bool),
+			misdirect: make(map[int]int64),
 			loseAt:    -1,
 		}
 		in.plans[name] = pl
@@ -234,6 +244,79 @@ func (in *Injector) TearWrite(name string, index, keepBytes int) {
 		keepBytes = 0
 	}
 	in.planFor(name).tears[index] = keepBytes
+}
+
+// RotSlot plants silent bit rot in the named device's slot: every read
+// covering the slot returns the stored bytes with bit `bit` of the page
+// image flipped. The read reports success — the damage is only visible to
+// checksums. Rot persists until the slot is next written (fresh data
+// replaces the decayed cell), unless made sticky.
+func (in *Injector) RotSlot(name string, slot int64, bit uint) {
+	in.planFor(name).rot[slot] = bit
+	in.note("device %s slot %d rotted (bit %d)", name, slot, bit)
+}
+
+// RotSlotSticky plants rot that survives rewrites — a failing cell: every
+// write to the slot is immediately re-corrupted, so the slot never reads
+// back clean again. This is the fault that drives slot retirement and,
+// past the threshold, SSD quarantine.
+func (in *Injector) RotSlotSticky(name string, slot int64, bit uint) {
+	pl := in.planFor(name)
+	pl.rot[slot] = bit
+	pl.sticky[slot] = bit
+	in.note("device %s slot %d rotted sticky (bit %d)", name, slot, bit)
+}
+
+// RotOnRead schedules wear-driven decay: the named device's index-th read
+// (0-based) plants rot on the first slot it touches, with the flipped bit
+// drawn from the injector's PRNG. That same read already returns the
+// decayed bytes.
+func (in *Injector) RotOnRead(name string, index int) {
+	in.planFor(name).rotOnRead[index] = true
+}
+
+// MisdirectWrite redirects the named device's index-th write (0-based) by
+// delta slots: the payload lands at slot+delta, the intended slot keeps its
+// stale bytes, and the write reports success — the classic misdirected
+// write, detectable only by the self-identifying page header.
+func (in *Injector) MisdirectWrite(name string, index int, delta int64) {
+	if delta == 0 {
+		delta = 1
+	}
+	in.planFor(name).misdirect[index] = delta
+}
+
+// MisdirectNextWrite arms MisdirectWrite for the named device's very next
+// write.
+func (in *Injector) MisdirectNextWrite(name string, delta int64) {
+	pl := in.planFor(name)
+	in.MisdirectWrite(name, pl.writes, delta)
+}
+
+// Writes returns how many writes the named device has performed, so fault
+// schedules can arm count-based faults relative to "now".
+func (in *Injector) Writes(name string) int {
+	if in == nil {
+		return 0
+	}
+	pl, ok := in.plans[name]
+	if !ok {
+		return 0
+	}
+	return pl.writes
+}
+
+// Reads returns how many reads the named device has performed, the read-side
+// twin of Writes (arming RotOnRead or read errors relative to "now").
+func (in *Injector) Reads(name string) int {
+	if in == nil {
+		return 0
+	}
+	pl, ok := in.plans[name]
+	if !ok {
+		return 0
+	}
+	return pl.reads
 }
 
 // Events returns a human-readable trace of the faults that fired, in order.

@@ -286,6 +286,14 @@ func Experiments() []Experiment {
 			r.Print(w)
 			return r.Err()
 		}},
+		{"corrupt", "silent-corruption detect/repair matrix", func(_ Scale, w io.Writer) error {
+			r, err := RunCorruptMatrix()
+			if err != nil {
+				return err
+			}
+			r.Print(w)
+			return r.Err()
+		}},
 	}
 }
 

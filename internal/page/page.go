@@ -30,6 +30,45 @@ const Magic = 0x42504531 // "BPE1"
 // ErrCorrupt is returned when a page fails validation.
 var ErrCorrupt = errors.New("page: corrupt")
 
+// ErrChecksum classifies validation failures that indicate the stored
+// bytes differ from what was written: a flipped bit, a truncated image, a
+// frame holding the wrong page. Every *ChecksumError matches both
+// ErrChecksum and the legacy ErrCorrupt sentinel.
+var ErrChecksum = errors.New("page: checksum verification failed")
+
+// ErrBlank is returned by Decode for an all-zero buffer: never-written
+// device space, the same zero-fill rule the WAL applies to its tail. It is
+// deliberately NOT ErrCorrupt — clean unformatted space is not damage.
+var ErrBlank = errors.New("page: blank (never written)")
+
+// ChecksumError is the typed failure Decode and the read paths report for
+// corrupt page images. Decode fills Reason/Got/Want; callers that know
+// where the bytes came from annotate ID, Device, and Slot before
+// propagating.
+type ChecksumError struct {
+	ID     ID     // page id the caller expected, 0 if unknown
+	Device string // "db", "ssd", ... — filled by the read path
+	Slot   int64  // device page / frame slot — filled by the read path
+	Reason string // "short", "magic", "crc", "id", or "lsn"
+	Got    uint64 // observed value (checksum, id, or lsn per Reason)
+	Want   uint64 // expected value
+}
+
+func (e *ChecksumError) Error() string {
+	loc := ""
+	if e.Device != "" {
+		loc = fmt.Sprintf(" on %s slot %d", e.Device, e.Slot)
+	}
+	return fmt.Sprintf("page %d%s: %s mismatch (got %#x, want %#x)",
+		e.ID, loc, e.Reason, e.Got, e.Want)
+}
+
+// Is makes errors.Is(err, ErrChecksum) and errors.Is(err, ErrCorrupt)
+// both true for any ChecksumError.
+func (e *ChecksumError) Is(target error) bool {
+	return target == ErrChecksum || target == ErrCorrupt
+}
+
 var castagnoli = crc32.MakeTable(crc32.Castagnoli)
 
 // ID identifies a logical database page.
@@ -62,15 +101,22 @@ func Encode(p *Page, buf []byte) error {
 
 // Decode parses buf into p, verifying magic and checksum. The payload slice
 // aliases buf; callers that retain it must copy.
+//
+// Failures are typed: an all-zero buffer is ErrBlank (never-written space,
+// mirroring the WAL's zero-fill rule), everything else is a *ChecksumError
+// matching both ErrChecksum and ErrCorrupt.
 func Decode(buf []byte, p *Page) error {
 	if len(buf) < HeaderSize {
-		return fmt.Errorf("%w: %d bytes is shorter than the header", ErrCorrupt, len(buf))
+		return &ChecksumError{Reason: "short", Got: uint64(len(buf)), Want: HeaderSize}
 	}
-	if binary.LittleEndian.Uint32(buf[0:4]) != Magic {
-		return fmt.Errorf("%w: bad magic %#x", ErrCorrupt, binary.LittleEndian.Uint32(buf[0:4]))
+	if magic := binary.LittleEndian.Uint32(buf[0:4]); magic != Magic {
+		if magic == 0 && Blank(buf) {
+			return ErrBlank
+		}
+		return &ChecksumError{Reason: "magic", Got: uint64(magic), Want: Magic}
 	}
 	if got, want := crc32.Checksum(buf[8:], castagnoli), binary.LittleEndian.Uint32(buf[4:8]); got != want {
-		return fmt.Errorf("%w: checksum %#x, want %#x", ErrCorrupt, got, want)
+		return &ChecksumError{Reason: "crc", Got: uint64(got), Want: uint64(want)}
 	}
 	p.ID = ID(binary.LittleEndian.Uint64(buf[8:16]))
 	p.LSN = binary.LittleEndian.Uint64(buf[16:24])

@@ -65,6 +65,48 @@ func TestDecodeRejectsShortBuffer(t *testing.T) {
 	}
 }
 
+// A flipped bit must surface as a typed checksum failure carrying the
+// mismatch, and keep matching the legacy ErrCorrupt sentinel.
+func TestChecksumErrorTyped(t *testing.T) {
+	buf := make([]byte, 64)
+	Encode(&Page{ID: 7, LSN: 9, Payload: []byte{1, 2, 3}}, buf)
+	buf[30] ^= 0x01
+	var p Page
+	err := Decode(buf, &p)
+	var ce *ChecksumError
+	if !errors.As(err, &ce) {
+		t.Fatalf("err = %v, want *ChecksumError", err)
+	}
+	if ce.Reason != "crc" || ce.Got == ce.Want {
+		t.Errorf("unexpected detail: %+v", ce)
+	}
+	if !errors.Is(err, ErrChecksum) || !errors.Is(err, ErrCorrupt) {
+		t.Errorf("err = %v, want ErrChecksum and ErrCorrupt", err)
+	}
+	if errors.Is(err, ErrBlank) {
+		t.Errorf("corrupt page must not read as blank")
+	}
+}
+
+// All-zero space is never-written, not corrupt: the same disambiguation
+// the WAL applies to its zero-filled tail.
+func TestDecodeBlankIsNotCorrupt(t *testing.T) {
+	var p Page
+	err := Decode(make([]byte, 64), &p)
+	if !errors.Is(err, ErrBlank) {
+		t.Fatalf("err = %v, want ErrBlank", err)
+	}
+	if errors.Is(err, ErrChecksum) || errors.Is(err, ErrCorrupt) {
+		t.Errorf("blank buffer classified as corruption: %v", err)
+	}
+	// One flipped bit in otherwise-zero space is damage, not blank space.
+	buf := make([]byte, 64)
+	buf[40] = 0x10
+	if err := Decode(buf, &p); !errors.Is(err, ErrChecksum) {
+		t.Errorf("err = %v, want ErrChecksum for a rotted zero page", err)
+	}
+}
+
 func TestBlank(t *testing.T) {
 	if !Blank(make([]byte, 32)) {
 		t.Error("zero buffer not blank")

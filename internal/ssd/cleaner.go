@@ -36,9 +36,16 @@ func (m *Manager) StartCleaner() *sim.Proc {
 	return m.env.Go("lc-cleaner", func(p *sim.Proc) {
 		for !m.cleanerStop {
 			thresh := m.dirtyThreshold()
+			target := thresh - m.cleanTargetSlack()
+			if m.quarantined {
+				// Drain: a quarantined SSD takes no new admissions, but its
+				// dirty frames are still the only up-to-date copies. Clean
+				// them all so the device can go fully pass-through.
+				target = 0
+				thresh = 0
+			}
 			if m.dirtyCount > thresh {
 				m.stats.CleanerRuns++
-				target := thresh - m.cleanTargetSlack()
 				for m.dirtyCount > target && !m.cleanerStop {
 					if !m.cleanOnce(p) {
 						break
@@ -194,12 +201,45 @@ func (m *Manager) cleanOnce(p *sim.Proc) bool {
 	readErr := false
 	for i, idx := range frames {
 		sc.rvec = append(sc.rvec[:0], bufs[i])
-		if err := m.dev.Read(p, device.PageNum(idx), sc.rvec); err != nil {
-			readErr = true
+		var err error
+		for attempt := 1; ; attempt++ {
+			err = m.dev.Read(p, device.PageNum(idx), sc.rvec)
+			if err == nil {
+				break
+			}
 			m.stats.ReadErrors++
 			m.noteDeviceErr(err)
+			if !m.cfg.Retry.Retryable(err, attempt) {
+				break
+			}
+			m.stats.ReadRetries++
+			p.Sleep(m.cfg.Retry.Delay(attempt))
+		}
+		if err != nil {
+			readErr = true
 			break
 		}
+	}
+	// Verify every frame before the bytes can reach the disk: a decayed
+	// dirty frame must never overwrite the (stale but intact) disk copy.
+	// Frames up to the first corrupt one form the writable prefix; corrupt
+	// frames are condemned and their pages routed to WAL reconstruction.
+	good := len(frames)
+	var corruptPIDs []page.ID
+	if !readErr {
+		for i, idx := range frames {
+			err := m.verifyFrameBuf(bufs[i], pinnedPID[i], pinnedLSN[i], &m.frames[idx])
+			if err == nil {
+				continue
+			}
+			if i < good {
+				good = i
+			}
+			m.stats.CorruptDirty++
+			m.noteCorrupt(idx)
+			corruptPIDs = append(corruptPIDs, pinnedPID[i])
+		}
+		bufs = bufs[:good]
 	}
 	// Crash point: the dirty run has been read off the SSD but not yet
 	// written to disk — the SSD still holds the only up-to-date copies. No
@@ -210,7 +250,7 @@ func (m *Manager) cleanOnce(p *sim.Proc) bool {
 		crashed = true
 		m.cleanerStop = true
 	}
-	if !readErr && !crashed {
+	if !readErr && !crashed && good > 0 {
 		if err := m.disk.WriteEncoded(p, start, bufs); err != nil {
 			readErr = true
 		}
@@ -218,7 +258,7 @@ func (m *Manager) cleanOnce(p *sim.Proc) bool {
 	for i, idx := range frames {
 		rec := &m.frames[idx]
 		rec.io--
-		if !readErr && !crashed && rec.occupied && rec.dirty &&
+		if !readErr && !crashed && i < good && rec.occupied && rec.dirty &&
 			rec.pid == pinnedPID[i] && rec.lsn == pinnedLSN[i] {
 			rec.dirty = false
 			m.dirtyCount--
@@ -230,12 +270,42 @@ func (m *Manager) cleanOnce(p *sim.Proc) bool {
 		}
 		m.frameIdle(idx)
 	}
+	// Reconstruct the condemned pages now that their frames are unpinned:
+	// the WAL holds their latest committed images (invariants I1/I2).
+	for _, pid := range corruptPIDs {
+		if m.cfg.Repair != nil {
+			if err := m.cfg.Repair.RepairDirtyPage(p, pid); err == nil {
+				m.stats.CorruptRepaired++
+			}
+		}
+	}
 	if readErr || crashed {
 		return false
 	}
-	m.stats.CleanerPages += int64(len(frames))
-	m.stats.CleanerWrites++
-	return true
+	m.stats.CleanerPages += int64(good)
+	if good > 0 {
+		m.stats.CleanerWrites++
+	}
+	return good > 0 || len(corruptPIDs) > 0
+}
+
+// verifyFrameBuf decodes a frame image read back during cleaning and
+// cross-checks it against the identity pinned when the run was gathered.
+// Returns nil when the bytes are fit to write to disk. A stored LSN newer
+// than the pinned one is a racing re-admission, not corruption; an older
+// one means the slot holds stale bytes (a misdirected write's victim).
+func (m *Manager) verifyFrameBuf(buf []byte, pid page.ID, lsn uint64, rec *frameRec) error {
+	var got page.Page
+	if err := page.Decode(buf, &got); err != nil {
+		return err
+	}
+	if got.ID != pid {
+		return &page.ChecksumError{ID: pid, Reason: "id", Got: uint64(got.ID), Want: uint64(pid)}
+	}
+	if !rec.restored && got.LSN < lsn {
+		return &page.ChecksumError{ID: pid, Reason: "lsn", Got: got.LSN, Want: lsn}
+	}
+	return nil
 }
 
 // FlushDirty copies every dirty SSD page to disk, as LC's modified sharp

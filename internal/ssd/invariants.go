@@ -80,6 +80,12 @@ func (m *Manager) CheckInvariants() error {
 	for idx := range m.frames {
 		rec := &m.frames[idx]
 		if !rec.occupied {
+			if m.retired[idx] {
+				if freeSeen[idx] > 0 {
+					return fmt.Errorf("ssd: retired frame %d on a free list", idx)
+				}
+				continue // retired slots sit out of service permanently
+			}
 			if freeSeen[idx] == 0 && rec.io == 0 {
 				return fmt.Errorf("ssd: idle unoccupied frame %d not on any free list", idx)
 			}
@@ -120,16 +126,21 @@ func (m *Manager) CheckInvariants() error {
 	}
 	if freeCount+occupied != len(m.frames) {
 		// Frames mid-transfer (io > 0) that were invalidated are neither
-		// free nor occupied yet; count them.
-		pending := 0
+		// free nor occupied yet; retired slots have left service for good.
+		pending, retired := 0, 0
 		for idx := range m.frames {
-			if !m.frames[idx].occupied && freeSeen[idx] == 0 {
+			if m.frames[idx].occupied || freeSeen[idx] > 0 {
+				continue
+			}
+			if m.retired[idx] {
+				retired++
+			} else {
 				pending++
 			}
 		}
-		if freeCount+occupied+pending != len(m.frames) {
-			return fmt.Errorf("ssd: %d free + %d occupied + %d pending != %d frames",
-				freeCount, occupied, pending, len(m.frames))
+		if freeCount+occupied+pending+retired != len(m.frames) {
+			return fmt.Errorf("ssd: %d free + %d occupied + %d pending + %d retired != %d frames",
+				freeCount, occupied, pending, retired, len(m.frames))
 		}
 	}
 	return nil

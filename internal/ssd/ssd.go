@@ -92,6 +92,33 @@ type Config struct {
 	// cleaner's mid-lazy-clean site). Device-level faults are injected by
 	// wrapping the SSD device itself; see internal/fault.
 	Faults *fault.Injector
+	// Retry bounds transient-I/O retries on the SSD read/write paths. The
+	// zero value is replaced by device.DefaultRetryPolicy.
+	Retry device.RetryPolicy
+	// ScrubPeriod is the background scrubber's wake-up interval; 0 (the
+	// default) disables scrubbing. Each wake-up verifies up to ScrubBatch
+	// resident frames (default 8) against their checksums and expected
+	// page id/LSN, repairing what it can.
+	ScrubPeriod time.Duration
+	ScrubBatch  int
+	// RetireAfter is the number of verification failures that permanently
+	// retires an SSD slot (default 3). QuarantineAfter is the number of
+	// retired slots that demotes the whole SSD to pass-through (default 8):
+	// no new admissions, clean frames served from disk, dirty frames
+	// drained. Degrade, don't die.
+	RetireAfter     int
+	QuarantineAfter int
+	// Repair, when set, reconstructs a dirty page whose only copy was
+	// corrupt (the engine wires its WAL-redo machinery here). Without it
+	// the manager can only drop the frame and count the loss.
+	Repair Repairer
+}
+
+// Repairer reconstructs a uniquely-dirty page after its SSD frame was
+// condemned: the engine implements it with page-granular WAL redo over the
+// stale disk version.
+type Repairer interface {
+	RepairDirtyPage(p *sim.Proc, pid page.ID) error
 }
 
 func (c *Config) setDefaults() {
@@ -128,6 +155,18 @@ func (c *Config) setDefaults() {
 	if c.SeqSavedMs < 0 {
 		c.SeqSavedMs = 0
 	}
+	if c.Retry.Attempts <= 0 {
+		c.Retry = device.DefaultRetryPolicy()
+	}
+	if c.ScrubBatch <= 0 {
+		c.ScrubBatch = 8
+	}
+	if c.RetireAfter <= 0 {
+		c.RetireAfter = 3
+	}
+	if c.QuarantineAfter <= 0 {
+		c.QuarantineAfter = 8
+	}
 }
 
 // frameRec is one SSD buffer table record (the paper's 88-byte record:
@@ -138,10 +177,11 @@ type frameRec struct {
 	occupied bool
 	valid    bool // false while occupied = TAC's logical invalidation
 	dirty    bool
-	io       int    // in-flight device transfers referencing this frame
-	lsn      uint64 // LSN of the cached version (guards cleaner races)
-	restored bool   // entry came from a warm-restart table; validate on read
-	gen      uint64
+	io        int    // in-flight device transfers referencing this frame
+	lsn       uint64 // LSN of the cached version (guards cleaner races)
+	restored  bool   // entry came from a warm-restart table; validate on read
+	condemned bool   // contents proven corrupt; free as soon as idle (any design)
+	gen       uint64
 	last     time.Duration
 	prev     time.Duration
 	shard    int
@@ -179,8 +219,20 @@ type Stats struct {
 	CleanerWrites  int64 // disk write I/Os issued by the cleaner
 	CheckpointPgs  int64 // dirty SSD pages flushed by sharp checkpoints
 	TACAborts      int64 // TAC async admissions dropped (page dirtied first)
-	ReadErrors     int64 // SSD reads that failed (served from disk instead)
-	WriteErrors    int64 // SSD writes that failed (frame dropped, disk fallback)
+	ReadErrors     int64 // SSD read attempts that failed
+	WriteErrors    int64 // SSD write attempts that failed
+	ReadRetries    int64 // failed read attempts that were re-issued
+	WriteRetries   int64 // failed write attempts that were re-issued
+
+	// Silent-corruption defense (see docs/FAILURES.md).
+	CorruptDetected int64 // frames whose bytes failed checksum/id/LSN verification
+	CorruptRepaired int64 // of which repaired transparently (disk re-read or scrub rewrite)
+	CorruptDirty    int64 // of which were uniquely-dirty (routed to WAL reconstruction)
+	ScrubSweeps     int64 // scrubber wake-ups
+	ScrubFrames     int64 // frames verified by the scrubber
+	ScrubRepairs    int64 // frames the scrubber rewrote in place from the disk copy
+	Retired         int64 // slots permanently retired after repeated failures
+	Quarantines     int64 // quarantine transitions (0 or 1): SSD demoted to pass-through
 }
 
 // Manager is the SSD manager.
@@ -197,8 +249,16 @@ type Manager struct {
 	fillTarget    int
 	checkpointing bool
 	cleanerStop   bool
+	scrubStop     bool
 	lost          bool // the SSD device failed wholesale (device.ErrLost)
+	quarantined   bool // too many retired slots: pass-through mode
 	stats         Stats
+
+	// Per-slot verification-failure counters and the retired set. These
+	// live outside frameRec so they survive freeFrame: a bad cell keeps
+	// its history across reuse by different pages.
+	slotBad []uint8
+	retired []bool
 
 	temps pagetab.Table[float64] // TAC extent temperatures (absent = 0)
 
@@ -266,11 +326,13 @@ func (m *Manager) putVec(v [][]byte) {
 func NewManager(env *sim.Env, dev device.Device, disk Disk, cfg Config) *Manager {
 	cfg.setDefaults()
 	m := &Manager{
-		env:    env,
-		dev:    dev,
-		disk:   disk,
-		cfg:    cfg,
-		frames: make([]frameRec, cfg.Frames),
+		env:     env,
+		dev:     dev,
+		disk:    disk,
+		cfg:     cfg,
+		frames:  make([]frameRec, cfg.Frames),
+		slotBad: make([]uint8, cfg.Frames),
+		retired: make([]bool, cfg.Frames),
 	}
 	m.fillTarget = int(cfg.FillThreshold * float64(cfg.Frames))
 	n := cfg.Partitions
@@ -352,7 +414,117 @@ func (m *Manager) noteDeviceErr(err error) {
 	if errors.Is(err, device.ErrLost) {
 		m.lost = true
 		m.cleanerStop = true
+		m.scrubStop = true
 	}
+}
+
+// DirtyCorruptError reports that the only up-to-date copy of a page — a
+// dirty SSD frame — failed verification and was condemned. The engine
+// catches it and reconstructs the page from the WAL (RepairDirtyPage).
+type DirtyCorruptError struct {
+	PID page.ID
+	Err error
+}
+
+func (e *DirtyCorruptError) Error() string {
+	return fmt.Sprintf("ssd: dirty frame for page %d corrupt: %v", e.PID, e.Err)
+}
+
+func (e *DirtyCorruptError) Unwrap() error { return e.Err }
+
+// Quarantined reports whether the SSD has been demoted to pass-through
+// after too many retired slots.
+func (m *Manager) Quarantined() bool { return m.quarantined }
+
+// RetiredSlots returns the number of permanently retired frame slots.
+func (m *Manager) RetiredSlots() int {
+	n := 0
+	for _, r := range m.retired {
+		if r {
+			n++
+		}
+	}
+	return n
+}
+
+// FrameIndexOf returns the frame slot holding a valid copy of pid, if any.
+// Fault schedules use it to aim slot-level corruption at a chosen page.
+func (m *Manager) FrameIndexOf(pid page.ID) (int, bool) {
+	if !m.Enabled() {
+		return 0, false
+	}
+	s := m.shardOf(pid)
+	idx, ok := s.lookup(pid)
+	if !ok || !m.frames[idx].valid {
+		return 0, false
+	}
+	return idx, true
+}
+
+// CleanPageIDs returns, sorted, the ids of pages with valid clean cached
+// copies — the complement of DirtyPageIDs over the valid entries.
+func (m *Manager) CleanPageIDs() []page.ID {
+	var ids []page.ID
+	for i := range m.frames {
+		rec := &m.frames[i]
+		if rec.occupied && rec.valid && !rec.dirty {
+			ids = append(ids, rec.pid)
+		}
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+// condemnFrame drops a frame whose device slot returned bytes that failed
+// verification: the entry must never serve a hit again, under any design —
+// even TAC frees it (an occupied-invalid TAC frame could be revalidated in
+// place, which a proven-bad slot must not be).
+func (m *Manager) condemnFrame(idx int) {
+	rec := &m.frames[idx]
+	if !rec.occupied {
+		return
+	}
+	s := &m.shards[rec.shard]
+	if rec.dirty {
+		rec.dirty = false
+		m.dirtyCount--
+		s.dirty.Remove(int64(idx))
+	}
+	s.clean.Remove(int64(idx))
+	rec.valid = false
+	rec.condemned = true
+	if rec.io == 0 {
+		m.freeFrame(idx)
+	}
+	// else: freed by frameIdle when the in-flight transfer completes.
+}
+
+// noteCorrupt records a verification failure on slot idx: the frame is
+// condemned, the slot's failure count advances, and past the configured
+// thresholds the slot retires and the SSD quarantines.
+func (m *Manager) noteCorrupt(idx int) {
+	m.noteBadSlot(idx)
+	m.condemnFrame(idx)
+}
+
+// noteBadSlot advances slot idx's verification-failure count, retiring the
+// slot and quarantining the device past the configured thresholds. It
+// reports whether the slot is (now) retired. Unlike noteCorrupt it leaves
+// the frame itself alone, so the scrubber can repair it in place.
+func (m *Manager) noteBadSlot(idx int) bool {
+	m.stats.CorruptDetected++
+	if m.slotBad[idx] < 0xFF {
+		m.slotBad[idx]++
+	}
+	if !m.retired[idx] && int(m.slotBad[idx]) >= m.cfg.RetireAfter {
+		m.retired[idx] = true
+		m.stats.Retired++
+		if !m.quarantined && m.RetiredSlots() >= m.cfg.QuarantineAfter {
+			m.quarantined = true
+			m.stats.Quarantines++
+		}
+	}
+	return m.retired[idx]
 }
 
 // DirtyPageIDs returns, sorted, the ids of pages whose only up-to-date copy
@@ -415,7 +587,7 @@ func (m *Manager) aggressiveFill() bool { return m.occupied < m.fillTarget }
 // Qualifies applies the admission policy: pages fetched with random I/O
 // always qualify; sequential pages qualify only during aggressive filling.
 func (m *Manager) Qualifies(random bool) bool {
-	if !m.Enabled() {
+	if !m.Enabled() || m.quarantined {
 		return false
 	}
 	if m.aggressiveFill() {
@@ -442,43 +614,57 @@ func (m *Manager) Read(p *sim.Proc, pid page.ID, pg *page.Page) (bool, error) {
 		return false, nil
 	}
 	rec := &m.frames[idx]
+	if m.quarantined && !rec.dirty {
+		// Pass-through mode: the clean copy is no longer trusted capacity.
+		// Drop it and serve from disk; dirty frames must still be read
+		// (their SSD copy is the only up-to-date one) until drained.
+		m.dropFrame(idx)
+		m.stats.Misses++
+		return false, nil
+	}
 	if !rec.dirty && m.throttled() {
 		m.stats.ThrottleReads++
 		m.stats.Misses++
 		return false, nil
 	}
+	wantLSN := rec.lsn
+	restored := rec.restored
 	rec.io++
 	buf := m.getBuf()
-	vec := append(m.getVec(1), buf)
-	err := m.dev.Read(p, device.PageNum(idx), vec)
-	m.putVec(vec)
-	rec.io--
-	if err != nil {
+	var err error
+	for attempt := 1; ; attempt++ {
+		vec := append(m.getVec(1), buf)
+		err = m.dev.Read(p, device.PageNum(idx), vec)
+		m.putVec(vec)
+		if err == nil {
+			break
+		}
 		m.stats.ReadErrors++
 		m.noteDeviceErr(err)
-		if !m.lost {
-			// Transient error: retry once, the standard storage response —
-			// and necessary for dirty LC frames, whose copy is the only
-			// up-to-date one.
-			rec.io++
-			vec = append(m.getVec(1), buf)
-			err = m.dev.Read(p, device.PageNum(idx), vec)
-			m.putVec(vec)
-			rec.io--
-			if err != nil {
-				m.stats.ReadErrors++
-				m.noteDeviceErr(err)
-			}
+		// Bounded retries, the standard storage response — and necessary
+		// for dirty LC frames, whose copy is the only up-to-date one. The
+		// frame's in-flight count stays held across the backoff so it
+		// cannot be reclaimed mid-retry.
+		if !m.cfg.Retry.Retryable(err, attempt) {
+			break
+		}
+		m.stats.ReadRetries++
+		if d := m.cfg.Retry.Delay(attempt); d > 0 {
+			p.Sleep(d)
 		}
 	}
-	return m.readOutcome(pid, idx, buf, pg, err)
+	rec.io--
+	return m.readOutcome(pid, idx, wantLSN, restored, buf, pg, err)
 }
 
 // readOutcome resolves a frame read once the device transfers (including
-// the one retry) are done: error triage, reclaimed-frame check, decode and
-// hit accounting. Shared by the blocking and task forms; buf is consumed
-// (returned to the free list) on every path.
-func (m *Manager) readOutcome(pid page.ID, idx int, buf []byte, pg *page.Page, err error) (bool, error) {
+// retries) are done: error triage, reclaimed-frame check, decode and
+// verification, hit accounting, and corruption routing. wantLSN and
+// restored are the frame's state when the read was issued — if the frame
+// was re-admitted mid-flight the stored bytes are stale, not corrupt.
+// Shared by the blocking and task forms; buf is consumed (returned to the
+// free list) on every path.
+func (m *Manager) readOutcome(pid page.ID, idx int, wantLSN uint64, restored bool, buf []byte, pg *page.Page, err error) (bool, error) {
 	rec := &m.frames[idx]
 	if err != nil {
 		m.putBuf(buf)
@@ -499,17 +685,32 @@ func (m *Manager) readOutcome(pid page.ID, idx int, buf []byte, pg *page.Page, e
 		m.stats.Misses++
 		return false, nil
 	}
-	if !rec.occupied || rec.pid != pid {
-		// The frame was reclaimed while we slept in the device queue (the
-		// copy was invalidated and reused). Treat as a miss.
+	if !rec.occupied || rec.pid != pid || !rec.valid || rec.lsn != wantLSN {
+		// The frame was reclaimed, invalidated, or re-admitted with a newer
+		// version while we slept in the device queue; the bytes we read are
+		// stale, not wrong. Treat as a miss (the pool handles residency).
 		m.putBuf(buf)
+		m.frameIdle(idx)
 		m.stats.Misses++
 		return false, nil
 	}
 	var got page.Page
 	decodeErr := page.Decode(buf, &got)
 	if decodeErr == nil && got.ID != pid {
-		decodeErr = fmt.Errorf("ssd: frame %d holds page %d, want %d", idx, got.ID, pid)
+		decodeErr = &page.ChecksumError{
+			ID: pid, Device: "ssd", Slot: int64(idx),
+			Reason: "id", Got: uint64(got.ID), Want: uint64(pid),
+		}
+	}
+	if decodeErr == nil && !restored && got.LSN != wantLSN {
+		// The self-identifying header names the right page but the wrong
+		// version: the slot missed a write (misdirected or lost). Restored
+		// warm-restart entries skip this check — their expected LSN is not
+		// tracked; the checksum and id still vouch for them.
+		decodeErr = &page.ChecksumError{
+			ID: pid, Device: "ssd", Slot: int64(idx),
+			Reason: "lsn", Got: got.LSN, Want: wantLSN,
+		}
 	}
 	if decodeErr != nil {
 		m.putBuf(buf)
@@ -522,7 +723,27 @@ func (m *Manager) readOutcome(pid page.ID, idx int, buf []byte, pg *page.Page, e
 			m.stats.Misses++
 			return false, nil
 		}
-		return false, decodeErr
+		if ce := (*page.ChecksumError)(nil); errors.As(decodeErr, &ce) {
+			ce.ID, ce.Device, ce.Slot = pid, "ssd", int64(idx)
+		}
+		wasDirty := rec.dirty
+		m.noteCorrupt(idx)
+		if !wasDirty {
+			// A clean frame's truth lives on disk: dropping the entry IS
+			// the repair — the caller falls through to the disk read.
+			m.stats.CorruptRepaired++
+			m.stats.Misses++
+			return false, nil
+		}
+		// The only up-to-date copy was corrupt. Hand the engine a typed
+		// error so it can reconstruct the page from the WAL.
+		m.stats.CorruptDirty++
+		return false, &DirtyCorruptError{PID: pid, Err: decodeErr}
+	}
+	if rec.restored {
+		// A restored entry's expected LSN was unknown until now; adopt the
+		// verified stored LSN so later reads can cross-check it.
+		rec.lsn = got.LSN
 	}
 	rec.restored = false // content verified against the hash table entry
 	pg.ID = got.ID
@@ -553,14 +774,17 @@ func (m *Manager) touch(idx int) {
 
 // frameIdle finishes deferred reclamation: a frame invalidated while a
 // device transfer was in flight is freed once the last transfer completes.
+// Condemned frames are freed under every design, including TAC.
 func (m *Manager) frameIdle(idx int) {
 	rec := &m.frames[idx]
-	if rec.io == 0 && rec.occupied && !rec.valid && m.cfg.Design != TAC {
+	if rec.io == 0 && rec.occupied && !rec.valid && (m.cfg.Design != TAC || rec.condemned) {
 		m.freeFrame(idx)
 	}
 }
 
-// freeFrame returns an occupied frame to its shard's free list.
+// freeFrame returns an occupied frame to its shard's free list — unless the
+// slot has been retired, in which case the frame is emptied but stays out
+// of service permanently.
 func (m *Manager) freeFrame(idx int) {
 	rec := &m.frames[idx]
 	if !rec.occupied {
@@ -577,9 +801,13 @@ func (m *Manager) freeFrame(idx int) {
 	rec.valid = false
 	rec.dirty = false
 	rec.restored = false
+	rec.condemned = false
 	rec.pid = 0
 	rec.gen++ // invalidates stale TAC heap entries for this frame
 	m.occupied--
+	if m.retired[idx] {
+		return
+	}
 	s.free = append(s.free, idx)
 }
 
@@ -677,7 +905,9 @@ func (m *Manager) popCleanVictim(s *shard) int {
 }
 
 // writeFrame encodes pg and writes it to frame idx, maintaining the
-// in-flight count and deferred reclamation.
+// in-flight count and deferred reclamation. Failed attempts are counted
+// and retried under the shared retry policy; the in-flight count is held
+// across the backoff so the frame cannot be reclaimed mid-retry.
 func (m *Manager) writeFrame(p *sim.Proc, idx int, pg *page.Page) error {
 	rec := &m.frames[idx]
 	rec.io++
@@ -687,9 +917,24 @@ func (m *Manager) writeFrame(p *sim.Proc, idx int, pg *page.Page) error {
 		rec.io--
 		return err
 	}
-	vec := append(m.getVec(1), buf)
-	err := m.dev.Write(p, device.PageNum(idx), vec)
-	m.putVec(vec)
+	var err error
+	for attempt := 1; ; attempt++ {
+		vec := append(m.getVec(1), buf)
+		err = m.dev.Write(p, device.PageNum(idx), vec)
+		m.putVec(vec)
+		if err == nil {
+			break
+		}
+		m.stats.WriteErrors++
+		m.noteDeviceErr(err)
+		if !m.cfg.Retry.Retryable(err, attempt) {
+			break
+		}
+		m.stats.WriteRetries++
+		if d := m.cfg.Retry.Delay(attempt); d > 0 {
+			p.Sleep(d)
+		}
+	}
 	m.putBuf(buf)
 	rec.io--
 	m.frameIdle(idx)
@@ -701,6 +946,9 @@ func (m *Manager) writeFrame(p *sim.Proc, idx int, pg *page.Page) error {
 func (m *Manager) admit(p *sim.Proc, pg *page.Page, dirty bool) (bool, error) {
 	if m.lost {
 		return false, device.ErrLost
+	}
+	if m.quarantined {
+		return false, nil // pass-through: no new admissions
 	}
 	s := m.shardOf(pg.ID)
 	if idx, ok := s.lookup(pg.ID); ok {
@@ -745,7 +993,7 @@ func (m *Manager) finishAdmit(idx int, err error) (bool, error) {
 	if err == nil {
 		return true, nil
 	}
-	m.stats.WriteErrors++
+	// Failed attempts were already counted by the write path itself.
 	m.noteDeviceErr(err)
 	m.dropFrame(idx)
 	if m.lost {

@@ -112,6 +112,9 @@ func (m *Manager) tacAdmit(p *sim.Proc, snap *page.Page) error {
 	if m.lost {
 		return device.ErrLost
 	}
+	if m.quarantined {
+		return nil // pass-through: no new admissions
+	}
 	s := m.shardOf(snap.ID)
 	if idx, ok := s.lookup(snap.ID); ok {
 		rec := &m.frames[idx]
@@ -212,6 +215,9 @@ func (m *Manager) tacRevalidate(p *sim.Proc, pg *page.Page) error {
 	}
 	if m.lost {
 		return device.ErrLost
+	}
+	if m.quarantined {
+		return nil
 	}
 	s := m.shardOf(pg.ID)
 	idx, ok := s.lookup(pg.ID)

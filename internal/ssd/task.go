@@ -20,19 +20,23 @@ import (
 // on the Manager, with method continuations bound once per struct, so the
 // steady-state task path allocates no closures.
 
-// readOp carries one ReadTask through the device read and its single retry.
+// readOp carries one ReadTask through the device read and its bounded,
+// policy-driven retries.
 type readOp struct {
-	m       *Manager
-	t       *sim.Task
-	pid     page.ID
-	idx     int
-	buf     []byte
-	vec     [][]byte
-	pg      *page.Page
-	k       func(bool, error)
-	retried bool
+	m        *Manager
+	t        *sim.Task
+	pid      page.ID
+	idx      int
+	attempt  int
+	wantLSN  uint64
+	restored bool
+	buf      []byte
+	vec      [][]byte
+	pg       *page.Page
+	k        func(bool, error)
 
-	onRead func(error) // bound to (*readOp).read once
+	onRead  func(error) // bound to (*readOp).read once
+	onRetry func()      // bound to (*readOp).retry once
 }
 
 func (m *Manager) getReadOp() *readOp {
@@ -44,7 +48,14 @@ func (m *Manager) getReadOp() *readOp {
 	}
 	o := &readOp{m: m}
 	o.onRead = o.read
+	o.onRetry = o.retry
 	return o
+}
+
+func (o *readOp) retry() {
+	m := o.m
+	o.vec = append(m.getVec(1), o.buf)
+	m.dev.ReadTask(o.t, device.PageNum(o.idx), o.vec, o.onRead)
 }
 
 func (o *readOp) read(err error) {
@@ -52,23 +63,28 @@ func (o *readOp) read(err error) {
 	m.putVec(o.vec)
 	o.vec = nil
 	rec := &m.frames[o.idx]
-	rec.io--
 	if err != nil {
 		m.stats.ReadErrors++
 		m.noteDeviceErr(err)
-		if !m.lost && !o.retried {
-			// Transient error: retry once, as the blocking form does.
-			o.retried = true
-			rec.io++
-			o.vec = append(m.getVec(1), o.buf)
-			m.dev.ReadTask(o.t, device.PageNum(o.idx), o.vec, o.onRead)
+		if m.cfg.Retry.Retryable(err, o.attempt) {
+			// Bounded retry, as the blocking form does. The frame's
+			// in-flight count stays held across the backoff.
+			m.stats.ReadRetries++
+			d := m.cfg.Retry.Delay(o.attempt)
+			o.attempt++
+			if d > 0 {
+				o.t.Sleep(d, o.onRetry)
+				return
+			}
+			o.retry()
 			return
 		}
 	}
-	pid, idx, buf, pg, k := o.pid, o.idx, o.buf, o.pg, o.k
+	rec.io--
+	pid, idx, wantLSN, restored, buf, pg, k := o.pid, o.idx, o.wantLSN, o.restored, o.buf, o.pg, o.k
 	o.t, o.buf, o.pg, o.k = nil, nil, nil, nil
 	m.readFree = append(m.readFree, o)
-	k(m.readOutcome(pid, idx, buf, pg, err))
+	k(m.readOutcome(pid, idx, wantLSN, restored, buf, pg, err))
 }
 
 // ReadTask is the run-to-completion twin of Read.
@@ -89,6 +105,13 @@ func (m *Manager) ReadTask(t *sim.Task, pid page.ID, pg *page.Page, k func(bool,
 		return
 	}
 	rec := &m.frames[idx]
+	if m.quarantined && !rec.dirty {
+		// Pass-through mode, as in the blocking form.
+		m.dropFrame(idx)
+		m.stats.Misses++
+		k(false, nil)
+		return
+	}
 	if !rec.dirty && m.throttled() {
 		m.stats.ThrottleReads++
 		m.stats.Misses++
@@ -97,24 +120,28 @@ func (m *Manager) ReadTask(t *sim.Task, pid page.ID, pg *page.Page, k func(bool,
 	}
 	rec.io++
 	o := m.getReadOp()
-	o.t, o.pid, o.idx, o.pg, o.k, o.retried = t, pid, idx, pg, k, false
+	o.t, o.pid, o.idx, o.pg, o.k, o.attempt = t, pid, idx, pg, k, 1
+	o.wantLSN, o.restored = rec.lsn, rec.restored
 	o.buf = m.getBuf()
 	o.vec = append(m.getVec(1), o.buf)
 	m.dev.ReadTask(t, device.PageNum(idx), o.vec, o.onRead)
 }
 
 // wfOp carries one frame write (writeFrameTask or the admit variants)
-// through the SSD device write.
+// through the SSD device write and its bounded retries.
 type wfOp struct {
-	m   *Manager
-	idx int
-	buf []byte
-	vec [][]byte
-	k   func(error)       // plain completion
-	ka  func(bool, error) // admit completion: k(finishAdmit(idx, err))
-	kae func(error)       // admit completion dropping the bool (TAC paths)
+	m       *Manager
+	t       *sim.Task
+	idx     int
+	attempt int
+	buf     []byte
+	vec     [][]byte
+	k       func(error)       // plain completion
+	ka      func(bool, error) // admit completion: k(finishAdmit(idx, err))
+	kae     func(error)       // admit completion dropping the bool (TAC paths)
 
 	onWritten func(error) // bound to (*wfOp).written once
+	onRetry   func()      // bound to (*wfOp).retry once
 }
 
 func (m *Manager) getWfOp() *wfOp {
@@ -126,17 +153,40 @@ func (m *Manager) getWfOp() *wfOp {
 	}
 	o := &wfOp{m: m}
 	o.onWritten = o.written
+	o.onRetry = o.retry
 	return o
+}
+
+func (o *wfOp) retry() {
+	m := o.m
+	o.vec = append(m.getVec(1), o.buf)
+	m.dev.WriteTask(o.t, device.PageNum(o.idx), o.vec, o.onWritten)
 }
 
 func (o *wfOp) written(err error) {
 	m := o.m
 	m.putVec(o.vec)
+	o.vec = nil
+	if err != nil {
+		m.stats.WriteErrors++
+		m.noteDeviceErr(err)
+		if m.cfg.Retry.Retryable(err, o.attempt) {
+			m.stats.WriteRetries++
+			d := m.cfg.Retry.Delay(o.attempt)
+			o.attempt++
+			if d > 0 {
+				o.t.Sleep(d, o.onRetry)
+				return
+			}
+			o.retry()
+			return
+		}
+	}
 	m.putBuf(o.buf)
 	m.frames[o.idx].io--
 	m.frameIdle(o.idx)
 	idx, k, ka, kae := o.idx, o.k, o.ka, o.kae
-	o.buf, o.vec, o.k, o.ka, o.kae = nil, nil, nil, nil, nil
+	o.t, o.buf, o.k, o.ka, o.kae = nil, nil, nil, nil, nil
 	m.wfFree = append(m.wfFree, o)
 	switch {
 	case ka != nil:
@@ -171,7 +221,7 @@ func (m *Manager) frameWrite(t *sim.Task, idx int, pg *page.Page, k func(error),
 		return
 	}
 	o := m.getWfOp()
-	o.idx, o.buf, o.k, o.ka, o.kae = idx, buf, k, ka, kae
+	o.t, o.idx, o.buf, o.k, o.ka, o.kae, o.attempt = t, idx, buf, k, ka, kae, 1
 	o.vec = append(m.getVec(1), buf)
 	m.dev.WriteTask(t, device.PageNum(idx), o.vec, o.onWritten)
 }
@@ -231,6 +281,10 @@ func (m *Manager) writeDiskTask(t *sim.Task, pg *page.Page, k func(error)) {
 func (m *Manager) admitTask(t *sim.Task, pg *page.Page, dirty bool, k func(bool, error)) {
 	if m.lost {
 		k(false, device.ErrLost)
+		return
+	}
+	if m.quarantined {
+		k(false, nil) // pass-through: no new admissions
 		return
 	}
 	s := m.shardOf(pg.ID)
@@ -439,6 +493,10 @@ func (m *Manager) tacRevalidateTask(t *sim.Task, pg *page.Page, k func(error)) {
 		k(device.ErrLost)
 		return
 	}
+	if m.quarantined {
+		k(nil)
+		return
+	}
 	s := m.shardOf(pg.ID)
 	idx, ok := s.lookup(pg.ID)
 	if !ok {
@@ -545,6 +603,10 @@ func (m *Manager) TACOnDiskReadTask(pg *page.Page, random bool, stillClean func(
 func (m *Manager) tacAdmitTask(t *sim.Task, snap *page.Page, k func(error)) {
 	if m.lost {
 		k(device.ErrLost)
+		return
+	}
+	if m.quarantined {
+		k(nil) // pass-through: no new admissions
 		return
 	}
 	s := m.shardOf(snap.ID)

@@ -447,6 +447,24 @@ func (l *Log) TruncateThrough(lsn uint64) {
 	l.durable.truncateThrough(lsn)
 }
 
+// LatestUpdate returns the newest durable update record for pid, scanning
+// the log backward. Because update records carry full after-images, the
+// returned record alone reconstructs the page — this is what page-granular
+// corruption repair redoes. Invariant I2 (checkpoints never truncate
+// records still needed by dirty SSD pages) guarantees the record is present
+// while any SSD frame for pid is uniquely dirty.
+func (l *Log) LatestUpdate(pid page.ID) (Record, bool) {
+	for bi := len(l.durable.blocks) - 1; bi >= 0; bi-- {
+		b := l.durable.blocks[bi]
+		for i := len(b) - 1; i >= 0; i-- {
+			if b[i].Type == TypeUpdate && b[i].Page == pid {
+				return b[i], true
+			}
+		}
+	}
+	return Record{}, false
+}
+
 // Stats reports append/flush activity.
 func (l *Log) Stats() (appends, flushes, flushedPages int64) {
 	return l.appends, l.flushes, l.flushedPages

@@ -92,11 +92,19 @@ type Options struct {
 	Dir string
 
 	// FaultSeed, when nonzero, enables the deterministic fault-injection
-	// layer: the DB's devices are wrapped so that I/O errors, torn writes
-	// and whole-SSD loss can be injected (see Faults and FailSSD), and the
-	// engine's crash points become armable. The same seed replays the same
-	// fault schedule. Zero disables injection at no cost.
+	// layer: the DB's devices are wrapped so that I/O errors, torn writes,
+	// silent corruption and whole-SSD loss can be injected (see Faults and
+	// FailSSD), and the engine's crash points become armable. The same seed
+	// replays the same fault schedule. Zero disables injection at no cost.
 	FaultSeed uint64
+
+	// ScrubInterval enables the background SSD scrubber: every interval it
+	// re-reads a batch of resident frames and verifies checksum, page id
+	// and LSN, healing silent corruption before a query trips over it —
+	// clean frames are rewritten in place from the database copy, dirty
+	// frames (the only up-to-date copy) are rebuilt through WAL redo.
+	// 0, the default, disables scrubbing. See docs/FAILURES.md.
+	ScrubInterval time.Duration
 }
 
 // ErrClosed is returned by operations on a closed DB.
@@ -142,6 +150,7 @@ func Open(opts Options) (*DB, error) {
 		CheckpointInterval: opts.CheckpointInterval,
 		FuzzyCheckpoints:   opts.FuzzyCheckpoints,
 		WarmRestart:        opts.WarmRestart,
+		ScrubPeriod:        opts.ScrubInterval,
 	}
 	if opts.FaultSeed != 0 {
 		cfg.Faults = fault.New(opts.FaultSeed)
@@ -304,6 +313,15 @@ func (db *DB) Checkpoint() error {
 	})
 }
 
+// Idle advances the clock by d with no foreground work, giving background
+// processes — periodic checkpoints, the SSD scrubber — time to run.
+func (db *DB) Idle(d time.Duration) error {
+	return db.do("idle", func(p *sim.Proc) error {
+		p.Sleep(d)
+		return nil
+	})
+}
+
 // Crash simulates a failure: memory and unforced log records are lost and
 // the SSD cache is discarded, exactly as a restart in the paper behaves.
 // Call Recover before using the DB again.
@@ -417,6 +435,20 @@ type Stats struct {
 	// Fault-injection outcomes (zero unless Options.FaultSeed is set).
 	SSDLosses      int64 // whole-SSD failures survived
 	SSDRedoRecords int64 // WAL redo records applied to rebuild lost dirty SSD pages
+
+	// Silent-corruption defense (zero unless faults were injected or the
+	// scrubber found decayed cells; see docs/FAILURES.md).
+	CorruptDetected int64 // SSD frames that failed checksum/id/LSN verification
+	CorruptRepaired int64 // of which healed transparently (drop, rewrite or WAL redo)
+	CorruptRedo     int64 // dirty SSD frames rebuilt through WAL redo
+	DiskCorruptions int64 // database pages that failed verification on read
+	DiskRepairsSSD  int64 // of which healed in place from an intact SSD copy
+	DiskRepairsWAL  int64 // of which rebuilt from the newest WAL record
+	ScrubSweeps     int64 // scrubber wake-ups (zero unless Options.ScrubInterval is set)
+	ScrubFrames     int64 // frames the scrubber verified
+	ScrubRepairs    int64 // frames the scrubber rewrote in place from the disk copy
+	RetiredSlots    int   // SSD slots permanently retired after repeated failures
+	Quarantined     bool  // SSD demoted to pass-through after excessive retirements
 }
 
 // Stats returns current counters.
@@ -441,6 +473,18 @@ func (db *DB) Stats() Stats {
 
 		SSDLosses:      es.SSDLosses,
 		SSDRedoRecords: es.SSDLossRedo,
+
+		CorruptDetected: ms.CorruptDetected,
+		CorruptRepaired: ms.CorruptRepaired,
+		CorruptRedo:     es.CorruptRedo,
+		DiskCorruptions: es.DiskCorruptions,
+		DiskRepairsSSD:  es.DiskRepairsSSD,
+		DiskRepairsWAL:  es.DiskRepairsWAL,
+		ScrubSweeps:     ms.ScrubSweeps,
+		ScrubFrames:     ms.ScrubFrames,
+		ScrubRepairs:    ms.ScrubRepairs,
+		RetiredSlots:    db.eng.SSD().RetiredSlots(),
+		Quarantined:     db.eng.SSD().Quarantined(),
 	}
 	d := db.eng.DBDevice().Stats().Load()
 	s.DiskReads, s.DiskWrites = d.ReadOps, d.WriteOps
