@@ -46,11 +46,19 @@ echo "== benchmark smoke (1 iteration each, allocs reported) =="
 go test -run '^$' -bench 'BenchmarkGetHit|BenchmarkGetMiss|BenchmarkUpdateCommit|BenchmarkGroupClean|BenchmarkTableChurn|BenchmarkMapChurn|BenchmarkSchedulerCalendar|BenchmarkSchedulerHeap' \
   -benchtime=1x -benchmem .
 
+echo "== sharded kernel race tests (shards=4 widths under the race detector) =="
+go test -race -run 'Cluster|Shard' ./internal/sim ./internal/engine ./internal/ssd ./internal/harness
+
 echo "== golden determinism (full suite, serial vs 4 workers) =="
 go build -o /tmp/bpesim-ci ./cmd/bpesim
 /tmp/bpesim-ci -divisor 8192 -parallel 1 all > /tmp/bpesim-ci-serial.out 2>/dev/null
 /tmp/bpesim-ci -divisor 8192 -parallel 4 all > /tmp/bpesim-ci-parallel.out 2>/dev/null
 cmp /tmp/bpesim-ci-serial.out /tmp/bpesim-ci-parallel.out
+
+echo "== sharded determinism (full suite, shards=4 vs single-kernel-width sharded run) =="
+/tmp/bpesim-ci -divisor 8192 -parallel 1 -shards 1 all > /tmp/bpesim-ci-shard1.out 2>/dev/null
+/tmp/bpesim-ci -divisor 8192 -parallel 1 -shards 4 all > /tmp/bpesim-ci-shard4.out 2>/dev/null
+cmp /tmp/bpesim-ci-shard1.out /tmp/bpesim-ci-shard4.out
 
 echo "== fault matrix (crash/recover, must pass and be byte-stable) =="
 /tmp/bpesim-ci -parallel 1 faults > /tmp/bpesim-ci-faults-serial.out 2>/dev/null
@@ -70,6 +78,7 @@ timeout 120 /tmp/bpesim-ci -divisor 256 -parallel 1 fig5-tpcc > /tmp/bpesim-ci-s
 grep -q "== fig5-tpcc" /tmp/bpesim-ci-scale.out
 
 rm -f /tmp/bpesim-ci /tmp/bpesim-ci-serial.out /tmp/bpesim-ci-parallel.out \
+      /tmp/bpesim-ci-shard1.out /tmp/bpesim-ci-shard4.out \
       /tmp/bpesim-ci-faults-serial.out /tmp/bpesim-ci-faults-parallel.out \
       /tmp/bpesim-ci-corrupt-serial.out /tmp/bpesim-ci-corrupt-parallel.out \
       /tmp/bpesim-ci-scale.out

@@ -32,6 +32,15 @@ type benchReport struct {
 	ParallelTotalSecs float64                `json:"parallel_total_secs"`
 	Speedup           float64                `json:"speedup"`
 	Microbench        map[string]microResult `json:"microbench"`
+
+	// Sharded-kernel width scaling: the same 8-partition cell at 1, 2, 4
+	// and 8 OS threads. ShardsRequested/ShardWidthEffective record the
+	// session's -shards setting after the workers × shards GOMAXPROCS cap,
+	// so a report shows what the run actually used, not what was asked.
+	ShardsRequested     int                       `json:"shards_requested"`
+	ShardWidthEffective int                       `json:"shard_width_effective"`
+	ShardScaleDivisor   int64                     `json:"shard_scale_divisor"`
+	ShardScale          []harness.ShardScalePoint `json:"shard_scale"`
 }
 
 // writeBenchJSON times every experiment serially, re-times the whole
@@ -96,6 +105,19 @@ func writeBenchJSON(path string, scale harness.Scale) error {
 			name, rep.Microbench[name].NsPerOp, rep.Microbench[name].AllocsPerOp)
 	}
 
+	rep.ShardsRequested = harness.ShardWidth()
+	rep.ShardWidthEffective = harness.EffectiveShardWidth()
+	rep.ShardScaleDivisor = harness.ShardScaleDivisor
+	pts, err := harness.MeasureShardScale(harness.ShardScaleDivisor, harness.ShardScaleWidths)
+	if err != nil {
+		return err
+	}
+	rep.ShardScale = pts
+	for _, p := range pts {
+		fmt.Fprintf(os.Stderr, "benchjson: shards %d %14.0f events/sec (%.2fx)\n",
+			p.Shards, p.EventsPerSec, p.Speedup)
+	}
+
 	data, err := json.MarshalIndent(&rep, "", "  ")
 	if err != nil {
 		return err
@@ -147,6 +169,34 @@ func runBenchGuard(path string) error {
 	}
 	if len(failed) > 0 {
 		return fmt.Errorf("regressed more than %.0f%% over %s: %v", (guardMargin-1)*100, path, failed)
+	}
+	return runShardScaleGuard()
+}
+
+// shardGuardMin is the minimum events/sec ratio the sharded kernel must
+// achieve at width 4 over width 1. The check only means anything with
+// real cores behind the widths, so it is skipped below four CPUs.
+const shardGuardMin = 2.0
+
+// runShardScaleGuard re-measures the shard-width sweep at widths 1 and 4
+// and fails if width 4 does not deliver at least shardGuardMin times the
+// width-1 events/sec.
+func runShardScaleGuard() error {
+	cpus := runtime.NumCPU()
+	if cpus < 4 || runtime.GOMAXPROCS(0) < 4 {
+		fmt.Fprintf(os.Stderr, "benchguard: shard scaling check skipped (%d CPUs, GOMAXPROCS %d; needs >= 4)\n",
+			cpus, runtime.GOMAXPROCS(0))
+		return nil
+	}
+	pts, err := harness.MeasureShardScale(harness.ShardScaleDivisor, []int{1, 4})
+	if err != nil {
+		return err
+	}
+	ratio := pts[1].EventsPerSec / pts[0].EventsPerSec
+	fmt.Fprintf(os.Stderr, "benchguard: shards 4 vs 1: %.0f vs %.0f events/sec (%.2fx, need >= %.1fx)\n",
+		pts[1].EventsPerSec, pts[0].EventsPerSec, ratio, shardGuardMin)
+	if ratio < shardGuardMin {
+		return fmt.Errorf("sharded kernel scaling: width 4 is %.2fx width 1 events/sec, need >= %.1fx", ratio, shardGuardMin)
 	}
 	return nil
 }

@@ -22,6 +22,16 @@
 // byte-identical at any worker count: per-experiment wall-clock timings
 // go to stderr.
 //
+// -shards N >= 1 runs every OLTP experiment on the sharded multi-core
+// kernel: a fixed 8-way page-range partition of engine, SSD manager, WAL
+// and clients, synchronized by conservative epoch barriers, with N OS
+// threads driving the partitions inside each run. N selects execution
+// width only — the partitioned model is identical at every N, so stdout
+// is byte-identical at -shards 1, 2, 4, 8 while wall-clock drops with
+// real cores. Without the flag, runs use the original single-kernel
+// path. Workers × shards is capped at GOMAXPROCS (the cap, again, only
+// affects wall-clock).
+//
 // The faults experiment (crash/recover matrix) and the corrupt experiment
 // (silent-corruption detect/repair matrix) ignore the divisor (their
 // configurations are fixed so the tables are reproducible); -faultseed
@@ -44,6 +54,7 @@ func main() {
 	list := flag.Bool("list", false, "list experiment ids and exit")
 	csvOut := flag.Bool("csv", false, "emit figure data as CSV instead of rendered text (figure experiments only)")
 	parallel := flag.Int("parallel", 0, "worker count for experiment cells (0 = GOMAXPROCS, 1 = serial)")
+	shards := flag.Int("shards", 0, "run OLTP experiments on the 8-way sharded kernel with this many threads per run (0 = single-kernel path; results are identical at any value >= 1)")
 	benchJSON := flag.String("benchjson", "", "write a machine-readable benchmark report (wall-clock serial vs parallel, allocs/op) to this file and exit")
 	benchGuard := flag.String("benchguard", "", "re-run the hot-path microbenchmarks and fail if any regresses more than 25% against this benchjson report")
 	faultSeed := flag.Uint64("faultseed", harness.FaultSeed(), "seed for the faults experiment's injected fault schedules")
@@ -87,6 +98,7 @@ func main() {
 		}()
 	}
 	harness.SetWorkers(*parallel)
+	harness.SetShards(*shards)
 	harness.SetFaultSeed(*faultSeed)
 	scale := harness.Scale{Divisor: *divisor}
 	if *benchJSON != "" {
@@ -155,6 +167,6 @@ func printList() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: bpesim [-divisor N] [-parallel W] [-cpuprofile FILE] [-memprofile FILE] <experiment-id>... | all | scale | -list | -benchjson FILE | -benchguard FILE")
+	fmt.Fprintln(os.Stderr, "usage: bpesim [-divisor N] [-parallel W] [-shards N] [-cpuprofile FILE] [-memprofile FILE] <experiment-id>... | all | scale | -list | -benchjson FILE | -benchguard FILE")
 	printList()
 }

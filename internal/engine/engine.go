@@ -191,6 +191,10 @@ type Stats struct {
 	TruthSeqLabelRand  int64
 	TruthRandLabelSeq  int64
 	TruthRandLabelRand int64
+
+	// Cross-shard service counts (sharded kernel; see remote.go).
+	RemoteReads  int64 // page reads served for other shards
+	RemoteWrites int64 // page writes served for other shards
 }
 
 // Latencies holds per-tier operation latency histograms: reads broken down

@@ -1,0 +1,72 @@
+package engine
+
+import (
+	"turbobp/internal/bufpool"
+	"turbobp/internal/page"
+	"turbobp/internal/sim"
+)
+
+// Cross-shard service entry points. Under the sharded kernel each engine
+// owns one page range; a transaction on another shard that touches a page
+// here arrives as a continuation message and is served by one of these.
+// The remote branch of a write runs as its own local mini-transaction —
+// update plus commit — so the WAL protocol (log force before page write)
+// holds per shard without a cross-shard two-phase commit; the originating
+// shard treats the reply as the branch's commit acknowledgement. pid is in
+// this engine's local page space (the router translates).
+
+// RemoteGetTask serves a page read on behalf of another shard, then runs k.
+func (e *Engine) RemoteGetTask(t *sim.Task, pid page.ID, k func(error)) {
+	e.stats.RemoteReads++
+	e.GetTask(t, pid, func(_ *bufpool.Frame, err error) { k(err) })
+}
+
+// RemoteUpdateTask serves a page write on behalf of another shard as a
+// local single-update transaction, then runs k after the commit is
+// durable.
+func (e *Engine) RemoteUpdateTask(t *sim.Task, pid page.ID, v byte, k func(error)) {
+	e.stats.RemoteWrites++
+	tx := e.Begin()
+	e.UpdateTask(t, tx, pid, func(pl []byte) {
+		pl[0] = v
+		pl[1]++
+	}, func(err error) {
+		if err != nil {
+			k(err)
+			return
+		}
+		e.CommitTask(t, tx, k)
+	})
+}
+
+// Add returns the fieldwise sum of s and o; the sharded harness uses it
+// to aggregate per-shard engines into cluster totals. A reflection test
+// keeps it in sync with the struct.
+func (s Stats) Add(o Stats) Stats {
+	s.Reads += o.Reads
+	s.Updates += o.Updates
+	s.PoolHits += o.PoolHits
+	s.PoolMisses += o.PoolMisses
+	s.Commits += o.Commits
+	s.Evictions += o.Evictions
+	s.DirtyEvicts += o.DirtyEvicts
+	s.Checkpoints += o.Checkpoints
+	s.ScanPages += o.ScanPages
+	s.RedoApplied += o.RedoApplied
+	s.RedoSkipped += o.RedoSkipped
+	s.SSDLosses += o.SSDLosses
+	s.SSDLossRedo += o.SSDLossRedo
+	s.DiskCorruptions += o.DiskCorruptions
+	s.DiskRepairsSSD += o.DiskRepairsSSD
+	s.DiskRepairsWAL += o.DiskRepairsWAL
+	s.CorruptRedo += o.CorruptRedo
+	s.DiskReadRetries += o.DiskReadRetries
+	s.DiskWriteRetries += o.DiskWriteRetries
+	s.TruthSeqLabelSeq += o.TruthSeqLabelSeq
+	s.TruthSeqLabelRand += o.TruthSeqLabelRand
+	s.TruthRandLabelSeq += o.TruthRandLabelSeq
+	s.TruthRandLabelRand += o.TruthRandLabelRand
+	s.RemoteReads += o.RemoteReads
+	s.RemoteWrites += o.RemoteWrites
+	return s
+}

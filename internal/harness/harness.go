@@ -106,8 +106,15 @@ type OLTPResult struct {
 }
 
 // RunOLTP executes one measurement: build the engine, format the database,
-// run the workload for Duration, and collect series and counters.
+// run the workload for Duration, and collect series and counters. With a
+// shard width set (SetShards > 0) the run executes on the sharded
+// multi-core kernel instead — same measurement, page-partitioned model —
+// except for fault-injected configurations, whose device fault plans are
+// defined against the single-world device set.
 func RunOLTP(run OLTPRun) (*OLTPResult, error) {
+	if ShardWidth() > 0 && run.Config.Faults == nil {
+		return shardedOLTP(run)
+	}
 	env := sim.NewEnv()
 	e := engine.New(env, run.Config)
 	if err := e.FormatDB(); err != nil {

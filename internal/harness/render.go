@@ -294,6 +294,14 @@ func Experiments() []Experiment {
 			r.Print(w)
 			return r.Err()
 		}},
+		{"sharded", "sharded kernel: distributed-transaction sweep", func(s Scale, w io.Writer) error {
+			r, err := RunShardedSweep(s)
+			if err != nil {
+				return err
+			}
+			r.Print(w)
+			return nil
+		}},
 	}
 }
 

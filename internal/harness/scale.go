@@ -3,6 +3,7 @@ package harness
 import (
 	"fmt"
 	"io"
+	"runtime"
 	"time"
 
 	"turbobp/internal/ssd"
@@ -46,5 +47,79 @@ func RunScaleSweep(out io.Writer) error {
 	wall := time.Since(start)
 	fmt.Fprintf(out, "smoke: divisor %d TAC 1K-warehouse cell: %d events in %.2fs (%.0f events/sec, final %.1f tx/s)\n",
 		ScaleSmokeDivisor, r.Events, wall.Seconds(), float64(r.Events)/wall.Seconds(), r.FinalTPS)
+
+	fmt.Fprintf(out, "\nsharded kernel width sweep (%d partitions, TAC 1K cell, divisor %d, GOMAXPROCS %d)\n",
+		ShardKernels, ShardScaleDivisor, runtime.GOMAXPROCS(0))
+	fmt.Fprintf(out, "%8s %14s %10s %14s %8s\n", "shards", "events", "wall", "events/sec", "speedup")
+	pts, err := MeasureShardScale(ShardScaleDivisor, ShardScaleWidths)
+	if err != nil {
+		return err
+	}
+	for _, p := range pts {
+		fmt.Fprintf(out, "%8d %14d %9.2fs %14.0f %7.2fx\n",
+			p.Shards, p.Events, p.WallSecs, p.EventsPerSec, p.Speedup)
+	}
 	return nil
+}
+
+// ShardScaleWidths are the execution widths the shard sweep measures.
+var ShardScaleWidths = []int{1, 2, 4, 8}
+
+// ShardScaleDivisor sizes the shard sweep's cell: large enough for the
+// in-run parallelism to dominate per-epoch barrier costs, small enough to
+// keep the sweep a few seconds per width.
+const ShardScaleDivisor = 512
+
+// ShardScalePoint is one shard-width measurement: the same TAC
+// 1K-warehouse cell on the 8-partition sharded kernel, driven by Shards
+// OS threads. Events is identical at every width (that is the
+// determinism contract); only wall-clock varies.
+type ShardScalePoint struct {
+	Shards       int     `json:"shards"`
+	Events       uint64  `json:"events"`
+	WallSecs     float64 `json:"wall_secs"`
+	EventsPerSec float64 `json:"events_per_sec"`
+	Speedup      float64 `json:"speedup"` // events/sec over the width-1 run
+}
+
+// MeasureShardScale runs the shard-width sweep at the given divisor and
+// widths. Wall-clock readings make it nondeterministic; callers are the
+// scale sweep and the benchjson report.
+func MeasureShardScale(divisor int64, widths []int) ([]ShardScalePoint, error) {
+	// One discarded run first: the initial cell otherwise pays heap growth
+	// and allocator warmup that would be misread as a width effect.
+	warm := buildOLTP(Scale{Divisor: divisor}, ssd.TAC, "tpcc", TPCCSizesGB[1], nil)
+	if _, err := RunOLTPSharded(ShardedRun{
+		Run: warm, Kernels: ShardKernels, Width: widths[0], RemoteFrac: ShardRemoteFrac,
+	}); err != nil {
+		return nil, err
+	}
+	pts := make([]ShardScalePoint, 0, len(widths))
+	var base float64
+	for _, width := range widths {
+		run := buildOLTP(Scale{Divisor: divisor}, ssd.TAC, "tpcc", TPCCSizesGB[1], nil)
+		start := time.Now()
+		r, err := RunOLTPSharded(ShardedRun{
+			Run:        run,
+			Kernels:    ShardKernels,
+			Width:      width,
+			RemoteFrac: ShardRemoteFrac,
+		})
+		if err != nil {
+			return nil, err
+		}
+		wall := time.Since(start).Seconds()
+		eps := float64(r.Events) / wall
+		if base == 0 {
+			base = eps
+		}
+		pts = append(pts, ShardScalePoint{
+			Shards:       width,
+			Events:       r.Events,
+			WallSecs:     wall,
+			EventsPerSec: eps,
+			Speedup:      eps / base,
+		})
+	}
+	return pts, nil
 }

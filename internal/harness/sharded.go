@@ -1,0 +1,384 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+	"runtime"
+	"sync"
+	"time"
+
+	"turbobp/internal/device"
+	"turbobp/internal/engine"
+	"turbobp/internal/metrics"
+	"turbobp/internal/page"
+	"turbobp/internal/sim"
+	"turbobp/internal/ssd"
+	"turbobp/internal/wal"
+)
+
+// This file is the sharded multi-core simulation runtime. The world is
+// partitioned by page range into a fixed number of logical kernels
+// (ShardKernels), each an independent sub-simulation: its own sim.Env,
+// engine over one slice of the database/pool/SSD/disk capacity, its own
+// WAL and its share of the client population. Kernels interact only
+// through the cluster's timestamped continuation messages — here,
+// distributed transactions whose final access targets a page owned by
+// another shard (request over, remote service, reply back).
+//
+// The partition count is a MODEL constant; the -shards flag selects only
+// the execution width (how many OS threads drive the kernels through
+// sim.Cluster.Run). The cluster's (at, shard, seq) barrier merge makes
+// the model blind to the width, so every experiment's output is
+// byte-identical at -shards 1, 2, 4, ... — the in-run analogue of the
+// harness's experiment-level -parallel contract — while wall-clock drops
+// with real cores. ShardWidth() == 0 keeps the original single-kernel
+// path untouched.
+
+const (
+	// ShardKernels is the model's fixed logical partition count.
+	ShardKernels = 8
+	// ShardRemoteFrac is the distributed-transaction fraction experiments
+	// use under -shards: one access in ~0.6% of page traffic crosses
+	// shards (5% of transactions), the classic "mostly partitionable
+	// OLTP" regime.
+	ShardRemoteFrac = 0.05
+	// shardEpochs sets the default conservative window: one 4096th of the
+	// run, which is also the modelled cross-shard hop latency.
+	shardEpochs = 4096
+)
+
+var (
+	shardMu  sync.Mutex
+	shardReq int // requested execution width; 0 = legacy single-kernel path
+)
+
+// SetShards sets the sharded-kernel execution width for subsequent OLTP
+// runs and returns the stored value. n <= 0 selects the legacy
+// single-kernel path; n > ShardKernels is capped (there are only
+// ShardKernels kernels to drive). The width never affects results, only
+// wall-clock.
+func SetShards(n int) int {
+	if n < 0 {
+		n = 0
+	}
+	if n > ShardKernels {
+		fmt.Fprintf(os.Stderr, "harness: %d shard threads requested but the model has %d kernels; capping at %d\n",
+			n, ShardKernels, ShardKernels)
+		n = ShardKernels
+	}
+	shardMu.Lock()
+	shardReq = n
+	shardMu.Unlock()
+	return n
+}
+
+// ShardWidth reports the requested execution width (0 = legacy path).
+func ShardWidth() int {
+	shardMu.Lock()
+	defer shardMu.Unlock()
+	return shardReq
+}
+
+// EffectiveShardWidth caps the requested width so that experiment-level
+// workers × per-run shard threads do not oversubscribe GOMAXPROCS: with
+// W concurrent experiment cells, each cell gets at most GOMAXPROCS/W
+// threads (min 1). The cap changes wall-clock only, never results.
+func EffectiveShardWidth() int {
+	n := ShardWidth()
+	if n == 0 {
+		return 0
+	}
+	if byBudget := runtime.GOMAXPROCS(0) / Workers(); n > byBudget {
+		if byBudget < 1 {
+			byBudget = 1
+		}
+		n = byBudget
+	}
+	return n
+}
+
+// ShardedRun describes one sharded OLTP measurement.
+type ShardedRun struct {
+	Run        OLTPRun
+	Kernels    int           // logical partitions (model; >= 2)
+	Width      int           // OS threads driving them (execution only)
+	RemoteFrac float64       // distributed-transaction fraction (model)
+	Window     time.Duration // conservative window = cross-shard hop latency; 0: Duration/shardEpochs
+	// Instrument, if set, is called with each kernel's environment before
+	// anything is scheduled on it. Test instrumentation (dispatch-trace
+	// hooks); nil in production.
+	Instrument func(shard int, env *sim.Env)
+}
+
+// ShardedResult is a merged OLTPResult plus cluster-level figures.
+type ShardedResult struct {
+	OLTPResult
+	Kernels  int
+	Width    int
+	Window   time.Duration
+	Messages uint64 // cross-kernel messages delivered
+	// WALRecords / WALChecksum witness the deterministic (At, shard, LSN)
+	// merge of the per-shard durable logs.
+	WALRecords  int
+	WALChecksum uint64
+}
+
+// shardWorld is one kernel's sub-simulation.
+type shardWorld struct {
+	env *sim.Env
+	eng *engine.Engine
+	cfg engine.Config
+	res *OLTPResult
+}
+
+// shardedRuntime carries what the routers need during a run.
+type shardedRuntime struct {
+	cluster   *sim.Cluster
+	worlds    []*shardWorld
+	window    time.Duration
+	writeFrac float64
+}
+
+// shardRouter issues one shard's outbound distributed-transaction
+// accesses. All randomness is drawn from the calling worker's RNG on the
+// source kernel, so the decision stream is deterministic; the hop each
+// way costs one conservative window of virtual latency.
+type shardRouter struct {
+	rt  *shardedRuntime
+	src int
+}
+
+func (r *shardRouter) RemoteOp(t *sim.Task, rng *rand.Rand, k func()) {
+	rt := r.rt
+	dst := r.src + 1 + rng.Intn(len(rt.worlds)-1)
+	dst %= len(rt.worlds)
+	w := rt.worlds[dst]
+	pid := page.ID(rng.Int63n(w.cfg.DBPages))
+	write := rng.Float64() < rt.writeFrac
+	var v byte
+	if write {
+		v = byte(rng.Intn(256))
+	}
+	src := r.src
+	done := func(t2 *sim.Task) func(error) {
+		return func(err error) {
+			if err != nil {
+				panic("harness: remote access: " + err.Error())
+			}
+			// Reply message: resume the originating worker one hop later.
+			rt.cluster.Kernel(dst).Send(src, t2.Now()+rt.window, k)
+		}
+	}
+	// Request message: serve the access on the owning kernel one hop from
+	// now, then send the reply.
+	rt.cluster.Kernel(src).Send(dst, t.Now()+rt.window, func() {
+		w.env.Spawn("remote-access", func(t2 *sim.Task) {
+			if write {
+				w.eng.RemoteUpdateTask(t2, pid, v, done(t2))
+			} else {
+				w.eng.RemoteGetTask(t2, pid, done(t2))
+			}
+		})
+	})
+}
+
+// newOLTPResult allocates the series set for one run description.
+func newOLTPResult(run OLTPRun) *OLTPResult {
+	return &OLTPResult{
+		Design:    run.Design,
+		Bucket:    run.Bucket,
+		Commits:   metrics.NewSeries(run.Bucket),
+		DiskRead:  metrics.NewSeries(run.Bucket),
+		DiskWrite: metrics.NewSeries(run.Bucket),
+		SSDRead:   metrics.NewSeries(run.Bucket),
+		SSDWrite:  metrics.NewSeries(run.Bucket),
+	}
+}
+
+// splitShardConfig is one kernel's slice of the engine configuration:
+// 1/n of the database pages, memory pool, SSD frames, disk spindles and
+// CPU cores, so the cluster's aggregate capacity matches the unsharded
+// configuration. Fields the harness leaves to engine defaulting are
+// materialized first where splitting them matters.
+func splitShardConfig(c engine.Config, n int) engine.Config {
+	div := func(v int) int {
+		if v <= 0 {
+			return v
+		}
+		if v /= n; v < 1 {
+			v = 1
+		}
+		return v
+	}
+	if c.DBPages /= int64(n); c.DBPages < 1 {
+		c.DBPages = 1
+	}
+	c.PoolPages = div(c.PoolPages)
+	c.SSDFrames = div(c.SSDFrames)
+	if c.Disks <= 0 {
+		c.Disks = device.PaperArrayDisks
+	}
+	c.Disks = div(c.Disks)
+	if c.CPUCores <= 0 {
+		c.CPUCores = 16 // engine default
+	}
+	c.CPUCores = div(c.CPUCores)
+	return c
+}
+
+// RunOLTPSharded executes one measurement on the sharded kernel: build
+// Kernels sub-worlds on a sim.Cluster, run the split workload with
+// RemoteFrac distributed transactions for Duration at the given width,
+// and merge per-shard results in fixed shard order.
+func RunOLTPSharded(sr ShardedRun) (*ShardedResult, error) {
+	n := sr.Kernels
+	if n < 2 {
+		return nil, fmt.Errorf("harness: sharded run needs >= 2 kernels, got %d", n)
+	}
+	window := sr.Window
+	if window <= 0 {
+		window = sr.Run.Duration / shardEpochs
+		if window <= 0 {
+			window = 1
+		}
+	}
+	cluster := sim.NewCluster(n, window)
+	rt := &shardedRuntime{
+		cluster:   cluster,
+		worlds:    make([]*shardWorld, n),
+		window:    window,
+		writeFrac: sr.Run.Workload.UpdateFrac,
+	}
+	parts := sr.Run.Workload.Split(n)
+	for i := 0; i < n; i++ {
+		env := cluster.Kernel(i).Env()
+		if sr.Instrument != nil {
+			sr.Instrument(i, env)
+		}
+		cfg := splitShardConfig(sr.Run.Config, n)
+		eng := engine.New(env, cfg)
+		if err := eng.FormatDB(); err != nil {
+			return nil, err
+		}
+		w := &shardWorld{env: env, eng: eng, cfg: cfg, res: newOLTPResult(sr.Run)}
+		rt.worlds[i] = w
+		wl := parts[i]
+		wl.RemoteFrac = sr.RemoteFrac
+		if sr.RemoteFrac > 0 {
+			wl.Router = &shardRouter{rt: rt, src: i}
+		}
+		res := w.res
+		wl.Start(env, eng, func(t time.Duration) { res.Commits.Add(t, 1) })
+		startSampler(env, eng, sr.Run.Bucket, res)
+	}
+	cluster.Run(sr.Run.Duration, sr.Width)
+	for _, w := range rt.worlds {
+		w.eng.StopBackground()
+	}
+
+	out := &ShardedResult{
+		OLTPResult: *newOLTPResult(sr.Run),
+		Kernels:    n,
+		Width:      sr.Width,
+		Window:     window,
+		Messages:   cluster.Messages(),
+	}
+	logs := make([]*wal.Log, n)
+	for i, w := range rt.worlds {
+		out.Commits.Merge(w.res.Commits)
+		out.DiskRead.Merge(w.res.DiskRead)
+		out.DiskWrite.Merge(w.res.DiskWrite)
+		out.SSDRead.Merge(w.res.SSDRead)
+		out.SSDWrite.Merge(w.res.SSDWrite)
+		out.Engine = out.Engine.Add(w.eng.Stats())
+		out.SSD = out.SSD.Add(w.eng.SSD().Stats())
+		out.SSDInvalid += w.eng.SSD().InvalidCount()
+		out.DirtySSD += w.eng.SSD().DirtyCount()
+		logs[i] = w.eng.Log()
+	}
+	out.Events = cluster.Dispatched()
+	if total := out.SSD.Hits + out.SSD.Misses; total > 0 {
+		out.SSDHitRate = float64(out.SSD.Hits) / float64(total)
+	}
+	out.FinalTPS = finalRate(out.Commits, sr.Run.Scale.Hours(1))
+	out.WALRecords = len(wal.MergeDurable(logs))
+	out.WALChecksum = wal.MergeChecksum(logs)
+	cluster.Shutdown()
+	return out, nil
+}
+
+// shardedSweepFracs are the distributed-transaction fractions the
+// `sharded` experiment sweeps: fully partitionable, the standard 5%, and
+// a hostile 20%.
+var shardedSweepFracs = []float64{0, ShardRemoteFrac, 0.20}
+
+// shardedSweepDesigns are the SSD designs the `sharded` experiment runs.
+var shardedSweepDesigns = []ssd.Design{ssd.DW, ssd.LC, ssd.TAC}
+
+// ShardedSweep is the `sharded` experiment's result: TPC-C on the
+// 8-kernel cluster across designs and distributed-transaction fractions.
+type ShardedSweep struct {
+	Kernels int
+	Window  time.Duration
+	Rows    []*ShardedResult
+	Fracs   []float64
+	Designs []ssd.Design
+}
+
+// RunShardedSweep measures how the partitioned model behaves as the
+// cross-shard coupling grows: each row is one TPC-C 1K-warehouse run on
+// the sharded kernel. The WAL checksum column witnesses that the merged
+// global history (not just the aggregates) is deterministic.
+func RunShardedSweep(scale Scale) (*ShardedSweep, error) {
+	nf := len(shardedSweepFracs)
+	rows, err := RunGrid(len(shardedSweepDesigns)*nf, func(i int) (*ShardedResult, error) {
+		run := buildOLTP(scale, shardedSweepDesigns[i/nf], "tpcc", TPCCSizesGB[1], nil)
+		return RunOLTPSharded(ShardedRun{
+			Run:        run,
+			Kernels:    ShardKernels,
+			Width:      EffectiveShardWidth(),
+			RemoteFrac: shardedSweepFracs[i%nf],
+		})
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &ShardedSweep{
+		Kernels: ShardKernels,
+		Window:  rows[0].Window,
+		Rows:    rows,
+		Fracs:   shardedSweepFracs,
+		Designs: shardedSweepDesigns,
+	}, nil
+}
+
+// Print renders the sweep. Every column is deterministic at any -shards
+// width and any -parallel worker count.
+func (r *ShardedSweep) Print(w io.Writer) {
+	fmt.Fprintf(w, "TPC-C 1K on the sharded kernel: %d partitions, window %v\n", r.Kernels, r.Window)
+	fmt.Fprintf(w, "%-6s %8s %10s %12s %10s %10s  %s\n",
+		"design", "remote%", "tx/s", "remote-ops", "messages", "wal-recs", "wal-checksum")
+	for i, row := range r.Rows {
+		fmt.Fprintf(w, "%-6s %8.0f %10.1f %12d %10d %10d  %016x\n",
+			r.Designs[i/len(r.Fracs)], 100*r.Fracs[i%len(r.Fracs)], row.FinalTPS,
+			row.Engine.RemoteReads+row.Engine.RemoteWrites,
+			row.Messages, row.WALRecords, row.WALChecksum)
+	}
+}
+
+// shardedOLTP adapts an OLTPRun to the sharded kernel with the standard
+// model parameters and the currently effective width.
+func shardedOLTP(run OLTPRun) (*OLTPResult, error) {
+	r, err := RunOLTPSharded(ShardedRun{
+		Run:        run,
+		Kernels:    ShardKernels,
+		Width:      EffectiveShardWidth(),
+		RemoteFrac: ShardRemoteFrac,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &r.OLTPResult, nil
+}

@@ -1,0 +1,231 @@
+package sim
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// This file adds the simulator's multi-kernel form: a Cluster of
+// independent event kernels advanced in lockstep epochs, the classic
+// conservative parallel-DES scheme. Each kernel owns a private Env — its
+// own clock, calendar queue and sequence counter — so within an epoch the
+// kernels share nothing and can run on separate OS threads. Cross-kernel
+// interaction happens only through timestamped continuation messages
+// (Kernel.Send) that are buffered in per-destination outboxes and merged
+// into the destination queues at the epoch barrier.
+//
+// Determinism is the point. The barrier merge delivers messages in the
+// total order (at, source kernel, send ordinal): outboxes are gathered in
+// source-kernel order and stable-sorted by timestamp, so the sequence
+// numbers a destination assigns — and therefore every FIFO tie-break
+// downstream — are a pure function of the simulation's own history. How
+// many OS threads execute the kernels (the width passed to Run) cannot be
+// observed by the model, so results are byte-identical at any width.
+//
+// Correctness of the conservative window: a message sent while epoch k
+// (ending at E_k) executes must carry at >= E_k, i.e. the sender promises
+// a minimum latency of one window. The receiver's clock is exactly E_k at
+// the barrier, so a delivered event is never in the receiver's past, and
+// no kernel ever needs to roll back.
+
+// Cluster is a set of simulation kernels advanced in lockstep epochs.
+// Create one with NewCluster; drive it with Run.
+type Cluster struct {
+	window   time.Duration
+	kernels  []*Kernel
+	epochEnd time.Duration // end of the epoch currently executing
+	running  bool
+	messages uint64 // total cross-kernel messages delivered
+}
+
+// Kernel is one member of a Cluster: an Env plus outboxes for messages to
+// the other kernels. Like an Env, a Kernel may only be touched by the
+// goroutine currently executing its epoch (or by setup code before Run).
+type Kernel struct {
+	cluster *Cluster
+	idx     int
+	env     *Env
+	out     [][]kmsg // per-destination outboxes, written only while this kernel executes
+	sent    uint64   // send ordinal: position in this kernel's send history
+	inbox   []kmsg   // barrier-time merge scratch, coordinator only
+}
+
+// kmsg is one cross-kernel message: run fn on the destination kernel at
+// virtual time at. src and ord define its place in the deterministic
+// delivery order.
+type kmsg struct {
+	at  time.Duration
+	src int
+	ord uint64
+	fn  func()
+}
+
+// NewCluster returns n kernels coordinated with the given lookahead
+// window. Every cross-kernel message must be timestamped at least one
+// window into the future (see Kernel.Send), so the window is the model's
+// minimum cross-kernel latency; smaller windows mean finer-grained
+// synchronization and more barriers.
+func NewCluster(n int, window time.Duration) *Cluster {
+	if n < 1 {
+		panic("sim: cluster needs at least one kernel")
+	}
+	if window <= 0 {
+		panic("sim: cluster window must be positive")
+	}
+	c := &Cluster{window: window, kernels: make([]*Kernel, n)}
+	for i := range c.kernels {
+		c.kernels[i] = &Kernel{
+			cluster: c,
+			idx:     i,
+			env:     NewEnv(),
+			out:     make([][]kmsg, n),
+		}
+	}
+	return c
+}
+
+// Kernels returns the number of kernels.
+func (c *Cluster) Kernels() int { return len(c.kernels) }
+
+// Kernel returns kernel i.
+func (c *Cluster) Kernel(i int) *Kernel { return c.kernels[i] }
+
+// Window returns the lookahead window.
+func (c *Cluster) Window() time.Duration { return c.window }
+
+// Messages returns the number of cross-kernel messages delivered so far.
+func (c *Cluster) Messages() uint64 { return c.messages }
+
+// Dispatched sums the kernels' logical event counts.
+func (c *Cluster) Dispatched() uint64 {
+	var n uint64
+	for _, k := range c.kernels {
+		n += k.env.Dispatched()
+	}
+	return n
+}
+
+// Index returns the kernel's position in the cluster.
+func (k *Kernel) Index() int { return k.idx }
+
+// Env returns the kernel's environment.
+func (k *Kernel) Env() *Env { return k.env }
+
+// Send queues fn to run on kernel dst at virtual time at. It must be
+// called from code executing on k (a process of k's Env, or setup code
+// before Run). The timestamp must respect the conservative window: at may
+// not precede the end of the epoch currently executing — senders
+// guarantee at least one window of latency, which is what lets the
+// kernels run an epoch without hearing from each other. Delivery happens
+// at the next barrier in (at, source kernel, send order); ties in all
+// three are impossible, so the merged order is total.
+func (k *Kernel) Send(dst int, at time.Duration, fn func()) {
+	c := k.cluster
+	if at < c.epochEnd {
+		panic(fmt.Sprintf("sim: cross-kernel message at %v violates the conservative window (epoch ends %v)",
+			at, c.epochEnd))
+	}
+	k.sent++
+	k.out[dst] = append(k.out[dst], kmsg{at: at, src: k.idx, ord: k.sent, fn: fn})
+}
+
+// deliver merges every pending outbox into the destination queues. For
+// each destination the messages are gathered in source-kernel order and
+// stable-sorted by timestamp, so the delivery order — and with it the
+// sequence number each message receives — is (at, src, ord), independent
+// of execution width. Runs on the coordinator between epochs.
+func (c *Cluster) deliver() {
+	for di, d := range c.kernels {
+		in := d.inbox[:0]
+		for _, s := range c.kernels {
+			box := s.out[di]
+			in = append(in, box...)
+			for i := range box {
+				box[i] = kmsg{} // drop the closure references
+			}
+			s.out[di] = box[:0]
+		}
+		if len(in) == 0 {
+			d.inbox = in
+			continue
+		}
+		// Insertion sort by timestamp, stable so the (src, ord) gather
+		// order breaks ties. Outboxes are time-sorted per source already
+		// (sends within an epoch carry non-decreasing clocks per sender is
+		// NOT guaranteed — a task may send for t+2W then t+W — so sort
+		// properly); message counts per barrier are small.
+		for i := 1; i < len(in); i++ {
+			for j := i; j > 0 && in[j].at < in[j-1].at; j-- {
+				in[j], in[j-1] = in[j-1], in[j]
+			}
+		}
+		for _, m := range in {
+			d.env.scheduleFn(m.at, m.fn)
+		}
+		c.messages += uint64(len(in))
+		for i := range in {
+			in[i] = kmsg{}
+		}
+		d.inbox = in[:0]
+	}
+}
+
+// Run advances every kernel to virtual time until, synchronizing at
+// epoch barriers one window apart, using width OS threads (clamped to
+// [1, Kernels()]). Kernels are assigned to threads statically (kernel i
+// runs on thread i mod width) and the barrier is a full join, so the
+// execution is free of data races and — because the model cannot observe
+// the thread assignment — the results are identical at every width.
+// Messages still undelivered when the horizon is reached are merged into
+// the destination queues but not executed, mirroring how Env.Run leaves
+// post-horizon events pending. Run may be called again to continue.
+func (c *Cluster) Run(until time.Duration, width int) time.Duration {
+	if c.running {
+		panic("sim: nested cluster Run")
+	}
+	c.running = true
+	defer func() { c.running = false }()
+	if width < 1 {
+		width = 1
+	}
+	if width > len(c.kernels) {
+		width = len(c.kernels)
+	}
+	start := c.kernels[0].env.Now()
+	for start < until {
+		end := start + c.window
+		if end > until {
+			end = until
+		}
+		c.deliver() // messages from the previous epoch (or from setup)
+		c.epochEnd = end
+		if width == 1 {
+			for _, k := range c.kernels {
+				k.env.Run(end)
+			}
+		} else {
+			var wg sync.WaitGroup
+			for w := 0; w < width; w++ {
+				wg.Add(1)
+				go func(w int) {
+					defer wg.Done()
+					for i := w; i < len(c.kernels); i += width {
+						c.kernels[i].env.Run(end)
+					}
+				}(w)
+			}
+			wg.Wait()
+		}
+		start = end
+	}
+	c.deliver()
+	return start
+}
+
+// Shutdown shuts down every kernel's environment.
+func (c *Cluster) Shutdown() {
+	for _, k := range c.kernels {
+		k.env.Shutdown()
+	}
+}

@@ -1,0 +1,158 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+	"time"
+)
+
+// clusterWorkload populates a cluster with deterministic ping-pong task
+// traffic: every kernel runs a few tasks that sleep pseudo-random
+// intervals and occasionally message another kernel, which echoes back.
+// Returns the per-kernel dispatch traces and a per-kernel activity count.
+func clusterWorkload(t *testing.T, width int) ([][][2]int64, []uint64, uint64) {
+	t.Helper()
+	const (
+		kernels = 4
+		window  = 10 * time.Millisecond
+		horizon = 2 * time.Second
+	)
+	c := NewCluster(kernels, window)
+	traces := make([][][2]int64, kernels)
+	counts := make([]uint64, kernels)
+	for i := 0; i < kernels; i++ {
+		i := i
+		env := c.Kernel(i).Env()
+		env.SetDispatchHook(func(at time.Duration, seq uint64) {
+			traces[i] = append(traces[i], [2]int64{int64(at), int64(seq)})
+		})
+		for w := 0; w < 3; w++ {
+			rng := rand.New(rand.NewSource(int64(i*31 + w)))
+			k := c.Kernel(i)
+			var loop func(task *Task)
+			loop = func(task *Task) {
+				counts[i]++
+				d := time.Duration(rng.Intn(int(window))) + 1
+				if rng.Float64() < 0.2 {
+					dst := rng.Intn(kernels - 1)
+					if dst >= i {
+						dst++
+					}
+					at := task.Now() + window + d
+					k.Send(dst, at, func() {
+						counts[dst]++
+					})
+				}
+				task.Sleep(d, func() { loop(task) })
+			}
+			env.Spawn(fmt.Sprintf("t%d.%d", i, w), func(task *Task) { loop(task) })
+		}
+	}
+	c.Run(horizon, width)
+	if got := c.Kernel(0).Env().Now(); got != horizon {
+		t.Fatalf("width %d: clock at %v, want %v", width, got, horizon)
+	}
+	return traces, counts, c.Messages()
+}
+
+// TestClusterWidthInvariance is the heart of the deterministic-parallelism
+// contract: the execution width is invisible to the model, so dispatch
+// traces, activity counts and message counts must be identical at every
+// width.
+func TestClusterWidthInvariance(t *testing.T) {
+	refTraces, refCounts, refMsgs := clusterWorkload(t, 1)
+	if refMsgs == 0 {
+		t.Fatal("workload sent no cross-kernel messages; test is vacuous")
+	}
+	for _, width := range []int{2, 3, 4, 8} {
+		traces, counts, msgs := clusterWorkload(t, width)
+		if msgs != refMsgs {
+			t.Errorf("width %d: %d messages, want %d", width, msgs, refMsgs)
+		}
+		if !reflect.DeepEqual(counts, refCounts) {
+			t.Errorf("width %d: activity counts %v, want %v", width, counts, refCounts)
+		}
+		if !reflect.DeepEqual(traces, refTraces) {
+			t.Errorf("width %d: dispatch traces diverge from width 1", width)
+		}
+	}
+}
+
+// TestClusterMergeOrder pins the delivery order rule: messages are merged
+// by (at, source kernel, send ordinal), regardless of which kernel's
+// epoch happened to emit them first in real time.
+func TestClusterMergeOrder(t *testing.T) {
+	const window = 10 * time.Millisecond
+	c := NewCluster(3, window)
+	var got []string
+	rec := func(tag string) func() {
+		return func() { got = append(got, tag) }
+	}
+	// Setup-time sends: kernel 2 sends before kernel 1; both target kernel
+	// 0 at the same instant. Kernel 1 also sends two messages at one
+	// instant (ordinal order) and one earlier message last (time order).
+	c.Kernel(2).Send(0, 5*time.Millisecond, rec("k2@5"))
+	c.Kernel(1).Send(0, 5*time.Millisecond, rec("k1@5/a"))
+	c.Kernel(1).Send(0, 5*time.Millisecond, rec("k1@5/b"))
+	c.Kernel(1).Send(0, 2*time.Millisecond, rec("k1@2"))
+	c.Run(window, 1)
+	want := []string{"k1@2", "k1@5/a", "k1@5/b", "k2@5"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("delivery order %v, want %v", got, want)
+	}
+}
+
+// TestClusterWindowViolation checks that a message timestamped inside the
+// executing epoch panics instead of silently breaking determinism.
+func TestClusterWindowViolation(t *testing.T) {
+	const window = 10 * time.Millisecond
+	c := NewCluster(2, window)
+	c.Kernel(0).Env().Spawn("violator", func(task *Task) {
+		defer func() {
+			if recover() == nil {
+				t.Error("Send inside the conservative window did not panic")
+			}
+		}()
+		c.Kernel(0).Send(1, task.Now(), func() {})
+	})
+	c.Run(window, 1)
+}
+
+// TestClusterIdleKernel checks that a kernel with no events still advances
+// to the horizon (its clock must not lag the cluster).
+func TestClusterIdleKernel(t *testing.T) {
+	c := NewCluster(2, time.Millisecond)
+	fired := false
+	c.Kernel(0).Env().Spawn("lone", func(task *Task) {
+		task.Sleep(5*time.Millisecond, func() { fired = true })
+	})
+	c.Run(10*time.Millisecond, 2)
+	if !fired {
+		t.Error("task on kernel 0 did not run")
+	}
+	if got := c.Kernel(1).Env().Now(); got != 10*time.Millisecond {
+		t.Errorf("idle kernel clock at %v, want 10ms", got)
+	}
+}
+
+// TestClusterLateMessages checks that messages timestamped past the
+// horizon are merged but not executed, mirroring Env.Run's treatment of
+// post-horizon events.
+func TestClusterLateMessages(t *testing.T) {
+	const window = 10 * time.Millisecond
+	c := NewCluster(2, window)
+	ran := false
+	c.Kernel(0).Send(1, 3*window, func() { ran = true })
+	c.Run(2*window, 1)
+	if ran {
+		t.Error("post-horizon message executed")
+	}
+	if c.Messages() != 1 {
+		t.Errorf("messages = %d, want 1 (merged, pending)", c.Messages())
+	}
+	if c.Kernel(1).Env().Idle() {
+		t.Error("post-horizon message not pending in destination queue")
+	}
+}

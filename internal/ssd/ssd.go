@@ -235,6 +235,39 @@ type Stats struct {
 	Quarantines     int64 // quarantine transitions (0 or 1): SSD demoted to pass-through
 }
 
+// Add returns the fieldwise sum of s and o; the sharded harness uses it
+// to aggregate per-shard SSD managers into cluster totals. A reflection
+// test keeps it in sync with the struct.
+func (s Stats) Add(o Stats) Stats {
+	s.Hits += o.Hits
+	s.Misses += o.Misses
+	s.ThrottleReads += o.ThrottleReads
+	s.ThrottleWrites += o.ThrottleWrites
+	s.Admissions += o.Admissions
+	s.DirtyAdmits += o.DirtyAdmits
+	s.Evictions += o.Evictions
+	s.Invalidations += o.Invalidations
+	s.Revalidations += o.Revalidations
+	s.CleanerRuns += o.CleanerRuns
+	s.CleanerPages += o.CleanerPages
+	s.CleanerWrites += o.CleanerWrites
+	s.CheckpointPgs += o.CheckpointPgs
+	s.TACAborts += o.TACAborts
+	s.ReadErrors += o.ReadErrors
+	s.WriteErrors += o.WriteErrors
+	s.ReadRetries += o.ReadRetries
+	s.WriteRetries += o.WriteRetries
+	s.CorruptDetected += o.CorruptDetected
+	s.CorruptRepaired += o.CorruptRepaired
+	s.CorruptDirty += o.CorruptDirty
+	s.ScrubSweeps += o.ScrubSweeps
+	s.ScrubFrames += o.ScrubFrames
+	s.ScrubRepairs += o.ScrubRepairs
+	s.Retired += o.Retired
+	s.Quarantines += o.Quarantines
+	return s
+}
+
 // Manager is the SSD manager.
 type Manager struct {
 	env    *sim.Env

@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"hash/crc32"
 	"io"
+	"time"
 
 	"turbobp/internal/page"
 )
@@ -23,14 +24,15 @@ import (
 //	17      8     page id
 //	25      8     tx id
 //	33      8     start LSN (checkpoints)
-//	41      4     payload length
-//	45      ...   payload
+//	41      8     append time (virtual, nanoseconds)
+//	49      4     payload length
+//	53      ...   payload
 //
 // A stream is a concatenation of frames; Decode detects truncation and
 // corruption, so replay stops cleanly at the first torn record — the
 // classic write-ahead log recovery contract.
 
-const frameHeader = 45
+const frameHeader = 53
 
 var codecTable = crc32.MakeTable(crc32.Castagnoli)
 
@@ -60,8 +62,9 @@ func EncodeRecord(dst []byte, r Record) []byte {
 	binary.LittleEndian.PutUint64(body[9:17], uint64(r.Page))
 	binary.LittleEndian.PutUint64(body[17:25], r.TxID)
 	binary.LittleEndian.PutUint64(body[25:33], r.StartLSN)
-	binary.LittleEndian.PutUint32(body[33:37], uint32(len(r.Payload)))
-	copy(body[37:], r.Payload)
+	binary.LittleEndian.PutUint64(body[33:41], uint64(r.At))
+	binary.LittleEndian.PutUint32(body[41:45], uint32(len(r.Payload)))
+	copy(body[45:], r.Payload)
 	binary.LittleEndian.PutUint32(dst[start:start+4], uint32(bodyLen))
 	binary.LittleEndian.PutUint32(dst[start+4:start+8], crc32.Checksum(body, codecTable))
 	return dst
@@ -97,13 +100,14 @@ func DecodeRecord(buf []byte) (Record, int, error) {
 		Page:     page.ID(binary.LittleEndian.Uint64(body[9:17])),
 		TxID:     binary.LittleEndian.Uint64(body[17:25]),
 		StartLSN: binary.LittleEndian.Uint64(body[25:33]),
+		At:       time.Duration(binary.LittleEndian.Uint64(body[33:41])),
 	}
-	plen := int(binary.LittleEndian.Uint32(body[33:37]))
-	if plen != len(body)-37 {
+	plen := int(binary.LittleEndian.Uint32(body[41:45]))
+	if plen != len(body)-45 {
 		return Record{}, 0, fmt.Errorf("%w: payload length %d in a %d-byte body", ErrCorruptRecord, plen, len(body))
 	}
 	if plen > 0 {
-		r.Payload = append([]byte(nil), body[37:]...)
+		r.Payload = append([]byte(nil), body[45:]...)
 	}
 	return r, 8 + n, nil
 }

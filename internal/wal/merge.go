@@ -1,0 +1,74 @@
+package wal
+
+import (
+	"hash/fnv"
+	"sort"
+)
+
+// This file defines the deterministic global order over the logs of a
+// sharded engine. Each shard appends to its own Log (so group commit and
+// log-device modelling stay per-shard and contention-free); the cluster's
+// single serial history is recovered after the fact by merging the durable
+// streams on the total order (At, shard, LSN). At ties between shards are
+// real — two shards commit in the same virtual instant — and the shard
+// index breaks them the same way the cluster's barrier merge breaks
+// message ties by source kernel, so the merged stream is a pure function
+// of the simulation and identical at every execution width.
+
+// MergedRecord is one entry of a cross-shard merged log stream.
+type MergedRecord struct {
+	Shard int
+	Record
+}
+
+// MergeDurable merges the durable streams of the given per-shard logs
+// into one sequence ordered by (At, shard, LSN). Within a shard LSN order
+// and At order coincide, so the result is also a legal interleaving of
+// the per-shard histories.
+func MergeDurable(logs []*Log) []MergedRecord {
+	total := 0
+	for _, l := range logs {
+		total += l.durable.count
+	}
+	out := make([]MergedRecord, 0, total)
+	for s, l := range logs {
+		for _, r := range l.Durable() {
+			out = append(out, MergedRecord{Shard: s, Record: r})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := &out[i], &out[j]
+		if a.At != b.At {
+			return a.At < b.At
+		}
+		if a.Shard != b.Shard {
+			return a.Shard < b.Shard
+		}
+		return a.LSN < b.LSN
+	})
+	return out
+}
+
+// MergeChecksum folds the merged stream's identifying fields (At, shard,
+// LSN, type, page, txid) into one FNV-1a hash. Experiments print it as a
+// compact witness that the merged global history — not just aggregate
+// counters — is identical across execution widths.
+func MergeChecksum(logs []*Log) uint64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	put := func(v uint64) {
+		for i := 0; i < 8; i++ {
+			buf[i] = byte(v >> (8 * i))
+		}
+		h.Write(buf[:])
+	}
+	for _, m := range MergeDurable(logs) {
+		put(uint64(m.At))
+		put(uint64(m.Shard))
+		put(m.LSN)
+		put(uint64(m.Type))
+		put(uint64(m.Page))
+		put(m.TxID)
+	}
+	return h.Sum64()
+}

@@ -1,0 +1,83 @@
+package wal
+
+import (
+	"testing"
+	"time"
+
+	"turbobp/internal/page"
+	"turbobp/internal/sim"
+)
+
+// mergeFixture builds three logs whose durable streams interleave in
+// virtual time, including an exact At tie across shards.
+func mergeFixture(t *testing.T) []*Log {
+	t.Helper()
+	logs := make([]*Log, 3)
+	envs := make([]*sim.Env, 3)
+	for i := range logs {
+		env := sim.NewEnv()
+		l, _ := newTestLog(env)
+		logs[i] = l
+		envs[i] = env
+	}
+	// shard 0: records at t=1ms and t=3ms; shard 1: t=2ms and t=3ms (an
+	// exact tie with shard 0's second); shard 2: both at t=0.
+	app := func(s int, at time.Duration, pid int64) {
+		envs[s].Run(at) // empty queue: advances the clock to at
+		logs[s].Append(Record{Type: TypeUpdate, Page: page.ID(pid)})
+	}
+	app(2, 0, 20)
+	app(2, 0, 21)
+	app(0, 1*time.Millisecond, 1)
+	app(1, 2*time.Millisecond, 10)
+	app(0, 3*time.Millisecond, 2)
+	app(1, 3*time.Millisecond, 11)
+	for s, l := range logs {
+		l := l
+		envs[s].Go("flusher", func(p *sim.Proc) {
+			l.Flush(p, l.NextLSN()-1)
+		})
+		envs[s].Run(-1)
+	}
+	return logs
+}
+
+func TestMergeDurableOrder(t *testing.T) {
+	logs := mergeFixture(t)
+	m := MergeDurable(logs)
+	if len(m) != 6 {
+		t.Fatalf("merged %d records, want 6", len(m))
+	}
+	wantShard := []int{2, 2, 0, 1, 0, 1}
+	wantPage := []int64{20, 21, 1, 10, 2, 11}
+	for i, r := range m {
+		if r.Shard != wantShard[i] || int64(r.Page) != wantPage[i] {
+			t.Errorf("merged[%d] = shard %d page %d, want shard %d page %d",
+				i, r.Shard, r.Page, wantShard[i], wantPage[i])
+		}
+	}
+}
+
+func TestMergeChecksumStable(t *testing.T) {
+	a := MergeChecksum(mergeFixture(t))
+	b := MergeChecksum(mergeFixture(t))
+	if a != b {
+		t.Errorf("checksum not reproducible: %#x vs %#x", a, b)
+	}
+	if a == MergeChecksum(nil) {
+		t.Error("checksum of non-empty stream equals empty checksum")
+	}
+}
+
+func TestAppendStampsVirtualTime(t *testing.T) {
+	env := sim.NewEnv()
+	l, _ := newTestLog(env)
+	env.Run(7 * time.Millisecond)
+	l.Append(Record{Type: TypeUpdate, Page: 1})
+	env.Go("flusher", func(p *sim.Proc) { l.Flush(p, 1) })
+	env.Run(-1)
+	d := l.Durable()
+	if len(d) != 1 || d[0].At != 7*time.Millisecond {
+		t.Fatalf("durable = %+v, want one record stamped at 7ms", d)
+	}
+}

@@ -40,6 +40,10 @@ type Record struct {
 	TxID     uint64
 	StartLSN uint64
 	Payload  []byte
+	// At is the virtual time of the Append, stamped by the log. It keys
+	// the sharded kernel's deterministic cross-shard merge order (see
+	// MergeDurable); within one log, At order coincides with LSN order.
+	At time.Duration
 }
 
 // overhead approximates the on-disk framing bytes per record.
@@ -162,6 +166,7 @@ func (s *byteSlab) stash(b []byte) []byte {
 // Log is the log manager. Create with New; methods must be called from
 // simulation processes (or with a nil proc when the device allows it).
 type Log struct {
+	env      *sim.Env
 	dev      device.Device
 	pageSize int
 	capacity device.PageNum
@@ -199,6 +204,7 @@ type Log struct {
 // pages (the write position wraps, as a recycled physical log would).
 func New(env *sim.Env, dev device.Device, pageSize int, capacity device.PageNum) *Log {
 	return &Log{
+		env:      env,
 		dev:      dev,
 		pageSize: pageSize,
 		capacity: capacity,
@@ -213,6 +219,7 @@ func New(env *sim.Env, dev device.Device, pageSize int, capacity device.PageNum)
 func (l *Log) Append(r Record) uint64 {
 	r.LSN = l.nextLSN
 	l.nextLSN++
+	r.At = l.env.Now()
 	r.Payload = l.slab.stash(r.Payload)
 	if l.pending == nil && l.spare != nil {
 		l.pending, l.spare = l.spare, nil
