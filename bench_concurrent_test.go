@@ -1,0 +1,28 @@
+// Wall-clock concurrency benchmarks of the partitioned file backend (see
+// internal/loadbench). These live in an external test package because
+// loadbench imports turbobp itself. Run with several CPUs to see the
+// scaling; on one core the 4- and 8-worker variants measure contention
+// honestly rather than speedup.
+package turbobp_test
+
+import (
+	"testing"
+
+	"turbobp"
+	"turbobp/internal/loadbench"
+)
+
+func BenchmarkConcurrentGet1(b *testing.B) { loadbench.ConcurrentGet(b, 1) }
+func BenchmarkConcurrentGet4(b *testing.B) { loadbench.ConcurrentGet(b, 4) }
+func BenchmarkConcurrentGet8(b *testing.B) { loadbench.ConcurrentGet(b, 8) }
+
+func BenchmarkConcurrentUpdateCommit1(b *testing.B) { loadbench.ConcurrentUpdateCommit(b, 1) }
+func BenchmarkConcurrentUpdateCommit4(b *testing.B) { loadbench.ConcurrentUpdateCommit(b, 4) }
+func BenchmarkConcurrentUpdateCommit8(b *testing.B) { loadbench.ConcurrentUpdateCommit(b, 8) }
+
+func BenchmarkGroupCommitFsync(b *testing.B) {
+	loadbench.CommitFsyncs(b, turbobp.CommitSyncGroup)
+}
+func BenchmarkEachCommitFsync(b *testing.B) {
+	loadbench.CommitFsyncs(b, turbobp.CommitSyncEach)
+}

@@ -49,6 +49,12 @@ go test -run '^$' -bench 'BenchmarkGetHit|BenchmarkGetMiss|BenchmarkUpdateCommit
 echo "== sharded kernel race tests (shards=4 widths under the race detector) =="
 go test -race -run 'Cluster|Shard' ./internal/sim ./internal/engine ./internal/ssd ./internal/harness
 
+echo "== concurrency race tests (partitioned backend, striped pool, group commit, server) =="
+go test -race -run 'Concurrent|CommitSync' .
+go test -race -run 'Striped' ./internal/bufpool
+go test -race -run 'GroupCommitter' ./internal/wal
+go test -race ./internal/netproto ./cmd/bpeserve
+
 echo "== golden determinism (full suite, serial vs 4 workers) =="
 go build -o /tmp/bpesim-ci ./cmd/bpesim
 /tmp/bpesim-ci -divisor 8192 -parallel 1 all > /tmp/bpesim-ci-serial.out 2>/dev/null
@@ -76,6 +82,23 @@ echo "== benchmark regression guard (hot paths vs BENCH_harness.json, 25% margin
 echo "== scale smoke (fig5-tpcc at divisor 256, 120s budget) =="
 timeout 120 /tmp/bpesim-ci -divisor 256 -parallel 1 fig5-tpcc > /tmp/bpesim-ci-scale.out 2>/dev/null
 grep -q "== fig5-tpcc" /tmp/bpesim-ci-scale.out
+
+echo "== server smoke (bpeserve + bpeload, ~30s budget) =="
+go build -o /tmp/bpeserve-ci ./cmd/bpeserve
+go build -o /tmp/bpeload-ci ./cmd/bpeload
+smokedir=$(mktemp -d /tmp/bpeserve-ci-dir.XXXXXX)
+/tmp/bpeserve-ci -addr 127.0.0.1:7971 -dir "$smokedir" -pages 8192 -pool 1024 -ssd 2048 \
+  -duration 25s > /tmp/bpeserve-ci.out 2>&1 &
+serve_pid=$!
+sleep 1
+timeout 20 /tmp/bpeload-ci -addr 127.0.0.1:7971 -readers 2 -writers 2 -pages 8192 \
+  -duration 8s > /tmp/bpeload-ci.out 2>&1
+# The load driver must report nonzero throughput...
+grep -E 'total: [1-9][0-9]* ops' /tmp/bpeload-ci.out
+# ...and the server must shut down cleanly with a summary.
+wait "$serve_pid"
+grep -E 'bpeserve: served [1-9][0-9]* ops' /tmp/bpeserve-ci.out
+rm -rf "$smokedir" /tmp/bpeserve-ci /tmp/bpeload-ci /tmp/bpeserve-ci.out /tmp/bpeload-ci.out
 
 rm -f /tmp/bpesim-ci /tmp/bpesim-ci-serial.out /tmp/bpesim-ci-parallel.out \
       /tmp/bpesim-ci-shard1.out /tmp/bpesim-ci-shard4.out \

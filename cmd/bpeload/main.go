@@ -1,0 +1,205 @@
+// Command bpeload drives a bpeserve instance with concurrent readers and
+// writers over TCP and reports throughput and latency quantiles. Each
+// worker owns one connection: readers issue point gets (with an optional
+// scan mix), writers issue update+commit pairs that exercise the server's
+// WAL group commit. Per-worker latency histograms (internal/metrics) are
+// merged at the end; the summary prints ops/s and p50/p95/p99 per class.
+//
+// Usage:
+//
+//	bpeload -addr 127.0.0.1:7070 -readers 6 -writers 2 -value-size 64 -duration 10s
+//
+// Oversubscription is reported honestly: the summary includes the
+// effective hardware parallelism (min(workers, GOMAXPROCS), via
+// internal/harness.EffectiveWorkers) next to the requested worker count.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"math/rand"
+	"net"
+	"os"
+	"runtime"
+	"sync"
+	"time"
+
+	"turbobp/internal/harness"
+	"turbobp/internal/metrics"
+	"turbobp/internal/netproto"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "bpeload:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		addr      = flag.String("addr", "127.0.0.1:7070", "server address")
+		readers   = flag.Int("readers", 4, "reader workers (one connection each)")
+		writers   = flag.Int("writers", 4, "writer workers (one connection each)")
+		valueSize = flag.Int("value-size", 64, "bytes written per update")
+		duration  = flag.Duration("duration", 10*time.Second, "run length")
+		pages     = flag.Int64("pages", 65536, "page id space to draw from")
+		scanEvery = flag.Int("scan-every", 0, "every Nth read op is a 16-page scan (0 disables)")
+		seed      = flag.Int64("seed", 1, "workload RNG seed")
+	)
+	flag.Parse()
+	if *readers < 0 || *writers < 0 || *readers+*writers == 0 {
+		return fmt.Errorf("need at least one worker (readers=%d writers=%d)", *readers, *writers)
+	}
+
+	total := *readers + *writers
+	results := make([]workerResult, total)
+	start := time.Now()
+	deadline := start.Add(*duration)
+	var wg sync.WaitGroup
+	for i := 0; i < total; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			w := worker{
+				addr:      *addr,
+				writer:    i >= *readers,
+				valueSize: *valueSize,
+				pages:     *pages,
+				scanEvery: *scanEvery,
+				deadline:  deadline,
+				rng:       rand.New(rand.NewSource(*seed + int64(i))),
+			}
+			results[i] = w.run()
+		}(i)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	var readHist, writeHist metrics.Histogram
+	var reads, writes, scans, errs int64
+	for i, r := range results {
+		if r.err != nil {
+			errs++
+			fmt.Fprintf(os.Stderr, "bpeload: worker %d: %v\n", i, r.err)
+		}
+		readHist.Merge(&r.read)
+		writeHist.Merge(&r.write)
+		reads += r.read.Count()
+		writes += r.write.Count()
+		scans += r.scans
+	}
+	ops := reads + writes
+	if errs == int64(total) {
+		return fmt.Errorf("every worker failed")
+	}
+
+	fmt.Printf("bpeload: %d readers + %d writers for %v against %s\n", *readers, *writers, elapsed.Round(time.Millisecond), *addr)
+	fmt.Printf("bpeload: effective parallelism %d of %d workers (GOMAXPROCS=%d)\n",
+		harness.EffectiveWorkers(total), total, runtime.GOMAXPROCS(0))
+	secs := elapsed.Seconds()
+	fmt.Printf("total: %d ops, %.0f ops/s\n", ops, float64(ops)/secs)
+	if reads > 0 {
+		fmt.Printf("reads: %d (%.0f ops/s, %d scans) p50=%v p95=%v p99=%v\n",
+			reads, float64(reads)/secs, scans,
+			readHist.Quantile(0.50).Round(time.Microsecond),
+			readHist.Quantile(0.95).Round(time.Microsecond),
+			readHist.Quantile(0.99).Round(time.Microsecond))
+	}
+	if writes > 0 {
+		fmt.Printf("writes: %d (%.0f ops/s) p50=%v p95=%v p99=%v\n",
+			writes, float64(writes)/secs,
+			writeHist.Quantile(0.50).Round(time.Microsecond),
+			writeHist.Quantile(0.95).Round(time.Microsecond),
+			writeHist.Quantile(0.99).Round(time.Microsecond))
+	}
+	return nil
+}
+
+// workerResult carries one worker's histograms back to the aggregator.
+type workerResult struct {
+	read  metrics.Histogram // point gets and scans
+	write metrics.Histogram // update+commit round trips
+	scans int64
+	err   error
+}
+
+// worker is one load-generating connection.
+type worker struct {
+	addr      string
+	writer    bool
+	valueSize int
+	pages     int64
+	scanEvery int
+	deadline  time.Time
+	rng       *rand.Rand
+}
+
+func (w *worker) run() workerResult {
+	var res workerResult
+	conn, err := net.Dial("tcp", w.addr)
+	if err != nil {
+		res.err = err
+		return res
+	}
+	defer conn.Close()
+	br := bufio.NewReader(conn)
+	bw := bufio.NewWriter(conn)
+	var req netproto.Request
+	var resp netproto.Response
+	value := make([]byte, w.valueSize)
+
+	// roundTrip sends req and reads the reply, failing on StatusErr.
+	roundTrip := func() error {
+		if err := netproto.WriteRequest(bw, &req); err != nil {
+			return err
+		}
+		if err := bw.Flush(); err != nil {
+			return err
+		}
+		if err := netproto.ReadResponse(br, &resp); err != nil {
+			return err
+		}
+		if resp.Status != netproto.StatusOK {
+			return fmt.Errorf("server: %s", resp.Data)
+		}
+		return nil
+	}
+
+	for i := 0; time.Now().Before(w.deadline); i++ {
+		pid := w.rng.Int63n(w.pages)
+		t0 := time.Now()
+		if w.writer {
+			w.rng.Read(value)
+			req = netproto.Request{Op: netproto.OpUpdate, Page: pid, Data: value}
+			if err := roundTrip(); err != nil {
+				res.err = err
+				return res
+			}
+			req = netproto.Request{Op: netproto.OpCommit}
+			if err := roundTrip(); err != nil {
+				res.err = err
+				return res
+			}
+			res.write.Observe(time.Since(t0))
+			continue
+		}
+		if w.scanEvery > 0 && i%w.scanEvery == w.scanEvery-1 {
+			n := int64(16)
+			if pid+n > w.pages {
+				pid = w.pages - n
+			}
+			req = netproto.Request{Op: netproto.OpScan, Page: pid, N: int32(n)}
+			res.scans++
+		} else {
+			req = netproto.Request{Op: netproto.OpGet, Page: pid}
+		}
+		if err := roundTrip(); err != nil {
+			res.err = err
+			return res
+		}
+		res.read.Observe(time.Since(t0))
+	}
+	return res
+}

@@ -1,0 +1,244 @@
+// Command bpeserve exposes a file-backed turbobp database over TCP: the
+// netproto get/update/commit/scan operations served from the partitioned
+// concurrent backend with WAL group commit. It exists to prove the
+// concurrency work over a real network hop — drive it with cmd/bpeload.
+//
+// Usage:
+//
+//	bpeserve -addr :7070 -pages 65536 -concurrency 4 -commit-sync group
+//
+// The server runs until SIGINT/SIGTERM (or -duration elapses), then drains
+// connections, closes the database and prints a summary: operations served,
+// latched-read and group-commit counters, and fsyncs per synced commit.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"os/signal"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"syscall"
+	"time"
+
+	"turbobp"
+	"turbobp/internal/netproto"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "bpeserve:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		addr        = flag.String("addr", "127.0.0.1:7070", "listen address")
+		dir         = flag.String("dir", "", "data directory (default: a fresh temp dir)")
+		pages       = flag.Int64("pages", 65536, "database size in pages")
+		pool        = flag.Int("pool", 4096, "buffer pool frames")
+		ssdFrames   = flag.Int("ssd", 16384, "SSD cache frames (0 disables)")
+		pageSize    = flag.Int("page-size", 256, "payload bytes per page")
+		design      = flag.String("design", "lc", "SSD design: nossd, cw, dw, lc, tac")
+		concurrency = flag.Int("concurrency", runtime.GOMAXPROCS(0), "page-range partitions")
+		commitSync  = flag.String("commit-sync", "group", "commit durability: none, each, group")
+		gcDelay     = flag.Duration("gc-delay", 500*time.Microsecond, "group-commit max delay")
+		gcBatch     = flag.Int("gc-batch", 64, "group-commit max batch")
+		duration    = flag.Duration("duration", 0, "exit after this long (0 = until signal)")
+	)
+	flag.Parse()
+
+	d, err := designOf(*design)
+	if err != nil {
+		return err
+	}
+	mode, err := modeOf(*commitSync)
+	if err != nil {
+		return err
+	}
+	dataDir := *dir
+	if dataDir == "" {
+		dataDir, err = os.MkdirTemp("", "bpeserve-*")
+		if err != nil {
+			return err
+		}
+		defer os.RemoveAll(dataDir)
+	}
+	db, err := turbobp.Open(turbobp.Options{
+		Design:              d,
+		DBPages:             *pages,
+		PoolPages:           *pool,
+		SSDFrames:           *ssdFrames,
+		PageSize:            *pageSize,
+		Dir:                 dataDir,
+		Concurrency:         *concurrency,
+		CommitSync:          mode,
+		GroupCommitMaxDelay: *gcDelay,
+		GroupCommitMaxBatch: *gcBatch,
+	})
+	if err != nil {
+		return err
+	}
+
+	srv := &server{db: db}
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		db.Close()
+		return err
+	}
+	fmt.Printf("bpeserve: listening on %s (pages=%d design=%s concurrency=%d commit-sync=%s)\n",
+		ln.Addr(), *pages, *design, *concurrency, *commitSync)
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, syscall.SIGINT, syscall.SIGTERM)
+	go func() {
+		if *duration > 0 {
+			select {
+			case <-stop:
+			case <-time.After(*duration):
+			}
+		} else {
+			<-stop
+		}
+		srv.closing.Store(true)
+		ln.Close()
+	}()
+
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			if srv.closing.Load() {
+				break
+			}
+			return err
+		}
+		srv.wg.Add(1)
+		go srv.serve(conn)
+	}
+	srv.wg.Wait()
+	cerr := db.Close()
+
+	s := db.Stats()
+	fmt.Printf("bpeserve: served %d ops (%d reads, %d updates, %d commits, %d scans)\n",
+		srv.ops.Load(), srv.reads.Load(), srv.updates.Load(), srv.commits.Load(), srv.scans.Load())
+	fmt.Printf("bpeserve: partitions=%d latched-reads=%d pool-hits=%d pool-misses=%d\n",
+		s.Partitions, s.LatchedReads, s.PoolHits, s.PoolMisses)
+	if s.SyncedCommits > 0 {
+		fmt.Printf("bpeserve: group commit: %d fsyncs for %d commits (%.3f fsyncs/commit, max flight %d)\n",
+			s.WALSyncs, s.SyncedCommits, float64(s.WALSyncs)/float64(s.SyncedCommits), s.MaxCommitFlight)
+	}
+	return cerr
+}
+
+// server is the shared accept-loop state.
+type server struct {
+	db      *turbobp.DB
+	wg      sync.WaitGroup
+	closing atomic.Bool
+
+	ops, reads, updates, commits, scans atomic.Int64
+}
+
+// serve runs one connection: a request/response loop over the netproto
+// framing, with the connection's updates accumulating in one transaction
+// until OpCommit.
+func (s *server) serve(conn net.Conn) {
+	defer s.wg.Done()
+	defer conn.Close()
+	br := bufio.NewReader(conn)
+	bw := bufio.NewWriter(conn)
+	var (
+		req  netproto.Request
+		resp netproto.Response
+		tx   *turbobp.Tx
+		buf  = make([]byte, s.db.PageSize())
+	)
+	for {
+		if err := netproto.ReadRequest(br, &req); err != nil {
+			return // EOF or a framing error; either way the session is over
+		}
+		resp.Status = netproto.StatusOK
+		resp.Data = resp.Data[:0]
+		var err error
+		switch req.Op {
+		case netproto.OpGet:
+			s.reads.Add(1)
+			var n int
+			n, err = s.db.Read(req.Page, buf)
+			if err == nil {
+				resp.Data = append(resp.Data, buf[:n]...)
+			}
+		case netproto.OpUpdate:
+			s.updates.Add(1)
+			if tx == nil {
+				tx = s.db.Begin()
+			}
+			data := append([]byte(nil), req.Data...) // the frame buffer is reused
+			err = tx.Update(req.Page, func(payload []byte) {
+				copy(payload, data)
+			})
+		case netproto.OpCommit:
+			s.commits.Add(1)
+			if tx != nil {
+				err = tx.Commit()
+				tx = nil
+			}
+		case netproto.OpScan:
+			s.scans.Add(1)
+			if req.N < 0 || req.N > netproto.MaxScanPages {
+				err = fmt.Errorf("scan of %d pages (max %d)", req.N, netproto.MaxScanPages)
+				break
+			}
+			err = s.db.Scan(req.Page, int(req.N), func(_ int64, payload []byte) error {
+				resp.Data = append(resp.Data, payload...)
+				return nil
+			})
+		default:
+			err = fmt.Errorf("unknown op %d", req.Op)
+		}
+		if err != nil {
+			resp.Status = netproto.StatusErr
+			resp.Data = append(resp.Data[:0], err.Error()...)
+		}
+		s.ops.Add(1)
+		if err := netproto.WriteResponse(bw, &resp); err != nil {
+			return
+		}
+		if err := bw.Flush(); err != nil {
+			return
+		}
+	}
+}
+
+func designOf(s string) (turbobp.Design, error) {
+	switch s {
+	case "nossd":
+		return turbobp.NoSSD, nil
+	case "cw":
+		return turbobp.CW, nil
+	case "dw":
+		return turbobp.DW, nil
+	case "lc":
+		return turbobp.LC, nil
+	case "tac":
+		return turbobp.TAC, nil
+	}
+	return 0, fmt.Errorf("unknown design %q", s)
+}
+
+func modeOf(s string) (turbobp.CommitSyncMode, error) {
+	switch s {
+	case "none":
+		return turbobp.CommitSyncNone, nil
+	case "each":
+		return turbobp.CommitSyncEach, nil
+	case "group":
+		return turbobp.CommitSyncGroup, nil
+	}
+	return 0, fmt.Errorf("unknown commit-sync mode %q", s)
+}

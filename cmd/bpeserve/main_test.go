@@ -1,0 +1,189 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"net"
+	"sync"
+	"testing"
+
+	"turbobp"
+	"turbobp/internal/netproto"
+)
+
+// startTestServer runs the serve loop on an ephemeral port over a
+// partitioned DB and returns its address.
+func startTestServer(t *testing.T) string {
+	t.Helper()
+	db, err := turbobp.Open(turbobp.Options{
+		Design:      turbobp.LC,
+		DBPages:     512,
+		PoolPages:   64,
+		SSDFrames:   128,
+		PageSize:    64,
+		Dir:         t.TempDir(),
+		Concurrency: 2,
+		CommitSync:  turbobp.CommitSyncGroup,
+	})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	srv := &server{db: db}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("Listen: %v", err)
+	}
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			srv.wg.Add(1)
+			go srv.serve(conn)
+		}
+	}()
+	t.Cleanup(func() {
+		srv.closing.Store(true)
+		ln.Close()
+		srv.wg.Wait()
+		db.Close()
+	})
+	return ln.Addr().String()
+}
+
+type testClient struct {
+	conn net.Conn
+	br   *bufio.Reader
+	bw   *bufio.Writer
+	resp netproto.Response
+}
+
+func dialTest(t *testing.T, addr string) *testClient {
+	t.Helper()
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatalf("Dial: %v", err)
+	}
+	t.Cleanup(func() { conn.Close() })
+	return &testClient{conn: conn, br: bufio.NewReader(conn), bw: bufio.NewWriter(conn)}
+}
+
+func (c *testClient) call(t *testing.T, req netproto.Request) *netproto.Response {
+	t.Helper()
+	if err := netproto.WriteRequest(c.bw, &req); err != nil {
+		t.Fatalf("WriteRequest: %v", err)
+	}
+	if err := c.bw.Flush(); err != nil {
+		t.Fatalf("Flush: %v", err)
+	}
+	if err := netproto.ReadResponse(c.br, &c.resp); err != nil {
+		t.Fatalf("ReadResponse: %v", err)
+	}
+	return &c.resp
+}
+
+// TestServerRoundTrip drives get/update/commit/scan through the real TCP
+// stack and checks the data paths end to end.
+func TestServerRoundTrip(t *testing.T) {
+	addr := startTestServer(t)
+	c := dialTest(t, addr)
+
+	// A fresh page reads back zero-filled.
+	resp := c.call(t, netproto.Request{Op: netproto.OpGet, Page: 3})
+	if resp.Status != netproto.StatusOK || len(resp.Data) != 64 {
+		t.Fatalf("get: status=%d len=%d", resp.Status, len(resp.Data))
+	}
+
+	// Update two pages in one transaction (they land in different
+	// partitions: 512 pages over 2 partitions splits at 256), commit, read
+	// both back.
+	want3 := bytes.Repeat([]byte{0xAB}, 8)
+	want400 := bytes.Repeat([]byte{0xCD}, 8)
+	if resp = c.call(t, netproto.Request{Op: netproto.OpUpdate, Page: 3, Data: want3}); resp.Status != netproto.StatusOK {
+		t.Fatalf("update 3: %s", resp.Data)
+	}
+	if resp = c.call(t, netproto.Request{Op: netproto.OpUpdate, Page: 400, Data: want400}); resp.Status != netproto.StatusOK {
+		t.Fatalf("update 400: %s", resp.Data)
+	}
+	if resp = c.call(t, netproto.Request{Op: netproto.OpCommit}); resp.Status != netproto.StatusOK {
+		t.Fatalf("commit: %s", resp.Data)
+	}
+	if resp = c.call(t, netproto.Request{Op: netproto.OpGet, Page: 3}); !bytes.Equal(resp.Data[:8], want3) {
+		t.Fatalf("page 3 = % x", resp.Data[:8])
+	}
+	if resp = c.call(t, netproto.Request{Op: netproto.OpGet, Page: 400}); !bytes.Equal(resp.Data[:8], want400) {
+		t.Fatalf("page 400 = % x", resp.Data[:8])
+	}
+
+	// Scan across the partition boundary: 4 pages from 254.
+	resp = c.call(t, netproto.Request{Op: netproto.OpScan, Page: 254, N: 4})
+	if resp.Status != netproto.StatusOK || len(resp.Data) != 4*64 {
+		t.Fatalf("scan: status=%d len=%d", resp.Status, len(resp.Data))
+	}
+
+	// Errors come back as StatusErr, not dropped connections.
+	if resp = c.call(t, netproto.Request{Op: netproto.OpGet, Page: 1 << 40}); resp.Status != netproto.StatusErr {
+		t.Fatal("out-of-range get succeeded")
+	}
+	if resp = c.call(t, netproto.Request{Op: 99}); resp.Status != netproto.StatusErr {
+		t.Fatal("unknown op succeeded")
+	}
+	// The connection still works after an error.
+	if resp = c.call(t, netproto.Request{Op: netproto.OpGet, Page: 0}); resp.Status != netproto.StatusOK {
+		t.Fatalf("get after error: %s", resp.Data)
+	}
+}
+
+// TestServerConcurrentClients hammers the server from several connections
+// at once; under -race this covers the full network + partition + group
+// commit stack.
+func TestServerConcurrentClients(t *testing.T) {
+	addr := startTestServer(t)
+	const clients = 6
+	var wg sync.WaitGroup
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			conn, err := net.Dial("tcp", addr)
+			if err != nil {
+				t.Errorf("client %d: %v", i, err)
+				return
+			}
+			defer conn.Close()
+			br, bw := bufio.NewReader(conn), bufio.NewWriter(conn)
+			var resp netproto.Response
+			val := []byte{byte(i), byte(i), byte(i), byte(i)}
+			for op := 0; op < 60; op++ {
+				pid := int64((i*97 + op*13) % 512)
+				var req netproto.Request
+				switch op % 3 {
+				case 0:
+					req = netproto.Request{Op: netproto.OpGet, Page: pid}
+				case 1:
+					req = netproto.Request{Op: netproto.OpUpdate, Page: pid, Data: val}
+				case 2:
+					req = netproto.Request{Op: netproto.OpCommit}
+				}
+				if err := netproto.WriteRequest(bw, &req); err != nil {
+					t.Errorf("client %d: %v", i, err)
+					return
+				}
+				if err := bw.Flush(); err != nil {
+					t.Errorf("client %d: %v", i, err)
+					return
+				}
+				if err := netproto.ReadResponse(br, &resp); err != nil {
+					t.Errorf("client %d: %v", i, err)
+					return
+				}
+				if resp.Status != netproto.StatusOK {
+					t.Errorf("client %d op %d: %s", i, op, resp.Data)
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+}

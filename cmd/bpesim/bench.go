@@ -9,7 +9,9 @@ import (
 	"testing"
 	"time"
 
+	"turbobp"
 	"turbobp/internal/harness"
+	"turbobp/internal/loadbench"
 	"turbobp/internal/microbench"
 )
 
@@ -18,6 +20,17 @@ type microResult struct {
 	NsPerOp     float64 `json:"ns_per_op"`
 	AllocsPerOp int64   `json:"allocs_per_op"`
 	BytesPerOp  int64   `json:"bytes_per_op"`
+}
+
+// serverResult is one wall-clock concurrency measurement of the
+// partitioned file backend (internal/loadbench). ns/op is aggregate wall
+// time over operations across all workers; EffectiveWorkers records
+// min(workers, GOMAXPROCS) so single-core runs read honestly.
+type serverResult struct {
+	NsPerOp          float64 `json:"ns_per_op"`
+	Workers          int     `json:"workers"`
+	EffectiveWorkers int     `json:"effective_workers"`
+	FsyncsPerCommit  float64 `json:"fsyncs_per_commit,omitempty"`
 }
 
 // benchReport is the machine-readable output of -benchjson: wall-clock
@@ -32,6 +45,11 @@ type benchReport struct {
 	ParallelTotalSecs float64                `json:"parallel_total_secs"`
 	Speedup           float64                `json:"speedup"`
 	Microbench        map[string]microResult `json:"microbench"`
+
+	// Server holds the concurrent file-backend measurements: point gets and
+	// committed updates at 1/4/8 goroutines plus the group-commit fsync
+	// amortization (and its one-fsync-per-commit control).
+	Server map[string]serverResult `json:"server"`
 
 	// Sharded-kernel width scaling: the same 8-partition cell at 1, 2, 4
 	// and 8 OS threads. ShardsRequested/ShardWidthEffective record the
@@ -105,6 +123,21 @@ func writeBenchJSON(path string, scale harness.Scale) error {
 			name, rep.Microbench[name].NsPerOp, rep.Microbench[name].AllocsPerOp)
 	}
 
+	rep.Server = map[string]serverResult{}
+	for _, c := range serverBenches() {
+		var ratio float64
+		fn := c.fn
+		r := testing.Benchmark(func(b *testing.B) { ratio = fn(b) })
+		rep.Server[c.name] = serverResult{
+			NsPerOp:          float64(r.T.Nanoseconds()) / float64(r.N),
+			Workers:          c.workers,
+			EffectiveWorkers: harness.EffectiveWorkers(c.workers),
+			FsyncsPerCommit:  ratio,
+		}
+		fmt.Fprintf(os.Stderr, "benchjson: server %-24s %10.0f ns/op (workers %d)\n",
+			c.name, rep.Server[c.name].NsPerOp, c.workers)
+	}
+
 	rep.ShardsRequested = harness.ShardWidth()
 	rep.ShardWidthEffective = harness.EffectiveShardWidth()
 	rep.ShardScaleDivisor = harness.ShardScaleDivisor
@@ -170,13 +203,94 @@ func runBenchGuard(path string) error {
 	if len(failed) > 0 {
 		return fmt.Errorf("regressed more than %.0f%% over %s: %v", (guardMargin-1)*100, path, failed)
 	}
-	return runShardScaleGuard()
+	if err := runShardScaleGuard(); err != nil {
+		return err
+	}
+	return runServerGuard()
 }
 
 // shardGuardMin is the minimum events/sec ratio the sharded kernel must
 // achieve at width 4 over width 1. The check only means anything with
 // real cores behind the widths, so it is skipped below four CPUs.
 const shardGuardMin = 2.0
+
+// serverBenches lists the concurrent file-backend measurements recorded in
+// the benchjson `server` section. Each fn returns the fsyncs/commit ratio
+// (0 for read benches, which have no commits).
+func serverBenches() []struct {
+	name    string
+	workers int
+	fn      func(*testing.B) float64
+} {
+	get := func(w int) func(*testing.B) float64 {
+		return func(b *testing.B) float64 { loadbench.ConcurrentGet(b, w); return 0 }
+	}
+	upd := func(w int) func(*testing.B) float64 {
+		return func(b *testing.B) float64 { loadbench.ConcurrentUpdateCommit(b, w); return 0 }
+	}
+	return []struct {
+		name    string
+		workers int
+		fn      func(*testing.B) float64
+	}{
+		{"ConcurrentGet1", 1, get(1)},
+		{"ConcurrentGet4", 4, get(4)},
+		{"ConcurrentGet8", 8, get(8)},
+		{"ConcurrentUpdateCommit1", 1, upd(1)},
+		{"ConcurrentUpdateCommit4", 4, upd(4)},
+		{"ConcurrentUpdateCommit8", 8, upd(8)},
+		{"GroupCommitFsync", 8, func(b *testing.B) float64 {
+			return loadbench.CommitFsyncs(b, turbobp.CommitSyncGroup)
+		}},
+		{"EachCommitFsync", 8, func(b *testing.B) float64 {
+			return loadbench.CommitFsyncs(b, turbobp.CommitSyncEach)
+		}},
+	}
+}
+
+// groupFsyncMax is the most fsyncs/commit the group committer may spend
+// with 8 concurrent committers before the guard calls the amortization
+// broken. Even one core batches far below this (commits queue on the
+// partition mutexes while a flight is in the air).
+const groupFsyncMax = 0.9
+
+// serverScaleMin is the minimum 8-worker-over-1-worker throughput ratio
+// for concurrent gets, checked only with >= 4 real CPUs behind the
+// workers.
+const serverScaleMin = 3.0
+
+// runServerGuard re-measures the two properties of the concurrent backend
+// that must not regress: group commit amortizes fsyncs, and reads scale
+// with workers (the latter needs real cores, so it is skipped below four
+// CPUs like the shard guard).
+func runServerGuard() error {
+	var ratio float64
+	testing.Benchmark(func(b *testing.B) {
+		ratio = loadbench.CommitFsyncs(b, turbobp.CommitSyncGroup)
+	})
+	fmt.Fprintf(os.Stderr, "benchguard: group commit %.3f fsyncs/commit (need <= %.2f)\n", ratio, groupFsyncMax)
+	if ratio <= 0 || ratio > groupFsyncMax {
+		return fmt.Errorf("group commit amortization: %.3f fsyncs/commit, need (0, %.2f]", ratio, groupFsyncMax)
+	}
+
+	cpus := runtime.NumCPU()
+	if cpus < 4 || runtime.GOMAXPROCS(0) < 4 {
+		fmt.Fprintf(os.Stderr, "benchguard: server read-scaling check skipped (%d CPUs, GOMAXPROCS %d; needs >= 4)\n",
+			cpus, runtime.GOMAXPROCS(0))
+		return nil
+	}
+	r1 := testing.Benchmark(func(b *testing.B) { loadbench.ConcurrentGet(b, 1) })
+	r8 := testing.Benchmark(func(b *testing.B) { loadbench.ConcurrentGet(b, 8) })
+	ops1 := float64(r1.N) / r1.T.Seconds()
+	ops8 := float64(r8.N) / r8.T.Seconds()
+	scale := ops8 / ops1
+	fmt.Fprintf(os.Stderr, "benchguard: concurrent gets 8 vs 1 workers: %.0f vs %.0f ops/sec (%.2fx, need >= %.1fx)\n",
+		ops8, ops1, scale, serverScaleMin)
+	if scale < serverScaleMin {
+		return fmt.Errorf("concurrent read scaling: 8 workers deliver %.2fx the 1-worker rate, need >= %.1fx", scale, serverScaleMin)
+	}
+	return nil
+}
 
 // runShardScaleGuard re-measures the shard-width sweep at widths 1 and 4
 // and fails if width 4 does not deliver at least shardGuardMin times the

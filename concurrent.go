@@ -1,0 +1,559 @@
+package turbobp
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"turbobp/internal/device"
+	"turbobp/internal/engine"
+	"turbobp/internal/page"
+	"turbobp/internal/sim"
+	"turbobp/internal/ssd"
+	"turbobp/internal/wal"
+)
+
+// This file implements the partitioned concurrent file backend selected by
+// Options.Concurrency > 1. The database's page range is split into P
+// contiguous partitions; each partition is a complete single-threaded
+// engine — its own simulation environment, buffer pool (in striped-latch
+// mode), SSD-manager region and WAL slice — serialized by a per-partition
+// mutex. Operations on different partitions run genuinely in parallel:
+// LRU-2 victim selection, SSD admission/eviction (CW/DW/LC/TAC) and WAL
+// appends are all partition-local. Two layers cut across partitions:
+//
+//   - The latched read path: DB.Read first tries the pool's striped-latch
+//     copy-out (bufpool.ReadLatched), which serves resident pages WITHOUT
+//     the partition mutex — point reads of hot pages scale with stripes,
+//     not with partitions.
+//   - Group commit: commit durability requests from all partitions feed one
+//     wal.GroupCommitter that coalesces them into single fsyncs of the
+//     shared log file (Options.CommitSync / GroupCommitMaxDelay / MaxBatch).
+//
+// Lock hierarchy (see DESIGN.md "Concurrency & group commit"): DB meta
+// mutex and partition mutexes are independent roots; partition mutexes are
+// only ever held several-at-once in ascending index order (Crash, Close);
+// page-latch stripes are leaves acquired under at most one partition mutex
+// (or none, on the latched read path); the group committer's internal lock
+// is taken with no other lock held.
+//
+// Cross-partition transactions commit their partitions in ascending order
+// followed by one group fsync. There is no two-phase commit: a crash
+// between partition commits can leave a transaction's updates durable in
+// one partition and lost in another (each partition individually recovers
+// to a consistent prefix). This is the same honesty trade the sharded
+// simulation kernel makes for its remote mini-transactions.
+
+// CommitSyncMode selects how the file backend makes commits durable on the
+// real device. The simulated backend ignores it.
+type CommitSyncMode int
+
+const (
+	// CommitSyncNone never fsyncs on commit (the pre-concurrency behavior,
+	// and the default): commit forces the WAL to the OS, not the platter.
+	CommitSyncNone CommitSyncMode = iota
+	// CommitSyncEach issues one fsync per commit.
+	CommitSyncEach
+	// CommitSyncGroup coalesces concurrent commits into shared fsync
+	// flights (WAL group commit; see wal.GroupCommitter).
+	CommitSyncGroup
+)
+
+// poolStripesPerPartition is the page-latch stripe count of each
+// partition's buffer pool (rounded up to a power of two by the pool).
+const poolStripesPerPartition = 16
+
+// walPagesTotal is the log-file capacity in 8 KB pages, split evenly
+// across partitions.
+const walPagesTotal = 1 << 20
+
+// partition is one page-range shard of the concurrent backend: a complete
+// single-threaded engine serialized by mu.
+type partition struct {
+	mu   sync.Mutex
+	env  *sim.Env
+	eng  *engine.Engine
+	base int64 // first global page id
+	n    int64 // page count
+}
+
+// do runs fn as a process on the partition's environment and drives it to
+// completion. Callers must hold pt.mu.
+func (pt *partition) do(name string, fn func(p *sim.Proc) error) error {
+	var err error
+	done := false
+	pt.env.Go(name, func(p *sim.Proc) {
+		err = fn(p)
+		done = true
+	})
+	for !done {
+		pt.env.Run(pt.env.Now() + time.Millisecond)
+	}
+	return err
+}
+
+// concurrent is the partitioned backend's shared state.
+type concurrent struct {
+	parts []*partition
+	quot  int64 // partition size floor; partitions [0,rem) hold quot+1
+	rem   int64
+
+	mode CommitSyncMode
+	gc   *wal.GroupCommitter // nil when mode == CommitSyncNone
+
+	tick    atomic.Int64 // DB-wide LRU clock (see bufpool.NewStriped)
+	latched atomic.Int64 // reads served by the latched fast path
+	closed  atomic.Bool
+}
+
+// partOf maps a global page id to its partition and partition-local id.
+// Callers have validated the range.
+func (c *concurrent) partOf(pid int64) (*partition, int64) {
+	boundary := c.rem * (c.quot + 1)
+	var i int64
+	if pid < boundary {
+		i = pid / (c.quot + 1)
+	} else {
+		i = c.rem + (pid-boundary)/c.quot
+	}
+	pt := c.parts[i]
+	return pt, pid - pt.base
+}
+
+func (c *concurrent) checkPage(pid int64, dbPages int64) error {
+	if pid < 0 || pid >= dbPages {
+		return fmt.Errorf("turbobp: page %d out of range [0,%d)", pid, dbPages)
+	}
+	return nil
+}
+
+// syncCommit runs the configured commit-durability step. Called with no
+// locks held, after the partition-local commit released the WAL to the OS.
+func (c *concurrent) syncCommit() error {
+	if c.gc == nil {
+		return nil
+	}
+	return c.gc.Commit()
+}
+
+// openConcurrent builds the partitioned backend inside db: the owner files
+// are already open in db.files (db.pages, optional ssd.pages, wal.log, in
+// that order). cfg is the engine config the legacy path would have used.
+func openConcurrent(db *DB, cfg engine.Config, dbFile, ssdFile, logFile *device.File) error {
+	opts := db.opts
+	p := int64(opts.Concurrency)
+	if p > opts.DBPages {
+		p = opts.DBPages
+	}
+	c := &concurrent{
+		quot: opts.DBPages / p,
+		rem:  opts.DBPages % p,
+		mode: opts.CommitSync,
+	}
+	clock := func() time.Duration { return time.Duration(c.tick.Add(1)) }
+
+	div := func(v, n int) int {
+		if v <= 0 {
+			return v
+		}
+		if v /= n; v < 1 {
+			v = 1
+		}
+		return v
+	}
+	poolPer := div(opts.PoolPages, int(p))
+	ssdPer := div(opts.SSDFrames, int(p))
+	walPer := device.PageNum(walPagesTotal / p)
+
+	var base, ssdBase int64
+	for i := int64(0); i < p; i++ {
+		n := c.quot
+		if i < c.rem {
+			n++
+		}
+		dbSlice, err := dbFile.Slice(device.PageNum(base), device.PageNum(n))
+		if err != nil {
+			return err
+		}
+		var ssdDev device.Device
+		if ssdFile != nil {
+			ssdSlice, err := ssdFile.Slice(device.PageNum(ssdBase), device.PageNum(ssdPer))
+			if err != nil {
+				return err
+			}
+			ssdDev = ssdSlice
+			ssdBase += int64(ssdPer)
+		}
+		walSlice, err := logFile.Slice(device.PageNum(i)*walPer, walPer)
+		if err != nil {
+			return err
+		}
+		pcfg := cfg
+		pcfg.DBPages = n
+		pcfg.PoolPages = poolPer
+		pcfg.SSDFrames = ssdPer
+		pcfg.PoolStripes = poolStripesPerPartition
+		pcfg.PoolClock = clock
+		env := sim.NewEnv()
+		pt := &partition{
+			env:  env,
+			eng:  engine.NewWithDevices(env, pcfg, dbSlice, ssdDev, walSlice),
+			base: base,
+			n:    n,
+		}
+		if err := pt.eng.FormatDB(); err != nil {
+			return fmt.Errorf("format partition %d: %w", i, err)
+		}
+		c.parts = append(c.parts, pt)
+		base += n
+	}
+
+	switch opts.CommitSync {
+	case CommitSyncEach:
+		c.gc = wal.NewGroupCommitter(logFile.Sync, 1, 0, true)
+	case CommitSyncGroup:
+		c.gc = wal.NewGroupCommitter(logFile.Sync,
+			opts.GroupCommitMaxBatch, opts.GroupCommitMaxDelay, false)
+	}
+	db.conc = c
+	return nil
+}
+
+// ---- DB method implementations for the concurrent backend. Each is called
+// from the corresponding public method after the db.conc != nil branch.
+
+func (c *concurrent) read(db *DB, pid int64, buf []byte) (int, error) {
+	if c.closed.Load() {
+		return 0, ErrClosed
+	}
+	if err := c.checkPage(pid, db.opts.DBPages); err != nil {
+		return 0, err
+	}
+	pt, local := c.partOf(pid)
+	// Fast path: a resident page is copied out under its stripe latch alone.
+	if n, ok := pt.eng.Pool().ReadLatched(page.ID(local), buf); ok {
+		c.latched.Add(1)
+		return n, nil
+	}
+	pt.mu.Lock()
+	defer pt.mu.Unlock()
+	n := 0
+	err := pt.do("read", func(p *sim.Proc) error {
+		f, err := pt.eng.Get(p, page.ID(local))
+		if err != nil {
+			return err
+		}
+		n = copy(buf, f.Pg.Payload)
+		return nil
+	})
+	return n, err
+}
+
+func (c *concurrent) update(db *DB, pid int64, fn func(payload []byte)) error {
+	if c.closed.Load() {
+		return ErrClosed
+	}
+	if err := c.checkPage(pid, db.opts.DBPages); err != nil {
+		return err
+	}
+	pt, local := c.partOf(pid)
+	pt.mu.Lock()
+	err := pt.do("update", func(p *sim.Proc) error {
+		tx := pt.eng.Begin()
+		if err := pt.eng.Update(p, tx, page.ID(local), fn); err != nil {
+			return err
+		}
+		return pt.eng.Commit(p, tx)
+	})
+	pt.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	return c.syncCommit()
+}
+
+func (c *concurrent) txUpdate(db *DB, tx *Tx, pid int64, fn func(payload []byte)) error {
+	if c.closed.Load() {
+		return ErrClosed
+	}
+	if err := c.checkPage(pid, db.opts.DBPages); err != nil {
+		return err
+	}
+	pt, local := c.partOf(pid)
+	pt.mu.Lock()
+	defer pt.mu.Unlock()
+	id, ok := tx.ids[pt.base]
+	if !ok {
+		id = pt.eng.Begin()
+		tx.ids[pt.base] = id
+	}
+	return pt.do("tx-update", func(p *sim.Proc) error {
+		return pt.eng.Update(p, id, page.ID(local), fn)
+	})
+}
+
+func (c *concurrent) txCommit(db *DB, tx *Tx) error {
+	if c.closed.Load() {
+		return ErrClosed
+	}
+	// Ascending base order: the one lock-order rule for partition mutexes
+	// (held one at a time here, but kept consistent with Crash/Close).
+	bases := make([]int64, 0, len(tx.ids))
+	for b := range tx.ids {
+		bases = append(bases, b)
+	}
+	sort.Slice(bases, func(i, j int) bool { return bases[i] < bases[j] })
+	for _, b := range bases {
+		pt, _ := c.partOf(b)
+		id := tx.ids[b]
+		pt.mu.Lock()
+		err := pt.do("tx-commit", func(p *sim.Proc) error {
+			return pt.eng.Commit(p, id)
+		})
+		pt.mu.Unlock()
+		if err != nil {
+			return err
+		}
+		delete(tx.ids, b)
+	}
+	return c.syncCommit()
+}
+
+func (c *concurrent) scan(db *DB, start int64, n int, fn func(pid int64, payload []byte) error) error {
+	if c.closed.Load() {
+		return ErrClosed
+	}
+	if n < 0 {
+		return fmt.Errorf("turbobp: negative scan length %d", n)
+	}
+	if err := c.checkPage(start, db.opts.DBPages); err != nil {
+		return err
+	}
+	if n > 0 {
+		if err := c.checkPage(start+int64(n)-1, db.opts.DBPages); err != nil {
+			return err
+		}
+	}
+	// Walk the covered partitions in page order; each sub-range runs under
+	// its partition's mutex through the engine's read-ahead path.
+	for pid := start; pid < start+int64(n); {
+		pt, local := c.partOf(pid)
+		count := pt.base + pt.n - pid // pages of this scan inside pt
+		if rest := start + int64(n) - pid; rest < count {
+			count = rest
+		}
+		pt.mu.Lock()
+		err := pt.do("scan", func(p *sim.Proc) error {
+			if err := pt.eng.Scan(p, page.ID(local), int(count)); err != nil {
+				return err
+			}
+			if fn == nil {
+				return nil
+			}
+			for i := int64(0); i < count; i++ {
+				f, err := pt.eng.Get(p, page.ID(local+i))
+				if err != nil {
+					return err
+				}
+				if err := fn(pid+i, f.Pg.Payload); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+		pt.mu.Unlock()
+		if err != nil {
+			return err
+		}
+		pid += count
+	}
+	return nil
+}
+
+func (c *concurrent) checkpoint(db *DB) error {
+	if c.closed.Load() {
+		return ErrClosed
+	}
+	for _, pt := range c.parts {
+		pt.mu.Lock()
+		err := pt.do("checkpoint", func(p *sim.Proc) error {
+			return pt.eng.Checkpoint(p)
+		})
+		pt.mu.Unlock()
+		if err != nil {
+			return err
+		}
+	}
+	if c.mode != CommitSyncNone {
+		for _, f := range db.files {
+			if err := f.Sync(); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func (c *concurrent) idle(d time.Duration) error {
+	if c.closed.Load() {
+		return ErrClosed
+	}
+	for _, pt := range c.parts {
+		pt.mu.Lock()
+		err := pt.do("idle", func(p *sim.Proc) error {
+			p.Sleep(d)
+			return nil
+		})
+		pt.mu.Unlock()
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (c *concurrent) crash() error {
+	if c.closed.Load() {
+		return ErrClosed
+	}
+	// All partitions stop at one cut: take every mutex (ascending), then
+	// drop volatile state everywhere.
+	for _, pt := range c.parts {
+		pt.mu.Lock()
+	}
+	for _, pt := range c.parts {
+		pt.eng.Crash()
+	}
+	for i := len(c.parts) - 1; i >= 0; i-- {
+		c.parts[i].mu.Unlock()
+	}
+	return nil
+}
+
+func (c *concurrent) recover() error {
+	if c.closed.Load() {
+		return ErrClosed
+	}
+	for _, pt := range c.parts {
+		pt.mu.Lock()
+		err := pt.do("recover", func(p *sim.Proc) error {
+			return pt.eng.Recover(p)
+		})
+		pt.mu.Unlock()
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (c *concurrent) stats(db *DB) Stats {
+	var es engine.Stats
+	var ms ssd.Stats
+	var s Stats
+	var vt time.Duration
+	for _, pt := range c.parts {
+		pt.mu.Lock()
+		es = es.Add(pt.eng.Stats())
+		ms = ms.Add(pt.eng.SSD().Stats())
+		s.SSDOccupied += pt.eng.SSD().Occupied()
+		s.SSDDirty += pt.eng.SSD().DirtyCount()
+		s.RetiredSlots += pt.eng.SSD().RetiredSlots()
+		s.Quarantined = s.Quarantined || pt.eng.SSD().Quarantined()
+		d := pt.eng.DBDevice().Stats().Load()
+		s.DiskReads += d.ReadOps
+		s.DiskWrites += d.WriteOps
+		if dev := pt.eng.SSDDevice(); dev != nil {
+			sd := dev.Stats().Load()
+			s.SSDReads += sd.ReadOps
+			s.SSDWrites += sd.WriteOps
+		}
+		if now := pt.env.Now(); now > vt {
+			vt = now
+		}
+		pt.mu.Unlock()
+	}
+	latched := c.latched.Load()
+	s.Design = db.opts.Design
+	s.Reads = es.Reads + latched
+	s.Updates = es.Updates
+	s.Commits = es.Commits
+	s.PoolHits = es.PoolHits + latched
+	s.PoolMisses = es.PoolMisses
+	s.SSDHits = ms.Hits
+	s.SSDMisses = ms.Misses
+	s.Checkpoints = es.Checkpoints
+	s.VirtualTime = vt
+	s.SSDLosses = es.SSDLosses
+	s.SSDRedoRecords = es.SSDLossRedo
+	s.CorruptDetected = ms.CorruptDetected
+	s.CorruptRepaired = ms.CorruptRepaired
+	s.CorruptRedo = es.CorruptRedo
+	s.DiskCorruptions = es.DiskCorruptions
+	s.DiskRepairsSSD = es.DiskRepairsSSD
+	s.DiskRepairsWAL = es.DiskRepairsWAL
+	s.ScrubSweeps = ms.ScrubSweeps
+	s.ScrubFrames = ms.ScrubFrames
+	s.ScrubRepairs = ms.ScrubRepairs
+	s.LatchedReads = latched
+	s.Partitions = len(c.parts)
+	if c.gc != nil {
+		gs := c.gc.Stats()
+		s.SyncedCommits = gs.Commits
+		s.WALSyncs = gs.Syncs
+		s.MaxCommitFlight = gs.MaxFlight
+	}
+	return s
+}
+
+func (c *concurrent) latencySummary() string {
+	var l engine.Latencies
+	for _, pt := range c.parts {
+		pt.mu.Lock()
+		pl := pt.eng.Latencies()
+		l.PoolHit.Merge(&pl.PoolHit)
+		l.SSDHit.Merge(&pl.SSDHit)
+		l.DiskRead.Merge(&pl.DiskRead)
+		l.Commit.Merge(&pl.Commit)
+		pt.mu.Unlock()
+	}
+	return fmt.Sprintf("pool-hit:  %s\nssd-hit:   %s\ndisk-read: %s\ncommit:    %s",
+		l.PoolHit.Summary(), l.SSDHit.Summary(), l.DiskRead.Summary(), l.Commit.Summary())
+}
+
+func (c *concurrent) close(db *DB) error {
+	if c.closed.Swap(true) {
+		return nil
+	}
+	var err error
+	for _, pt := range c.parts {
+		pt.mu.Lock()
+		cerr := pt.do("close-checkpoint", func(p *sim.Proc) error {
+			return pt.eng.Checkpoint(p)
+		})
+		pt.eng.StopBackground()
+		pt.env.Run(pt.env.Now() + time.Second)
+		pt.env.Shutdown()
+		pt.mu.Unlock()
+		if cerr != nil && err == nil {
+			err = cerr
+		}
+	}
+	for _, f := range db.files {
+		if serr := f.Sync(); serr != nil && err == nil {
+			err = serr
+		}
+		if cerr := f.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+	}
+	return err
+}
+
+// errConcurrentFaults is returned by fault-injection entry points in
+// concurrent mode (Open already forces Concurrency to 1 when FaultSeed is
+// set, so these are unreachable through a correctly-opened DB).
+var errConcurrentFaults = errors.New("turbobp: fault injection requires Concurrency <= 1")

@@ -31,14 +31,23 @@ type Frame struct {
 	RecLSN uint64
 }
 
-// Pool is the memory buffer pool. It is not safe for wall-clock-concurrent
-// use; under the simulation kernel, accesses are naturally serialized.
+// Pool is the memory buffer pool. In its default single-latch mode it is
+// not safe for wall-clock-concurrent use; under the simulation kernel,
+// accesses are naturally serialized. NewStriped builds the pool in
+// striped-latch mode instead (see striped.go): residency and payload
+// mutations take per-stripe RWMutex latches, and ReadLatched offers a
+// copy-out read path that needs no external serialization.
 type Pool struct {
 	payload int
 	frames  []Frame
-	table   *pagetab.Table[*Frame] // resident pages, a flat open-addressing directory
+	table   *pagetab.Table[*Frame] // resident pages, a flat open-addressing directory (single-latch mode)
 	repl    *lru2.Cache
 	free    []*Frame
+
+	// Striped-latch mode (nil stripes = single-latch mode; see striped.go).
+	stripes []stripe
+	mask    uint64
+	clock   func() time.Duration
 }
 
 // New returns a pool of capacity frames holding payloadSize-byte payloads.
@@ -64,7 +73,16 @@ func New(capacity, payloadSize int) *Pool {
 func (p *Pool) Capacity() int { return len(p.frames) }
 
 // Resident returns the number of pages currently in the table.
-func (p *Pool) Resident() int { return p.table.Len() }
+func (p *Pool) Resident() int {
+	if p.stripes != nil {
+		n := 0
+		for i := range p.stripes {
+			n += p.stripes[i].table.Len()
+		}
+		return n
+	}
+	return p.table.Len()
+}
 
 // FreeFrames returns the number of unused frames.
 func (p *Pool) FreeFrames() int { return len(p.free) }
@@ -75,17 +93,17 @@ func (p *Pool) PayloadSize() int { return p.payload }
 // Lookup returns the resident frame for id and records an access at now, or
 // nil on a miss.
 func (p *Pool) Lookup(id page.ID, now time.Duration) *Frame {
-	f, ok := p.table.Get(uint64(id))
+	f, ok := p.get(id)
 	if !ok {
 		return nil
 	}
-	p.repl.Touch(int64(id), now)
+	p.repl.Touch(int64(id), p.now(now))
 	return f
 }
 
 // Peek returns the resident frame without touching replacement state.
 func (p *Pool) Peek(id page.ID) *Frame {
-	f, _ := p.table.Get(uint64(id))
+	f, _ := p.get(id)
 	return f
 }
 
@@ -104,15 +122,18 @@ func (p *Pool) TakeFree() *Frame {
 // write out the page if dirty and then either Insert it under a new id or
 // Release it. Returns nil if the pool is empty.
 func (p *Pool) PopVictim() *Frame {
+	if p.stripes != nil {
+		p.drainTouches()
+	}
 	key, ok := p.repl.Pop()
 	if !ok {
 		return nil
 	}
-	f, _ := p.table.Get(uint64(key))
+	f, _ := p.get(page.ID(key))
 	if f == nil {
 		panic(fmt.Sprintf("bufpool: victim %d not in table", key))
 	}
-	p.table.Delete(uint64(key))
+	p.del(page.ID(key))
 	return f
 }
 
@@ -122,13 +143,13 @@ func (p *Pool) PopVictim() *Frame {
 // free list.
 func (p *Pool) Insert(f *Frame, now time.Duration) (*Frame, bool) {
 	id := f.Pg.ID
-	if existing, ok := p.table.Get(uint64(id)); ok {
+	if existing, ok := p.get(id); ok {
 		p.Release(f)
-		p.repl.Touch(int64(id), now)
+		p.repl.Touch(int64(id), p.now(now))
 		return existing, false
 	}
-	p.table.Put(uint64(id), f)
-	p.repl.Touch(int64(id), now)
+	p.put(id, f)
+	p.repl.Touch(int64(id), p.now(now))
 	return f, true
 }
 
@@ -146,11 +167,11 @@ func (p *Pool) Release(f *Frame) {
 // (used by the multi-page read path when a stale disk version must be
 // replaced by the SSD version, and by crash simulation).
 func (p *Pool) Drop(id page.ID) {
-	f, ok := p.table.Get(uint64(id))
+	f, ok := p.get(id)
 	if !ok {
 		return
 	}
-	p.table.Delete(uint64(id))
+	p.del(id)
 	p.repl.Remove(int64(id))
 	p.Release(f)
 }
@@ -159,30 +180,56 @@ func (p *Pool) Drop(id page.ID) {
 // deterministic iteration order.
 func (p *Pool) DirtyPages() []page.ID {
 	var ids []page.ID
-	p.table.Range(func(id uint64, f *Frame) bool {
+	collect := func(id uint64, f *Frame) bool {
 		if f.Dirty {
 			ids = append(ids, page.ID(id))
 		}
 		return true
-	})
+	}
+	if p.stripes != nil {
+		for i := range p.stripes {
+			p.stripes[i].table.Range(collect)
+		}
+		return ids
+	}
+	p.table.Range(collect)
 	return ids
 }
 
 // Pages returns the ids of all resident pages, in the table's
 // deterministic iteration order.
 func (p *Pool) Pages() []page.ID {
-	ids := make([]page.ID, 0, p.table.Len())
-	p.table.Range(func(id uint64, _ *Frame) bool {
+	ids := make([]page.ID, 0, p.Resident())
+	collect := func(id uint64, _ *Frame) bool {
 		ids = append(ids, page.ID(id))
 		return true
-	})
+	}
+	if p.stripes != nil {
+		for i := range p.stripes {
+			p.stripes[i].table.Range(collect)
+		}
+		return ids
+	}
+	p.table.Range(collect)
 	return ids
 }
 
 // Reset empties the pool (crash simulation): every frame is freed and all
 // contents are discarded.
 func (p *Pool) Reset() {
-	p.table.Reset()
+	if p.stripes != nil {
+		for i := range p.stripes {
+			s := &p.stripes[i]
+			s.mu.Lock()
+			s.table.Reset()
+			s.mu.Unlock()
+			s.tmu.Lock()
+			s.touches = nil
+			s.tmu.Unlock()
+		}
+	} else {
+		p.table.Reset()
+	}
 	p.repl = lru2.New()
 	p.free = p.free[:0]
 	for i := len(p.frames) - 1; i >= 0; i-- {

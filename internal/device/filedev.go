@@ -11,10 +11,18 @@ import (
 // File is a Device backed by an ordinary file, for running the engine
 // against real storage. The sim.Proc argument of Read/Write is ignored (pass
 // nil); calls block the OS thread for the duration of the real I/O.
+//
+// A File may be carved into Slices: page-range views that share the backing
+// os.File but carry their own counters. Slices exist for the partitioned
+// concurrent engine, whose device counters are plain (non-atomic) ints
+// serialized by a per-partition lock — two partitions may do I/O on the same
+// backing file at once, but each increments only its own slice's counters.
 type File struct {
 	f        *os.File
 	pageSize int
+	base     PageNum // first backing-file page of this view
 	capacity PageNum
+	owner    bool // owns (closes, truncates) the backing file
 	pending  atomic.Int64
 	stats    Stats
 }
@@ -33,7 +41,18 @@ func OpenFile(path string, pageSize int, capacity PageNum) (*File, error) {
 		f.Close()
 		return nil, err
 	}
-	return &File{f: f, pageSize: pageSize, capacity: capacity}, nil
+	return &File{f: f, pageSize: pageSize, capacity: capacity, owner: true}, nil
+}
+
+// Slice returns a view of pages [base, base+capacity) as an independent
+// Device with zeroed counters. The view shares the backing os.File (ReadAt
+// and WriteAt are safe for concurrent use at disjoint offsets); Close on a
+// slice is a no-op and Sync flushes the whole backing file.
+func (d *File) Slice(base, capacity PageNum) (*File, error) {
+	if base < 0 || capacity < 0 || base+capacity > d.capacity {
+		return nil, fmt.Errorf("device: slice [%d,%d) of %d pages", base, int64(base)+int64(capacity), d.capacity)
+	}
+	return &File{f: d.f, pageSize: d.pageSize, base: d.base + base, capacity: capacity}, nil
 }
 
 // Read fills bufs from the file. Each buffer must be exactly one page.
@@ -44,7 +63,7 @@ func (d *File) Read(_ *sim.Proc, page PageNum, bufs [][]byte) error {
 	d.pending.Add(1)
 	defer d.pending.Add(-1)
 	for i, buf := range bufs {
-		off := (int64(page) + int64(i)) * int64(d.pageSize)
+		off := (int64(d.base) + int64(page) + int64(i)) * int64(d.pageSize)
 		if _, err := d.f.ReadAt(buf, off); err != nil {
 			return fmt.Errorf("device: read page %d: %w", int64(page)+int64(i), err)
 		}
@@ -62,7 +81,7 @@ func (d *File) Write(_ *sim.Proc, page PageNum, bufs [][]byte) error {
 	d.pending.Add(1)
 	defer d.pending.Add(-1)
 	for i, buf := range bufs {
-		off := (int64(page) + int64(i)) * int64(d.pageSize)
+		off := (int64(d.base) + int64(page) + int64(i)) * int64(d.pageSize)
 		if _, err := d.f.WriteAt(buf, off); err != nil {
 			return fmt.Errorf("device: write page %d: %w", int64(page)+int64(i), err)
 		}
@@ -104,15 +123,22 @@ func (d *File) Preload(page PageNum, data []byte) error {
 	if len(data) != d.pageSize {
 		return fmt.Errorf("device: preload size %d != page size %d", len(data), d.pageSize)
 	}
-	_, err := d.f.WriteAt(data, int64(page)*int64(d.pageSize))
+	_, err := d.f.WriteAt(data, (int64(d.base)+int64(page))*int64(d.pageSize))
 	return err
 }
 
-// Sync flushes the file to stable storage.
+// Sync flushes the backing file to stable storage (the whole file, even
+// when called on a slice).
 func (d *File) Sync() error { return d.f.Sync() }
 
-// Close closes the backing file.
-func (d *File) Close() error { return d.f.Close() }
+// Close closes the backing file. On a slice it is a no-op: the owning File
+// closes the shared handle.
+func (d *File) Close() error {
+	if !d.owner {
+		return nil
+	}
+	return d.f.Close()
+}
 
 // Pending reports in-flight requests.
 func (d *File) Pending() int { return int(d.pending.Load()) }

@@ -85,6 +85,16 @@ type Config struct {
 	RetireAfter     int
 	QuarantineAfter int
 
+	// PoolStripes > 0 builds the buffer pool in striped-latch mode with
+	// that many page-latch stripes, and PoolClock (required then) becomes
+	// the pool's access-time source; see bufpool.NewStriped. Used by the
+	// partitioned concurrent file backend — the engine itself stays
+	// single-threaded, but its resident frames gain a latched read path
+	// that runs outside the owner's lock. 0 keeps the classic
+	// single-latch pool (all simulation paths).
+	PoolStripes int
+	PoolClock   func() time.Duration
+
 	// CPU model: page accesses consume CPUPerAccess of one of CPUCores
 	// hardware contexts (the paper's box is a dual quad-core Nehalem with
 	// 16 contexts, saturating around 110k tpmC). Scan pages charge a
@@ -305,7 +315,11 @@ func NewWithDevices(env *sim.Env, cfg Config, dbDev, ssdDev, logDev device.Devic
 	// page-write per log page, so the page size here is the accounted 8 KB
 	// regardless of the (small) simulated payloads.
 	e.log = wal.New(env, logDev, logPageSize, 1<<30)
-	e.pool = bufpool.New(cfg.PoolPages, cfg.PayloadSize)
+	if cfg.PoolStripes > 0 {
+		e.pool = bufpool.NewStriped(cfg.PoolPages, cfg.PayloadSize, cfg.PoolStripes, cfg.PoolClock)
+	} else {
+		e.pool = bufpool.New(cfg.PoolPages, cfg.PayloadSize)
+	}
 	e.mgr = e.newManager()
 	e.classifier = newClassifier(cfg.Classifier)
 	e.cpu = sim.NewResource(env, e.cfg.CPUCores)
@@ -722,7 +736,10 @@ func (e *Engine) Update(p *sim.Proc, tx uint64, pid page.ID, mutate func(payload
 		// (§2.2).
 		e.mgr.Invalidate(pid)
 	}
-	mutate(f.Pg.Payload)
+	// Resident frames may be copied by latched readers when the pool is in
+	// striped mode; MutateFrame orders the write against them (a direct call
+	// in single-latch mode).
+	e.pool.MutateFrame(f, mutate)
 	// wal.Append copies the payload into log-owned storage, so the frame's
 	// buffer can be handed over directly.
 	lsn := e.log.Append(wal.Record{
@@ -985,7 +1002,7 @@ func (e *Engine) repairDirtySSD(p *sim.Proc, pid page.ID) error {
 		return err
 	}
 	if rec, ok := e.log.LatestUpdate(pid); ok && rec.LSN > f.Pg.LSN {
-		copy(f.Pg.Payload, rec.Payload)
+		e.pool.MutateFrame(f, func(payload []byte) { copy(payload, rec.Payload) })
 		f.Pg.LSN = rec.LSN
 		e.stats.CorruptRedo++
 	}

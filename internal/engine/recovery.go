@@ -70,7 +70,8 @@ func (e *Engine) RecoverSSDLoss(p *sim.Proc) error {
 			if rec.LSN <= f.Pg.LSN {
 				continue
 			}
-			copy(f.Pg.Payload, rec.Payload)
+			r := rec
+			e.pool.MutateFrame(f, func(payload []byte) { copy(payload, r.Payload) })
 			f.Pg.LSN = rec.LSN
 			e.stats.SSDLossRedo++
 		}
@@ -131,7 +132,8 @@ func (e *Engine) Recover(p *sim.Proc) error {
 			// this same redo pass must not survive.
 			e.mgr.Invalidate(rec.Page)
 		}
-		copy(f.Pg.Payload, rec.Payload)
+		r := rec
+		e.pool.MutateFrame(f, func(payload []byte) { copy(payload, r.Payload) })
 		f.Pg.LSN = rec.LSN
 		e.stats.RedoApplied++
 	}

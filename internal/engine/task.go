@@ -426,7 +426,9 @@ func (o *txOp) finish(f *bufpool.Frame, err error) {
 		// (§2.2).
 		e.mgr.Invalidate(o.pid)
 	}
-	o.mutate(f.Pg.Payload)
+	// See Engine.Update: latched readers may copy resident frames in striped
+	// mode, so the write goes through the pool's frame latch.
+	e.pool.MutateFrame(f, o.mutate)
 	// wal.Append copies the payload into log-owned storage, so the frame's
 	// buffer can be handed over directly.
 	lsn := e.log.Append(wal.Record{

@@ -52,6 +52,22 @@ func SetWorkers(n int) int {
 	return n
 }
 
+// EffectiveWorkers reports how much hardware parallelism n concurrent
+// workers can actually get: min(n, GOMAXPROCS). Unlike SetWorkers it
+// neither caps nor warns — network load drivers legitimately oversubscribe
+// (their workers spend most of their time blocked on I/O) — it exists so
+// reports can print the honest parallelism next to the requested worker
+// count, the same discipline EffectiveShardWidth applies to shard widths.
+func EffectiveWorkers(n int) int {
+	if maxp := runtime.GOMAXPROCS(0); n > maxp {
+		return maxp
+	}
+	if n < 1 {
+		return 1
+	}
+	return n
+}
+
 // Workers reports the current worker budget.
 func Workers() int {
 	workerMu.Lock()

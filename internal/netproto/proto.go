@@ -1,0 +1,150 @@
+// Package netproto is the length-prefixed binary protocol spoken between
+// the bpeserve network server and its clients (cmd/bpeload). It is
+// deliberately tiny: four operations, fixed little-endian headers, payloads
+// bounded by MaxData. A connection is a session: updates accumulate in the
+// connection's open transaction until a commit request seals them.
+package netproto
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// Operations.
+const (
+	// OpGet reads one page: Page set, response data = payload.
+	OpGet byte = 1
+	// OpUpdate writes Data over the head of page Page's payload inside the
+	// connection's transaction (opened lazily).
+	OpUpdate byte = 2
+	// OpCommit commits the connection's transaction; no-op if none open.
+	OpCommit byte = 3
+	// OpScan reads N consecutive pages from Page through the engine's
+	// read-ahead path; response data = concatenated payloads.
+	OpScan byte = 4
+)
+
+// Response statuses.
+const (
+	StatusOK  byte = 0
+	StatusErr byte = 1 // response data = error text
+)
+
+// MaxData bounds a frame's variable part (a scan of MaxScanPages pages of
+// the largest sane payload still fits).
+const MaxData = 8 << 20
+
+// MaxScanPages bounds one OpScan request.
+const MaxScanPages = 1024
+
+// Request is one client frame.
+// Wire: op(1) page(8) n(4) dlen(4) data(dlen).
+type Request struct {
+	Op   byte
+	Page int64
+	N    int32 // OpScan page count
+	Data []byte
+}
+
+// Response is one server frame.
+// Wire: status(1) dlen(4) data(dlen).
+type Response struct {
+	Status byte
+	Data   []byte
+}
+
+// WriteRequest encodes r to w.
+func WriteRequest(w io.Writer, r *Request) error {
+	if len(r.Data) > MaxData {
+		return fmt.Errorf("netproto: request data %d exceeds %d", len(r.Data), MaxData)
+	}
+	var hdr [17]byte
+	hdr[0] = r.Op
+	binary.LittleEndian.PutUint64(hdr[1:9], uint64(r.Page))
+	binary.LittleEndian.PutUint32(hdr[9:13], uint32(r.N))
+	binary.LittleEndian.PutUint32(hdr[13:17], uint32(len(r.Data)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	if len(r.Data) > 0 {
+		if _, err := w.Write(r.Data); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ReadRequest decodes one frame from r into req, reusing req.Data's
+// capacity. io.EOF comes back unchanged on a clean end of stream.
+func ReadRequest(r io.Reader, req *Request) error {
+	var hdr [17]byte
+	if _, err := io.ReadFull(r, hdr[:1]); err != nil {
+		return err // io.EOF = clean close between frames
+	}
+	if _, err := io.ReadFull(r, hdr[1:]); err != nil {
+		return fmt.Errorf("netproto: short request header: %w", err)
+	}
+	req.Op = hdr[0]
+	req.Page = int64(binary.LittleEndian.Uint64(hdr[1:9]))
+	req.N = int32(binary.LittleEndian.Uint32(hdr[9:13]))
+	n := binary.LittleEndian.Uint32(hdr[13:17])
+	if n > MaxData {
+		return fmt.Errorf("netproto: request data %d exceeds %d", n, MaxData)
+	}
+	req.Data = grow(req.Data, int(n))
+	if n > 0 {
+		if _, err := io.ReadFull(r, req.Data); err != nil {
+			return fmt.Errorf("netproto: short request data: %w", err)
+		}
+	}
+	return nil
+}
+
+// WriteResponse encodes resp to w.
+func WriteResponse(w io.Writer, resp *Response) error {
+	if len(resp.Data) > MaxData {
+		return fmt.Errorf("netproto: response data %d exceeds %d", len(resp.Data), MaxData)
+	}
+	var hdr [5]byte
+	hdr[0] = resp.Status
+	binary.LittleEndian.PutUint32(hdr[1:5], uint32(len(resp.Data)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	if len(resp.Data) > 0 {
+		if _, err := w.Write(resp.Data); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ReadResponse decodes one frame from r into resp, reusing resp.Data's
+// capacity.
+func ReadResponse(r io.Reader, resp *Response) error {
+	var hdr [5]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return fmt.Errorf("netproto: short response header: %w", err)
+	}
+	resp.Status = hdr[0]
+	n := binary.LittleEndian.Uint32(hdr[1:5])
+	if n > MaxData {
+		return fmt.Errorf("netproto: response data %d exceeds %d", n, MaxData)
+	}
+	resp.Data = grow(resp.Data, int(n))
+	if n > 0 {
+		if _, err := io.ReadFull(r, resp.Data); err != nil {
+			return fmt.Errorf("netproto: short response data: %w", err)
+		}
+	}
+	return nil
+}
+
+// grow resizes b to n bytes, reallocating only when capacity is short.
+func grow(b []byte, n int) []byte {
+	if cap(b) >= n {
+		return b[:n]
+	}
+	return make([]byte, n)
+}

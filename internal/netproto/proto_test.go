@@ -1,0 +1,71 @@
+package netproto
+
+import (
+	"bytes"
+	"io"
+	"testing"
+)
+
+func TestRequestRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	in := []Request{
+		{Op: OpGet, Page: 42},
+		{Op: OpUpdate, Page: 7, Data: []byte("hello")},
+		{Op: OpCommit},
+		{Op: OpScan, Page: 100, N: 16},
+	}
+	for i := range in {
+		if err := WriteRequest(&buf, &in[i]); err != nil {
+			t.Fatalf("WriteRequest(%d): %v", i, err)
+		}
+	}
+	var got Request
+	for i := range in {
+		if err := ReadRequest(&buf, &got); err != nil {
+			t.Fatalf("ReadRequest(%d): %v", i, err)
+		}
+		if got.Op != in[i].Op || got.Page != in[i].Page || got.N != in[i].N || !bytes.Equal(got.Data, in[i].Data) {
+			t.Fatalf("frame %d: got %+v, want %+v", i, got, in[i])
+		}
+	}
+	if err := ReadRequest(&buf, &got); err != io.EOF {
+		t.Fatalf("trailing read: %v, want io.EOF", err)
+	}
+}
+
+func TestResponseRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	in := []Response{
+		{Status: StatusOK, Data: bytes.Repeat([]byte{0x5A}, 300)},
+		{Status: StatusErr, Data: []byte("boom")},
+		{Status: StatusOK},
+	}
+	for i := range in {
+		if err := WriteResponse(&buf, &in[i]); err != nil {
+			t.Fatalf("WriteResponse(%d): %v", i, err)
+		}
+	}
+	var got Response
+	for i := range in {
+		if err := ReadResponse(&buf, &got); err != nil {
+			t.Fatalf("ReadResponse(%d): %v", i, err)
+		}
+		if got.Status != in[i].Status || !bytes.Equal(got.Data, in[i].Data) {
+			t.Fatalf("frame %d: got %+v, want %+v", i, got, in[i])
+		}
+	}
+}
+
+func TestOversizeRejected(t *testing.T) {
+	var buf bytes.Buffer
+	big := Request{Op: OpUpdate, Data: make([]byte, MaxData+1)}
+	if err := WriteRequest(&buf, &big); err == nil {
+		t.Fatal("oversize request encoded")
+	}
+	// A forged oversize header must be rejected before allocation.
+	hdr := []byte{OpUpdate, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0xFF, 0xFF, 0xFF, 0xFF}
+	var got Request
+	if err := ReadRequest(bytes.NewReader(hdr), &got); err == nil {
+		t.Fatal("forged oversize header accepted")
+	}
+}

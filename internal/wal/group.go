@@ -1,0 +1,131 @@
+package wal
+
+import (
+	"sync"
+	"time"
+)
+
+// GroupCommitter coalesces concurrent commit-durability requests into
+// flights, turning N committers' N fsyncs into ~1. It is a wall-clock
+// concurrency primitive for the file-backed engine — the simulated WAL's
+// virtual-time flush machinery (Flush/FlushTask) is untouched.
+//
+// Protocol (classic leader/follower handoff): a committer whose log data is
+// already written to the OS file calls Commit. The first arrival with no
+// flight forming becomes the leader: it opens a flight, waits up to MaxDelay
+// for followers to join (or until MaxBatch of them have), then performs one
+// sync covering everyone aboard and releases them. Followers park on the
+// flight's done channel. Arrivals that find a full flight wait for it to
+// depart and then retry, usually becoming the next leader.
+//
+// Correctness: a committer joins a flight only after its own appends are in
+// the file, joins happen under the committer lock, and the leader snapshots
+// membership before syncing — so the single fsync is ordered after every
+// member's writes.
+type GroupCommitter struct {
+	sync     func() error
+	maxBatch int
+	maxDelay time.Duration
+	solo     bool
+
+	mu     sync.Mutex
+	flight *gcFlight
+	stats  GroupStats
+}
+
+// gcFlight is one in-flight fsync batch.
+type gcFlight struct {
+	done chan struct{} // closed after the leader's sync; err is then readable
+	full chan struct{} // closed by the follower that fills the flight
+	n    int
+	err  error
+}
+
+// GroupStats counts the coalescer's work. Syncs/Commits is the amortization
+// the group-commit benchmark reports.
+type GroupStats struct {
+	Commits   int64 // Commit calls completed or aboard a departed flight
+	Syncs     int64 // fsyncs issued
+	MaxFlight int   // largest flight observed
+}
+
+// NewGroupCommitter returns a coalescer issuing durability via sync.
+// maxBatch bounds a flight's size (minimum 1); maxDelay is how long a
+// leader holds the door for followers (0 = depart immediately, which
+// degrades to near-solo behavior). solo disables coalescing entirely —
+// every Commit performs its own sync — and exists so benchmarks can
+// measure the amortization honestly.
+func NewGroupCommitter(sync func() error, maxBatch int, maxDelay time.Duration, solo bool) *GroupCommitter {
+	if maxBatch < 1 {
+		maxBatch = 1
+	}
+	return &GroupCommitter{sync: sync, maxBatch: maxBatch, maxDelay: maxDelay, solo: solo}
+}
+
+// Commit makes the caller's already-written log data durable, batching with
+// concurrent committers. Safe for concurrent use; blocks until a sync
+// covering the caller has completed and returns that sync's error.
+func (g *GroupCommitter) Commit() error {
+	if g.solo {
+		g.mu.Lock()
+		g.stats.Commits++
+		g.stats.Syncs++
+		if g.stats.MaxFlight < 1 {
+			g.stats.MaxFlight = 1
+		}
+		g.mu.Unlock()
+		return g.sync()
+	}
+	g.mu.Lock()
+	for {
+		f := g.flight
+		if f == nil {
+			// Leader: open a flight, hold the door, sync for everyone.
+			f = &gcFlight{done: make(chan struct{}), full: make(chan struct{}), n: 1}
+			g.flight = f
+			g.mu.Unlock()
+			if g.maxDelay > 0 {
+				t := time.NewTimer(g.maxDelay)
+				select {
+				case <-f.full:
+					t.Stop()
+				case <-t.C:
+				}
+			}
+			g.mu.Lock()
+			g.flight = nil // membership sealed; next arrival starts a new flight
+			g.stats.Commits += int64(f.n)
+			g.stats.Syncs++
+			if f.n > g.stats.MaxFlight {
+				g.stats.MaxFlight = f.n
+			}
+			g.mu.Unlock()
+			f.err = g.sync()
+			close(f.done)
+			return f.err
+		}
+		if f.n < g.maxBatch {
+			// Follower: hop aboard and park.
+			f.n++
+			filled := f.n == g.maxBatch
+			g.mu.Unlock()
+			if filled {
+				close(f.full)
+			}
+			<-f.done
+			return f.err
+		}
+		// Flight full but not yet departed: wait it out, then retry.
+		g.mu.Unlock()
+		<-f.done
+		g.mu.Lock()
+	}
+}
+
+// Stats returns a snapshot of the coalescer's counters.
+func (g *GroupCommitter) Stats() GroupStats {
+	g.mu.Lock()
+	s := g.stats
+	g.mu.Unlock()
+	return s
+}

@@ -1,0 +1,126 @@
+package wal
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestGroupCommitterAmortizes checks that concurrent committers share
+// fsyncs: with a generous hold-the-door delay, syncs must come out well
+// under one per commit, and every commit must be covered by a sync that
+// started after it joined.
+func TestGroupCommitterAmortizes(t *testing.T) {
+	var syncs atomic.Int64
+	g := NewGroupCommitter(func() error {
+		syncs.Add(1)
+		time.Sleep(200 * time.Microsecond) // a realistic fsync is not free
+		return nil
+	}, 64, 2*time.Millisecond, false)
+
+	const commits = 200
+	var wg sync.WaitGroup
+	for i := 0; i < commits; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := g.Commit(); err != nil {
+				t.Errorf("Commit: %v", err)
+			}
+		}()
+	}
+	wg.Wait()
+
+	s := g.Stats()
+	if s.Commits != commits {
+		t.Fatalf("Commits = %d, want %d", s.Commits, commits)
+	}
+	if s.Syncs != syncs.Load() {
+		t.Fatalf("Stats.Syncs = %d but sync ran %d times", s.Syncs, syncs.Load())
+	}
+	if s.Syncs >= commits {
+		t.Fatalf("no amortization: %d syncs for %d commits", s.Syncs, commits)
+	}
+	if s.MaxFlight < 2 {
+		t.Fatalf("MaxFlight = %d, want >= 2", s.MaxFlight)
+	}
+}
+
+// TestGroupCommitterSolo pins the comparison mode: one sync per commit.
+func TestGroupCommitterSolo(t *testing.T) {
+	var syncs atomic.Int64
+	g := NewGroupCommitter(func() error { syncs.Add(1); return nil }, 64, time.Millisecond, true)
+	var wg sync.WaitGroup
+	for i := 0; i < 50; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := g.Commit(); err != nil {
+				t.Errorf("Commit: %v", err)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := syncs.Load(); got != 50 {
+		t.Fatalf("solo mode ran %d syncs for 50 commits", got)
+	}
+	if s := g.Stats(); s.Commits != 50 || s.Syncs != 50 || s.MaxFlight != 1 {
+		t.Fatalf("solo stats = %+v", s)
+	}
+}
+
+// TestGroupCommitterMaxBatch seals flights at the bound: every flight the
+// stats observed must be <= maxBatch.
+func TestGroupCommitterMaxBatch(t *testing.T) {
+	g := NewGroupCommitter(func() error {
+		time.Sleep(100 * time.Microsecond)
+		return nil
+	}, 4, 5*time.Millisecond, false)
+	var wg sync.WaitGroup
+	for i := 0; i < 64; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			g.Commit()
+		}()
+	}
+	wg.Wait()
+	s := g.Stats()
+	if s.Commits != 64 {
+		t.Fatalf("Commits = %d, want 64", s.Commits)
+	}
+	if s.MaxFlight > 4 {
+		t.Fatalf("MaxFlight = %d exceeds maxBatch 4", s.MaxFlight)
+	}
+	// 64 commits at <= 4 per flight needs >= 16 syncs.
+	if s.Syncs < 16 {
+		t.Fatalf("Syncs = %d, impossible with maxBatch 4 and 64 commits", s.Syncs)
+	}
+}
+
+// TestGroupCommitterError propagates the leader's sync error to every
+// member of the flight.
+func TestGroupCommitterError(t *testing.T) {
+	boom := errors.New("device on fire")
+	g := NewGroupCommitter(func() error {
+		time.Sleep(200 * time.Microsecond)
+		return boom
+	}, 64, 2*time.Millisecond, false)
+	var wg sync.WaitGroup
+	var bad atomic.Int64
+	for i := 0; i < 20; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := g.Commit(); !errors.Is(err, boom) {
+				bad.Add(1)
+			}
+		}()
+	}
+	wg.Wait()
+	if bad.Load() != 0 {
+		t.Fatalf("%d commits did not see the sync error", bad.Load())
+	}
+}

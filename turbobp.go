@@ -13,9 +13,34 @@
 //     calibrated to the paper's hardware (Table 1), and time is virtual.
 //     This is what the experiment harness and benchmarks use.
 //   - File-backed (Options.Dir set): pages live in ordinary files; device
-//     time is real. This is what the runnable examples use.
+//     time is real. This is what the runnable examples and the bpeserve
+//     network server use.
 //
-// A DB is safe for concurrent use; operations are serialized internally.
+// # Concurrency
+//
+// A DB is safe for concurrent use. How much actually runs in parallel
+// depends on the backend and Options.Concurrency:
+//
+//   - Simulated backend, and file backend with Concurrency <= 1:
+//     operations are serialized internally (the simulation kernel is
+//     single-threaded by design — its determinism contract depends on it).
+//   - File backend with Concurrency = P > 1: the page range splits into P
+//     contiguous partitions, each a complete engine (buffer pool, SSD
+//     region, WAL slice) behind its own mutex. Operations on different
+//     partitions — including LRU-2 victim selection and CW/DW/LC/TAC
+//     admission/eviction — proceed in parallel, and Read serves resident
+//     pages through a striped page-latch fast path that takes no partition
+//     mutex at all.
+//
+// Commit durability on the file backend is governed by Options.CommitSync:
+// the default (CommitSyncNone) forces the WAL to the OS only, exactly as
+// before; CommitSyncEach fsyncs per commit; CommitSyncGroup batches
+// concurrent committers into shared fsync flights (group commit), so a
+// commit that has returned is durable — it rode some completed fsync —
+// while N concurrent commits cost ~1 fsync instead of N. A transaction
+// spanning multiple partitions commits them in ascending page order with
+// no cross-partition atomicity on crash: each partition independently
+// recovers a consistent prefix of its own history.
 package turbobp
 
 import (
@@ -98,6 +123,20 @@ type Options struct {
 	// replays the same fault schedule. Zero disables injection at no cost.
 	FaultSeed uint64
 
+	// Concurrency partitions the file backend's page range into this many
+	// independently-locked engines (see the package doc). 0 and 1 keep the
+	// classic fully-serialized backend. Requires Dir to be set; forced to 1
+	// when FaultSeed is nonzero (the injector is shared state).
+	Concurrency int
+	// CommitSync selects commit durability on the file backend: none
+	// (default, legacy), one fsync per commit, or group commit.
+	CommitSync CommitSyncMode
+	// GroupCommitMaxDelay bounds how long a group-commit leader waits for
+	// followers before fsyncing (default 500µs); GroupCommitMaxBatch caps a
+	// flight's size (default 64). Both matter only under CommitSyncGroup.
+	GroupCommitMaxDelay time.Duration
+	GroupCommitMaxBatch int
+
 	// ScrubInterval enables the background SSD scrubber: every interval it
 	// re-reads a batch of resident frames and verifies checksum, page id
 	// and LSN, healing silent corruption before a query trips over it —
@@ -119,6 +158,7 @@ type DB struct {
 	files     []*device.File
 	allocated int64
 	closed    bool
+	conc      *concurrent // non-nil when Options.Concurrency > 1 (file backend)
 }
 
 // Open creates a database with the given options. The database starts
@@ -135,6 +175,20 @@ func Open(opts Options) (*DB, error) {
 	}
 	if opts.SSDFrames <= 0 && opts.Design != NoSSD {
 		opts.SSDFrames = 4 * opts.PoolPages
+	}
+	if opts.FaultSeed != 0 {
+		opts.Concurrency = 1 // the injector is shared, non-thread-safe state
+	}
+	if opts.Concurrency > 1 && opts.Dir == "" {
+		return nil, errors.New("turbobp: Options.Concurrency > 1 requires the file backend (set Options.Dir)")
+	}
+	if opts.CommitSync == CommitSyncGroup {
+		if opts.GroupCommitMaxBatch <= 0 {
+			opts.GroupCommitMaxBatch = 64
+		}
+		if opts.GroupCommitMaxDelay <= 0 {
+			opts.GroupCommitMaxDelay = 500 * time.Microsecond
+		}
 	}
 	cfg := engine.Config{
 		Design:             opts.Design,
@@ -183,6 +237,17 @@ func Open(opts Options) (*DB, error) {
 			return nil, fmt.Errorf("turbobp: %w", err)
 		}
 		db.files = append(db.files, logFile)
+		if opts.Concurrency > 1 {
+			var ssdFile *device.File
+			if ssdDev != nil {
+				ssdFile = ssdDev.(*device.File)
+			}
+			if err := openConcurrent(db, cfg, dbFile, ssdFile, logFile); err != nil {
+				db.closeFiles()
+				return nil, fmt.Errorf("turbobp: %w", err)
+			}
+			return db, nil // partitions are built and formatted
+		}
 		db.eng = engine.NewWithDevices(env, cfg, dbFile, ssdDev, logFile)
 	}
 	if err := db.eng.FormatDB(); err != nil {
@@ -225,6 +290,9 @@ func (db *DB) doLocked(name string, fn func(p *sim.Proc) error) error {
 // Read copies the payload of page pid into buf and returns the number of
 // bytes copied.
 func (db *DB) Read(pid int64, buf []byte) (int, error) {
+	if db.conc != nil {
+		return db.conc.read(db, pid, buf)
+	}
 	n := 0
 	err := db.do("read", func(p *sim.Proc) error {
 		f, err := db.eng.Get(p, page.ID(pid))
@@ -240,6 +308,9 @@ func (db *DB) Read(pid int64, buf []byte) (int, error) {
 // Update applies fn to the payload of page pid inside its own committed
 // transaction.
 func (db *DB) Update(pid int64, fn func(payload []byte)) error {
+	if db.conc != nil {
+		return db.conc.update(db, pid, fn)
+	}
 	return db.do("update", func(p *sim.Proc) error {
 		tx := db.eng.Begin()
 		if err := db.eng.Update(p, tx, page.ID(pid), fn); err != nil {
@@ -250,14 +321,21 @@ func (db *DB) Update(pid int64, fn func(payload []byte)) error {
 }
 
 // Tx is a transaction: a sequence of reads and updates committed together.
-// A Tx must not be used concurrently with itself.
+// A Tx must not be used concurrently with itself (different Txs may run
+// concurrently on the partitioned backend). On that backend a Tx spanning
+// several partitions commits them in ascending page order without
+// cross-partition atomicity on crash; see the package doc.
 type Tx struct {
-	db *DB
-	id uint64
+	db  *DB
+	id  uint64
+	ids map[int64]uint64 // partitioned backend: partition base -> local tx id
 }
 
 // Begin starts a transaction.
 func (db *DB) Begin() *Tx {
+	if db.conc != nil {
+		return &Tx{db: db, ids: make(map[int64]uint64)}
+	}
 	return &Tx{db: db, id: db.eng.Begin()}
 }
 
@@ -269,6 +347,9 @@ func (tx *Tx) Read(pid int64, buf []byte) (int, error) {
 // Update applies fn to page pid's payload. The change becomes durable at
 // Commit.
 func (tx *Tx) Update(pid int64, fn func(payload []byte)) error {
+	if tx.db.conc != nil {
+		return tx.db.conc.txUpdate(tx.db, tx, pid, fn)
+	}
 	return tx.db.do("tx-update", func(p *sim.Proc) error {
 		return tx.db.eng.Update(p, tx.id, page.ID(pid), fn)
 	})
@@ -276,6 +357,9 @@ func (tx *Tx) Update(pid int64, fn func(payload []byte)) error {
 
 // Commit forces the transaction's log records to stable storage.
 func (tx *Tx) Commit() error {
+	if tx.db.conc != nil {
+		return tx.db.conc.txCommit(tx.db, tx)
+	}
 	return tx.db.do("tx-commit", func(p *sim.Proc) error {
 		return tx.db.eng.Commit(p, tx.id)
 	})
@@ -285,6 +369,9 @@ func (tx *Tx) Commit() error {
 // read-ahead path (sequential classification, multi-page I/O with SSD
 // trimming) and calls fn with each page's payload.
 func (db *DB) Scan(start int64, n int, fn func(pid int64, payload []byte) error) error {
+	if db.conc != nil {
+		return db.conc.scan(db, start, n, fn)
+	}
 	return db.do("scan", func(p *sim.Proc) error {
 		if err := db.eng.Scan(p, page.ID(start), n); err != nil {
 			return err
@@ -308,6 +395,9 @@ func (db *DB) Scan(start int64, n int, fn func(pid int64, payload []byte) error)
 // Checkpoint performs a sharp checkpoint: all dirty pages in memory (and,
 // under LC, in the SSD) are flushed to the database storage.
 func (db *DB) Checkpoint() error {
+	if db.conc != nil {
+		return db.conc.checkpoint(db)
+	}
 	return db.do("checkpoint", func(p *sim.Proc) error {
 		return db.eng.Checkpoint(p)
 	})
@@ -316,6 +406,9 @@ func (db *DB) Checkpoint() error {
 // Idle advances the clock by d with no foreground work, giving background
 // processes — periodic checkpoints, the SSD scrubber — time to run.
 func (db *DB) Idle(d time.Duration) error {
+	if db.conc != nil {
+		return db.conc.idle(d)
+	}
 	return db.do("idle", func(p *sim.Proc) error {
 		p.Sleep(d)
 		return nil
@@ -326,6 +419,9 @@ func (db *DB) Idle(d time.Duration) error {
 // the SSD cache is discarded, exactly as a restart in the paper behaves.
 // Call Recover before using the DB again.
 func (db *DB) Crash() error {
+	if db.conc != nil {
+		return db.conc.crash()
+	}
 	db.mu.Lock()
 	defer db.mu.Unlock()
 	if db.closed {
@@ -338,6 +434,9 @@ func (db *DB) Crash() error {
 // Recover replays the durable log against the database storage, restoring
 // every committed update.
 func (db *DB) Recover() error {
+	if db.conc != nil {
+		return db.conc.recover()
+	}
 	return db.do("recover", func(p *sim.Proc) error {
 		return db.eng.Recover(p)
 	})
@@ -348,6 +447,9 @@ func (db *DB) Recover() error {
 // names are "db", "ssd" and "wal". See docs/FAILURES.md for the failure
 // model and each design's recovery semantics.
 func (db *DB) Faults() *fault.Injector {
+	if db.conc != nil {
+		return nil // FaultSeed forces Concurrency to 1; unreachable via Open
+	}
 	return db.eng.Config().Faults
 }
 
@@ -357,6 +459,9 @@ func (db *DB) Faults() *fault.Injector {
 // uniquely-dirty SSD pages from the WAL; no committed update is lost.
 // Stats.SSDLosses and Stats.SSDRedoRecords report what happened.
 func (db *DB) FailSSD() error {
+	if db.conc != nil {
+		return errConcurrentFaults
+	}
 	db.mu.Lock()
 	defer db.mu.Unlock()
 	if db.closed {
@@ -432,6 +537,13 @@ type Stats struct {
 	Checkpoints int64
 	VirtualTime time.Duration // simulated backend only
 
+	// Partitioned-backend counters (zero unless Options.Concurrency > 1).
+	Partitions      int   // page-range partitions the backend runs
+	LatchedReads    int64 // reads served by the striped-latch fast path (no partition lock)
+	SyncedCommits   int64 // commits that requested durability (CommitSync != none)
+	WALSyncs        int64 // fsyncs actually issued for them
+	MaxCommitFlight int   // largest group-commit flight observed
+
 	// Fault-injection outcomes (zero unless Options.FaultSeed is set).
 	SSDLosses      int64 // whole-SSD failures survived
 	SSDRedoRecords int64 // WAL redo records applied to rebuild lost dirty SSD pages
@@ -453,6 +565,9 @@ type Stats struct {
 
 // Stats returns current counters.
 func (db *DB) Stats() Stats {
+	if db.conc != nil {
+		return db.conc.stats(db)
+	}
 	db.mu.Lock()
 	defer db.mu.Unlock()
 	es := db.eng.Stats()
@@ -498,6 +613,9 @@ func (db *DB) Stats() Stats {
 // LatencySummary reports per-tier read latency and commit latency as
 // human-readable lines (count, mean, p50, p99, max per tier).
 func (db *DB) LatencySummary() string {
+	if db.conc != nil {
+		return db.conc.latencySummary()
+	}
 	db.mu.Lock()
 	defer db.mu.Unlock()
 	l := db.eng.Latencies()
@@ -508,6 +626,9 @@ func (db *DB) LatencySummary() string {
 // Close checkpoints, stops background work, and releases resources. The
 // DB cannot be used afterwards.
 func (db *DB) Close() error {
+	if db.conc != nil {
+		return db.conc.close(db)
+	}
 	db.mu.Lock()
 	defer db.mu.Unlock()
 	if db.closed {
