@@ -12,6 +12,7 @@ import (
 	"turbobp/internal/harness"
 	"turbobp/internal/microbench"
 	"turbobp/internal/ssd"
+	"turbobp/internal/workload"
 )
 
 // Hot-path microbenchmarks (see internal/microbench): allocs/op on the
@@ -316,6 +317,27 @@ func BenchmarkAblations(b *testing.B) {
 	}
 	for _, r := range rows {
 		b.ReportMetric(r.TPS, metricName(r.Name)+"-tx/s")
+	}
+}
+
+// BenchmarkIndexMatrix regenerates the traversal-driven index workload
+// grid (4 designs × 5 mixes of real B+-tree/heapfile operations) and
+// reports the mixed-OLTP buffer-pool hit rate per design — the headline
+// number that emerges from structure traversal rather than a synthetic
+// access distribution.
+func BenchmarkIndexMatrix(b *testing.B) {
+	var r *harness.IndexMatrixResult
+	for i := 0; i < b.N; i++ {
+		var err error
+		r, err = harness.RunIndex(benchScale)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, c := range r.Cells {
+		if c.Kind == workload.IndexMixed {
+			b.ReportMetric(c.PoolHitPct, metricName(c.Design.String())+"-mixed-pool-hit%")
+		}
 	}
 }
 

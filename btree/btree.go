@@ -1,9 +1,12 @@
-// Package btree implements a disk-resident B+-tree over a turbobp.DB —
+// Package btree implements a disk-resident B+-tree over a storage.Store —
 // the non-clustered index whose lookups are exactly the random page reads
 // the paper's SSD admission policy targets, and whose node splits create
-// pages on the fly (the access pattern §4.2 notes TAC never caches).
+// pages on the fly (the access pattern §4.2 notes TAC never caches). Any
+// Store works: a turbobp.DB (file-backed or simulated) or the internal
+// engine adapters that run the same traversal code inside a
+// discrete-event experiment (`bpesim index`).
 //
-// Keys and values are int64. Node pages use the DB page payload:
+// Keys and values are int64. Node pages use the Store page payload:
 //
 //	offset  size  field
 //	0       1     node type (1 = leaf, 2 = internal)
@@ -15,6 +18,28 @@
 // Deletion removes the key from its leaf without rebalancing (lazy
 // deletion, as most production B-trees do); underfull leaves are absorbed
 // by later inserts.
+//
+// # Concurrency
+//
+// A Tree holds no locks of its own: it must not be used concurrently
+// with itself. The Store beneath it may be shared — a turbobp.DB is safe
+// for concurrent use, so two Trees over distinct meta pages, each driven
+// from its own goroutine, are independent. What a Tree cannot tolerate
+// is two goroutines inside the *same* Tree, because multi-page
+// operations (splits) are not isolated from each other.
+//
+// # Crash recovery
+//
+// Tree methods issue each page write as one atomic Store.Update, ordered
+// so that the meta page (root, height, size, splits) is written last.
+// Against a turbobp.DB outside an explicit transaction every Update is
+// its own committed transaction, so after a crash the WAL replays a
+// prefix of the tree's page writes: a torn Insert can leave an allocated
+// but unreferenced right-sibling page (leaked, harmless) or a leaf-chain
+// link to it, but never a tree whose meta references structure that was
+// lost. Committing a batch of inserts (Store.Commit, or turbobp.Tx) makes
+// the whole batch durable atomically — the shadow-model crash tests in
+// this repo rely on exactly that contract.
 package btree
 
 import (
@@ -23,7 +48,7 @@ import (
 	"fmt"
 	"sort"
 
-	"turbobp"
+	"turbobp/storage"
 )
 
 const (
@@ -38,10 +63,10 @@ const (
 var ErrNotFound = errors.New("btree: key not found")
 
 // Tree is an open B+-tree. A Tree must not be used concurrently with
-// itself (the underlying DB is safe for concurrent use; two Trees over
-// distinct meta pages are independent).
+// itself (the underlying Store may be shared; two Trees over distinct
+// meta pages are independent).
 type Tree struct {
-	db       *turbobp.DB
+	db       storage.Store
 	meta     int64
 	cap      int    // max pairs per node
 	opSplits uint64 // splits performed by the current Insert
@@ -50,7 +75,7 @@ type Tree struct {
 // meta page payload: magic(4) root(8) height(8) size(8) splits(8)
 
 // Create allocates an empty tree.
-func Create(db *turbobp.DB) (*Tree, error) {
+func Create(db storage.Store) (*Tree, error) {
 	capacity := (db.PageSize() - nodeHeader) / pairSize
 	if capacity < 3 {
 		return nil, fmt.Errorf("btree: page size %d holds only %d pairs; need >= 3", db.PageSize(), capacity)
@@ -79,7 +104,7 @@ func Create(db *turbobp.DB) (*Tree, error) {
 }
 
 // Open reopens a tree by its Meta() page.
-func Open(db *turbobp.DB, metaPid int64) (*Tree, error) {
+func Open(db storage.Store, metaPid int64) (*Tree, error) {
 	buf := make([]byte, db.PageSize())
 	if _, err := db.Read(metaPid, buf); err != nil {
 		return nil, err

@@ -1,0 +1,79 @@
+package btree_test
+
+import (
+	"fmt"
+
+	"turbobp"
+	"turbobp/btree"
+)
+
+// Example builds a small index over a simulated SSD-extended buffer pool,
+// then looks keys up and walks a range — the minimal end-to-end use of the
+// package through the public turbobp.DB storage backend.
+func Example() {
+	db, err := turbobp.Open(turbobp.Options{
+		Design: turbobp.LC, DBPages: 512, PoolPages: 32, SSDFrames: 128, PageSize: 128,
+	})
+	if err != nil {
+		panic(err)
+	}
+	defer db.Close()
+
+	tr, err := btree.Create(db)
+	if err != nil {
+		panic(err)
+	}
+	for k := int64(0); k < 100; k++ {
+		if err := tr.Insert(k, k*10); err != nil {
+			panic(err)
+		}
+	}
+
+	v, err := tr.Search(42)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("key 42 ->", v)
+
+	sum := int64(0)
+	if err := tr.Range(10, 19, func(k, v int64) error {
+		sum += v
+		return nil
+	}); err != nil {
+		panic(err)
+	}
+	fmt.Println("sum of values for keys 10..19:", sum)
+
+	n, _ := tr.Size()
+	h, _ := tr.Height()
+	fmt.Printf("size=%d height=%d\n", n, h)
+	// Output:
+	// key 42 -> 420
+	// sum of values for keys 10..19: 1450
+	// size=100 height=3
+}
+
+// ExampleOpen reattaches to an index by its meta page id — the handle a
+// catalog would persist — and sees the previously inserted data.
+func ExampleOpen() {
+	db, err := turbobp.Open(turbobp.Options{
+		Design: turbobp.DW, DBPages: 512, PoolPages: 32, SSDFrames: 128, PageSize: 128,
+	})
+	if err != nil {
+		panic(err)
+	}
+	defer db.Close()
+
+	tr, _ := btree.Create(db)
+	meta := tr.Meta()
+	_ = tr.Insert(7, 700)
+
+	again, err := btree.Open(db, meta)
+	if err != nil {
+		panic(err)
+	}
+	v, _ := again.Search(7)
+	fmt.Println(v)
+	// Output:
+	// 700
+}

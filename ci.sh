@@ -36,6 +36,25 @@ if [[ $missing -ne 0 ]]; then
   exit 1
 fi
 
+# The public access-method packages hold a stricter bar: every exported
+# top-level declaration (and exported method) must carry a doc comment
+# on the line directly above it.
+undocumented=0
+for f in btree/*.go heapfile/*.go; do
+  [[ "$f" == *_test.go ]] && continue
+  awk -v file="$f" '
+    /^(func|type|var|const) [A-Z]/ || /^func \([^)]*\) [A-Z]/ {
+      if (prev !~ /^\/\//) { printf "undocumented exported identifier: %s: %s\n", file, $0; bad=1 }
+    }
+    { prev=$0 }
+    END { exit bad ? 1 : 0 }
+  ' "$f" || undocumented=1
+done
+if [[ $undocumented -ne 0 ]]; then
+  echo "exported-identifier doc audit FAILED (btree/heapfile)"
+  exit 1
+fi
+
 echo "== go build =="
 go build ./...
 
@@ -60,6 +79,11 @@ go build -o /tmp/bpesim-ci ./cmd/bpesim
 /tmp/bpesim-ci -divisor 8192 -parallel 1 all > /tmp/bpesim-ci-serial.out 2>/dev/null
 /tmp/bpesim-ci -divisor 8192 -parallel 4 all > /tmp/bpesim-ci-parallel.out 2>/dev/null
 cmp /tmp/bpesim-ci-serial.out /tmp/bpesim-ci-parallel.out
+
+echo "== index experiment determinism (traversal-driven matrix, serial vs 4 workers) =="
+/tmp/bpesim-ci -divisor 8192 -parallel 1 index > /tmp/bpesim-ci-index-serial.out 2>/dev/null
+/tmp/bpesim-ci -divisor 8192 -parallel 4 index > /tmp/bpesim-ci-index-parallel.out 2>/dev/null
+cmp /tmp/bpesim-ci-index-serial.out /tmp/bpesim-ci-index-parallel.out
 
 echo "== sharded determinism (full suite, shards=4 vs single-kernel-width sharded run) =="
 /tmp/bpesim-ci -divisor 8192 -parallel 1 -shards 1 all > /tmp/bpesim-ci-shard1.out 2>/dev/null
@@ -101,6 +125,7 @@ grep -E 'bpeserve: served [1-9][0-9]* ops' /tmp/bpeserve-ci.out
 rm -rf "$smokedir" /tmp/bpeserve-ci /tmp/bpeload-ci /tmp/bpeserve-ci.out /tmp/bpeload-ci.out
 
 rm -f /tmp/bpesim-ci /tmp/bpesim-ci-serial.out /tmp/bpesim-ci-parallel.out \
+      /tmp/bpesim-ci-index-serial.out /tmp/bpesim-ci-index-parallel.out \
       /tmp/bpesim-ci-shard1.out /tmp/bpesim-ci-shard4.out \
       /tmp/bpesim-ci-faults-serial.out /tmp/bpesim-ci-faults-parallel.out \
       /tmp/bpesim-ci-corrupt-serial.out /tmp/bpesim-ci-corrupt-parallel.out \

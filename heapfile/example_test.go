@@ -1,0 +1,87 @@
+package heapfile_test
+
+import (
+	"fmt"
+
+	"turbobp"
+	"turbobp/heapfile"
+)
+
+// Example stores a few records in a heapfile backed by the simulated
+// SSD-extended buffer pool, reads one back by RID, overwrites it in place,
+// and scans the survivors after a delete.
+func Example() {
+	db, err := turbobp.Open(turbobp.Options{
+		Design: turbobp.LC, DBPages: 512, PoolPages: 32, SSDFrames: 128, PageSize: 128,
+	})
+	if err != nil {
+		panic(err)
+	}
+	defer db.Close()
+
+	hf, err := heapfile.Create(db)
+	if err != nil {
+		panic(err)
+	}
+
+	rids := make([]heapfile.RID, 3)
+	for i, rec := range []string{"alpha", "beta", "gamma"} {
+		rid, err := hf.Insert([]byte(rec))
+		if err != nil {
+			panic(err)
+		}
+		rids[i] = rid
+	}
+
+	got, err := hf.Get(rids[1])
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("rid[1] ->", string(got))
+
+	if err := hf.UpdateRecord(rids[1], []byte("BETA")); err != nil {
+		panic(err)
+	}
+	if err := hf.Delete(rids[0]); err != nil {
+		panic(err)
+	}
+
+	n, _ := hf.Count()
+	fmt.Println("live records:", n)
+	if err := hf.Scan(func(rid heapfile.RID, rec []byte) error {
+		fmt.Println("scan:", string(rec))
+		return nil
+	}); err != nil {
+		panic(err)
+	}
+	// Output:
+	// rid[1] -> beta
+	// live records: 2
+	// scan: BETA
+	// scan: gamma
+}
+
+// ExampleOpen reattaches to a heapfile by its meta page id and sees the
+// previously inserted records.
+func ExampleOpen() {
+	db, err := turbobp.Open(turbobp.Options{
+		Design: turbobp.DW, DBPages: 512, PoolPages: 32, SSDFrames: 128, PageSize: 128,
+	})
+	if err != nil {
+		panic(err)
+	}
+	defer db.Close()
+
+	hf, _ := heapfile.Create(db)
+	meta := hf.Meta()
+	rid, _ := hf.Insert([]byte("persistent"))
+
+	again, err := heapfile.Open(db, meta)
+	if err != nil {
+		panic(err)
+	}
+	rec, _ := again.Get(rid)
+	fmt.Println(string(rec))
+	// Output:
+	// persistent
+}

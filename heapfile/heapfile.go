@@ -1,8 +1,10 @@
 // Package heapfile implements slotted-page record storage over a
-// turbobp.DB: variable-length records addressed by RID (page, slot), the
-// classic DBMS heap file that table data lives in. Together with package
-// btree it forms the access-method layer above the SSD-extended buffer
-// pool.
+// storage.Store: variable-length records addressed by RID (page, slot),
+// the classic DBMS heap file that table data lives in. Together with
+// package btree it forms the access-method layer above the SSD-extended
+// buffer pool. Any Store works: a turbobp.DB (file-backed or simulated)
+// or the internal engine adapters that run the same scan and insert code
+// inside a discrete-event experiment (`bpesim index`).
 //
 // Layout. Each heap page's payload is:
 //
@@ -14,6 +16,27 @@
 //
 // Deleted records leave a tombstone slot (length 0); space is reclaimed
 // only page-locally when the deleted record was the lowest one.
+//
+// # Concurrency
+//
+// A File holds no locks of its own: it must not be used concurrently
+// with itself. The Store beneath it may be shared — a turbobp.DB is safe
+// for concurrent use, so two Files over distinct meta pages, each driven
+// from its own goroutine, are independent. Two goroutines inside the
+// same File race on the meta page's last-page/count fields.
+//
+// # Crash recovery
+//
+// Every page write is one atomic Store.Update, ordered data page first,
+// meta page (last-page pointer, record count) second. Against a
+// turbobp.DB outside an explicit transaction each Update is its own
+// committed transaction, so a crash replays a prefix: a torn Insert can
+// leave the record bytes on their heap page with a stale meta count (the
+// record is then invisible to Count but reachable by Scan), or a freshly
+// chained page that holds no records yet — never a dangling chain link
+// to an unallocated page, because the new page is initialised before the
+// chain is extended. Committing a batch (Store.Commit, or turbobp.Tx)
+// makes it durable atomically.
 package heapfile
 
 import (
@@ -21,7 +44,7 @@ import (
 	"errors"
 	"fmt"
 
-	"turbobp"
+	"turbobp/storage"
 )
 
 const (
@@ -47,7 +70,7 @@ var ErrTooLarge = errors.New("heapfile: record too large for the page size")
 
 // File is an open heap file.
 type File struct {
-	db   *turbobp.DB
+	db   storage.Store
 	meta int64 // metadata page id
 }
 
@@ -55,7 +78,7 @@ type File struct {
 
 // Create allocates a new heap file in db and returns it; Meta() identifies
 // it for reopening.
-func Create(db *turbobp.DB) (*File, error) {
+func Create(db storage.Store) (*File, error) {
 	if db.PageSize() < pageHeader+slotSize+8 {
 		return nil, fmt.Errorf("heapfile: page size %d too small", db.PageSize())
 	}
@@ -82,7 +105,7 @@ func Create(db *turbobp.DB) (*File, error) {
 }
 
 // Open reopens the heap file whose Meta() is metaPid.
-func Open(db *turbobp.DB, metaPid int64) (*File, error) {
+func Open(db storage.Store, metaPid int64) (*File, error) {
 	buf := make([]byte, db.PageSize())
 	if _, err := db.Read(metaPid, buf); err != nil {
 		return nil, err

@@ -263,6 +263,17 @@ type Engine struct {
 	crashed        bool
 	poolFilled     bool // the buffer pool has filled at least once
 
+	// evicting tracks dirty pages whose eviction writeback is in flight:
+	// PopVictim has removed the page from the pool table but the WAL force
+	// and SSD/disk write have not finished, so the page is in neither the
+	// pool nor durably anywhere — a device read issued in that window would
+	// return a stale image. Fetches of such a page wait on the signal, which
+	// the evictor broadcasts (and removes) once the writeback settles. At
+	// most one eviction of a page can be in flight (the page left the table),
+	// so entries never collide. Clean evictions need no entry: a clean
+	// frame's content already matches its durable copy.
+	evicting map[page.ID]*sim.Signal
+
 	// Free lists for encoded-page scratch buffers (bufSize bytes each) and
 	// the [][]byte vectors that carry them through device reads. Per-engine;
 	// the simulation kernel serializes all access, so no locking is needed.
@@ -310,7 +321,8 @@ func NewWithDevices(env *sim.Env, cfg Config, dbDev, ssdDev, logDev device.Devic
 		}
 		logDev = cfg.Faults.Wrap("wal", logDev)
 	}
-	e := &Engine{env: env, cfg: cfg, db: dbDev, ssdDev: ssdDev, logDev: logDev}
+	e := &Engine{env: env, cfg: cfg, db: dbDev, ssdDev: ssdDev, logDev: logDev,
+		evicting: make(map[page.ID]*sim.Signal)}
 	// The log packs records into full 8 KB pages; the device charges one
 	// page-write per log page, so the page size here is the accounted 8 KB
 	// regardless of the (small) simulated payloads.
@@ -760,6 +772,19 @@ func (e *Engine) Update(p *sim.Proc, tx uint64, pid page.ID, mutate func(payload
 // are truly sequential yet read individually, which is exactly why the
 // paper's read-ahead classifier is ~82% rather than 100% accurate).
 func (e *Engine) fetch(p *sim.Proc, pid page.ID, viaReadAhead, truthScan bool) (*bufpool.Frame, error) {
+	if sig := e.evicting[pid]; sig != nil {
+		// The page's dirty eviction is mid-writeback: reading the device now
+		// would return a stale image. Wait for the writeback to settle, then
+		// serve from the pool if another process re-installed the page first.
+		for sig != nil {
+			sig.Wait(p)
+			sig = e.evicting[pid]
+		}
+		if g := e.pool.Lookup(pid, e.env.Now()); g != nil {
+			e.stats.PoolHits++
+			return g, nil
+		}
+	}
 	e.stats.PoolMisses++
 	seqLabel := e.classifier.label(pid, viaReadAhead)
 	e.mgr.TACNoteMiss(pid, !seqLabel)
@@ -884,8 +909,8 @@ func (e *Engine) installRead(pid page.ID, bufs [][]byte, f *bufpool.Frame) error
 	// one contiguous request, so they count as sequential for admission.
 	for i := 1; i < len(bufs); i++ {
 		id := pid + page.ID(i)
-		if e.pool.Peek(id) != nil || e.mgr.IsDirty(id) {
-			continue // resident, or the SSD holds a newer version
+		if e.pool.Peek(id) != nil || e.mgr.IsDirty(id) || e.evicting[id] != nil {
+			continue // resident, SSD-newer, or mid-writeback (image is stale)
 		}
 		g := e.pool.TakeFree()
 		if g == nil {
@@ -1031,6 +1056,16 @@ func (e *Engine) claimFrame(p *sim.Proc) (*bufpool.Frame, error) {
 	dirty := v.Dirty
 	if dirty {
 		e.stats.DirtyEvicts++
+		// Until the writeback lands the page has no durable up-to-date copy
+		// anywhere; publish the eviction so concurrent fetches wait instead
+		// of reading a stale device image (see Engine.evicting).
+		sig := sim.NewSignal(e.env)
+		vpid := v.Pg.ID
+		e.evicting[vpid] = sig
+		defer func() {
+			delete(e.evicting, vpid)
+			sig.Broadcast()
+		}()
 		// WAL protocol: force the log before the page can be written to
 		// the SSD or the disk (§2.4).
 		e.log.Flush(p, v.Pg.LSN)

@@ -15,6 +15,9 @@ import (
 func (e *Engine) Crash() {
 	e.crashed = true
 	e.cpGen++ // retire any running checkpointer
+	// In-flight eviction writebacks die with the crash; drop their entries
+	// so post-recovery fetches don't wait on a broadcast that never comes.
+	clear(e.evicting)
 	e.pool.Reset()
 	e.log.Crash()
 	e.mgr.StopCleaner()

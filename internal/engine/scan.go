@@ -76,6 +76,24 @@ func (e *Engine) scanPoint(p *sim.Proc, pid page.ID) (*bufpool.Frame, error) {
 // are re-read from the SSD afterwards and the stale disk versions dropped.
 func (e *Engine) readRun(p *sim.Proc, pid page.ID, count int) error {
 	e.chargeCPU(p, e.cfg.CPUPerAccess/8*time.Duration(count))
+	// Wait out in-flight dirty evictions of any page in the run: until a
+	// writeback lands, the disk holds a stale image and the SSD mapping is
+	// unpublished, so both the residency snapshot below and the batch disk
+	// read would see the stale state (see Engine.evicting). Re-scan from the
+	// start after every wait — a new eviction may start while parked.
+	for {
+		settled := true
+		for i := 0; i < count; i++ {
+			if sig := e.evicting[pid+page.ID(i)]; sig != nil {
+				sig.Wait(p)
+				settled = false
+				break
+			}
+		}
+		if settled {
+			break
+		}
+	}
 	type slot struct {
 		pid     page.ID
 		inPool  bool
@@ -172,6 +190,14 @@ func (e *Engine) readRun(p *sim.Proc, pid page.ID, count int) error {
 		e.stats.PoolMisses++
 		seqLabel := e.classifier.label(s.pid, true)
 		e.mgr.TACNoteMiss(s.pid, !seqLabel)
+		if e.evicting[s.pid] != nil {
+			// The page went resident and back into a dirty eviction while the
+			// run's claims and disk read were in flight: the image just read
+			// predates that writeback. Drop it; the next access of the page
+			// re-fetches through the eviction guard.
+			e.pool.Release(f)
+			continue
+		}
 		if err := e.decodeInto(s.pid, bufs[i], f); err != nil {
 			var ce *page.ChecksumError
 			if errors.As(err, &ce) {
@@ -192,9 +218,10 @@ func (e *Engine) readRun(p *sim.Proc, pid page.ID, count int) error {
 		if !inserted {
 			continue
 		}
-		if s.dirtera {
-			// The SSD holds a newer version (LC): re-read it and replace
-			// the stale disk image.
+		if s.dirtera || e.mgr.IsDirty(s.pid) {
+			// The SSD holds a newer version (LC) — possibly admitted by an
+			// eviction that completed while the run was in flight: re-read it
+			// and replace the stale disk image.
 			hit, err := e.mgr.Read(p, s.pid, &got.Pg)
 			if err != nil {
 				if errors.Is(err, device.ErrLost) {

@@ -56,6 +56,9 @@ type txOp struct {
 	bufs      [][]byte       // in-flight disk read vector
 	dbAttempt int            // disk read attempt number (retry policy)
 
+	evictSig *sim.Signal // in-flight dirty eviction published in e.evicting
+	evictPid page.ID     // the victim page the signal is registered under
+
 	onCPUAcquired  func()            // bound: CPU resource granted
 	onCPUDone      func()            // bound: CPU slice elapsed
 	onEvictFlushed func()            // bound: WAL forced before eviction
@@ -64,6 +67,7 @@ type txOp struct {
 	onDbRead       func(error)       // bound: disk read finished
 	onDbRetry      func()            // bound: backoff elapsed, re-issue the read
 	onCommitFlush  func()            // bound: commit's WAL flush finished
+	onEvictWaited  func()            // bound: another access's eviction settled
 }
 
 func (e *Engine) getOp() *txOp {
@@ -82,6 +86,7 @@ func (e *Engine) getOp() *txOp {
 	o.onDbRead = o.dbRead
 	o.onDbRetry = o.dbReissue
 	o.onCommitFlush = o.commitFlushed
+	o.onEvictWaited = o.evictWaited
 	return o
 }
 
@@ -180,6 +185,35 @@ func (o *txOp) cpuCharged() {
 
 // fetch is the run-to-completion twin of the blocking fetch.
 func (o *txOp) fetch() {
+	if sig := o.e.evicting[o.pid]; sig != nil {
+		// The page's dirty eviction is mid-writeback: reading the device now
+		// would return a stale image (see Engine.evicting). Continue once the
+		// writeback settles.
+		sig.WaitFunc(o.onEvictWaited)
+		return
+	}
+	o.fetchMiss()
+}
+
+// evictWaited resumes a fetch that waited out an in-flight dirty eviction
+// of its page: re-wait if another eviction started, serve from the pool if
+// a faster access re-installed the page, else miss normally.
+func (o *txOp) evictWaited() {
+	e := o.e
+	if sig := e.evicting[o.pid]; sig != nil {
+		sig.WaitFunc(o.onEvictWaited)
+		return
+	}
+	if g := e.pool.Lookup(o.pid, e.env.Now()); g != nil {
+		e.stats.PoolHits++
+		o.finishFetch(g, nil)
+		return
+	}
+	o.fetchMiss()
+}
+
+// fetchMiss is the body of fetch once no eviction of the page is in flight.
+func (o *txOp) fetchMiss() {
 	e := o.e
 	e.stats.PoolMisses++
 	o.seqLabel = e.classifier.label(o.pid, o.viaReadAhead)
@@ -203,12 +237,31 @@ func (o *txOp) claim() {
 	o.v, o.dirty = v, v.Dirty
 	if o.dirty {
 		e.stats.DirtyEvicts++
+		// Until the writeback lands the page has no durable up-to-date copy
+		// anywhere; publish the eviction so concurrent fetches wait instead
+		// of reading a stale device image (see Engine.evicting). evictSettled
+		// resolves it on every completion path.
+		o.evictSig = sim.NewSignal(e.env)
+		o.evictPid = v.Pg.ID
+		e.evicting[o.evictPid] = o.evictSig
 		// WAL protocol: force the log before the page can be written to the
 		// SSD or the disk (§2.4).
 		e.log.FlushTask(o.t, v.Pg.LSN, o.onEvictFlushed)
 		return
 	}
 	o.evict()
+}
+
+// evictSettled resolves the in-flight-eviction registration made by claim:
+// the victim's writeback reached the device (or definitively failed and the
+// victim was released), so waiting fetches can re-resolve the page.
+func (o *txOp) evictSettled() {
+	if o.evictSig == nil {
+		return
+	}
+	delete(o.e.evicting, o.evictPid)
+	o.evictSig.Broadcast()
+	o.evictSig = nil
 }
 
 func (o *txOp) evict() {
@@ -225,6 +278,7 @@ func (o *txOp) evicted(err error) {
 		// here never allocate in golden runs.
 		e.env.Go("ssd-recovery", func(p *sim.Proc) {
 			if rerr := e.RecoverSSDLoss(p); rerr != nil {
+				o.evictSettled()
 				e.pool.Release(o.v)
 				o.v = nil
 				o.claimed(nil, rerr)
@@ -239,6 +293,7 @@ func (o *txOp) evicted(err error) {
 
 func (o *txOp) claimFinish(err error) {
 	e := o.e
+	o.evictSettled()
 	v := o.v
 	o.v = nil
 	if err != nil {

@@ -1,0 +1,445 @@
+// Traversal-driven access-method workloads: real btree and heapfile code
+// running over storage.Store adapters inside a simulation, so the page
+// access pattern *emerges* from structure traversal — the root and upper
+// internal nodes become genuinely hot because every lookup passes through
+// them, leaf heat follows the key distribution, and insert-heavy mixes
+// create pages on the fly through node splits — instead of being sampled
+// from a synthetic distribution like the OLTP drivers in this package.
+
+package workload
+
+import (
+	"encoding/binary"
+	"errors"
+	"math/rand"
+
+	"turbobp/btree"
+	"turbobp/heapfile"
+	"turbobp/internal/sim"
+	"turbobp/storage"
+)
+
+// IndexKind selects one traversal-driven access-method workload.
+type IndexKind int
+
+// The workload kinds of the `bpesim index` matrix.
+const (
+	// IndexPoint: B+-tree point lookups with an 80/20 key skew, each
+	// followed by the heap-page fetch of the row the index entry names.
+	IndexPoint IndexKind = iota
+	// IndexRange: B+-tree range scans over the leaf sibling chain,
+	// random start key, fixed span.
+	IndexRange
+	// IndexInsert: insert-heavy — uniformly random keys into a private
+	// per-worker tree, one commit per insert; splits create pages on
+	// the fly (the §4.2 pattern TAC cannot cache).
+	IndexInsert
+	// IndexHeapScan: heapfile sequential scans mixed with random
+	// record Gets (7 Gets per full scan).
+	IndexHeapScan
+	// IndexMixed: order-entry style — insert a record, index it, commit,
+	// then look back at two random earlier keys; private per-worker
+	// structures.
+	IndexMixed
+)
+
+// String names the kind the way the experiment table does.
+func (k IndexKind) String() string {
+	switch k {
+	case IndexPoint:
+		return "point"
+	case IndexRange:
+		return "range"
+	case IndexInsert:
+		return "insert"
+	case IndexHeapScan:
+		return "heapscan"
+	case IndexMixed:
+		return "mixed"
+	}
+	return "unknown"
+}
+
+// IndexMix describes one traversal-driven run: Workers simulated clients
+// each performing OpsPerWorker logical operations of Kind against
+// structures loaded with Rows rows. Every worker draws from its own
+// deterministic RNG stream (Seed + worker id), so a run is a pure
+// function of the mix regardless of scheduling.
+type IndexMix struct {
+	Kind         IndexKind
+	Workers      int
+	Rows         int // rows loaded before the measured phase
+	OpsPerWorker int
+	Span         int64 // range-scan width in keys (IndexRange)
+	Seed         int64
+}
+
+// IndexResult accumulates what the run observed. Counter fields are sums
+// over workers; Height is the maximum over the trees involved.
+type IndexResult struct {
+	Ops      int64  // completed logical operations (measured phase)
+	Scanned  int64  // records/keys visited by range and heap scans
+	NotFound int64  // point lookups that missed (0 on a correct run)
+	Height   uint64 // max B+-tree height at end
+	Splits   uint64 // total node splits across trees
+	Keys     uint64 // total keys across trees
+	Records  uint64 // total live heapfile records
+	Err      error  // first failure, if any
+}
+
+func (r *IndexResult) fail(err error) {
+	if r.Err == nil {
+		r.Err = err
+	}
+}
+
+// encodeRID packs a heapfile RID into the int64 value slot of an index
+// entry (slot counts stay far below 1<<16).
+func encodeRID(rid heapfile.RID) int64 { return rid.Page<<16 | int64(rid.Slot) }
+
+// decodeRID is the inverse of encodeRID.
+func decodeRID(v int64) heapfile.RID {
+	return heapfile.RID{Page: v >> 16, Slot: int(v & 0xFFFF)}
+}
+
+// skewKey draws a key with the classic 80/20 skew: 80% of lookups hit the
+// lowest 20% of the key space. Keys are dense [0, rows), so the hot keys
+// share leaves — leaf heat emerges from the traversal.
+func skewKey(rng *rand.Rand, rows int64) int64 {
+	hot := rows / 5
+	if hot < 1 {
+		hot = 1
+	}
+	if rng.Intn(10) < 8 {
+		return rng.Int63n(hot)
+	}
+	if rows <= hot {
+		return rng.Int63n(rows)
+	}
+	return hot + rng.Int63n(rows-hot)
+}
+
+// indexRecord builds the 16-byte heap record for key.
+func indexRecord(buf []byte, key int64) {
+	binary.LittleEndian.PutUint64(buf[0:8], uint64(key))
+	binary.LittleEndian.PutUint64(buf[8:16], uint64(key)*0x9E3779B97F4A7C15)
+}
+
+// indexShared is what the load phase hands the workers: meta page ids to
+// reopen structures through each worker's own Store, plus the loaded RIDs
+// for random record Gets.
+type indexShared struct {
+	treeMeta []int64 // one per worker for private kinds, else length 1
+	heapMeta []int64
+	rids     []heapfile.RID
+	failed   bool
+}
+
+// private reports whether each worker mutates its own structures (no
+// cross-worker isolation exists inside one Tree or File).
+func (k IndexKind) private() bool { return k == IndexInsert || k == IndexMixed }
+
+// Start spawns the load phase and Workers client processes on env. Every
+// process obtains its own storage.Store from newStore (bound to that
+// process), so the same code drives the Proc or Task engine form, or any
+// other Store. onLoaded fires (inside the simulation) when the load phase
+// completes — the harness snapshots engine counters there so measured-
+// phase rates exclude loading. onDone fires after the last worker exits;
+// the caller typically stops background engine processes there and runs
+// the environment with env.Run(-1) until the event queue drains. The
+// returned result is fully populated once the environment stops.
+func (m IndexMix) Start(env *sim.Env, newStore func(p *sim.Proc) storage.Store, onLoaded, onDone func()) *IndexResult {
+	res := &IndexResult{}
+	sh := &indexShared{}
+	ready := sim.NewSignal(env)
+
+	env.Go("index-load", func(p *sim.Proc) {
+		if err := m.load(newStore(p), sh); err != nil {
+			res.fail(err)
+			sh.failed = true
+		}
+		if onLoaded != nil {
+			onLoaded()
+		}
+		ready.Broadcast()
+	})
+
+	workers := make([]*sim.Proc, m.Workers)
+	for w := 0; w < m.Workers; w++ {
+		w := w
+		workers[w] = env.Go("index-worker", func(p *sim.Proc) {
+			st := newStore(p)
+			ready.WaitFired(p)
+			if sh.failed {
+				return
+			}
+			if err := m.worker(p, st, sh, w, res); err != nil {
+				res.fail(err)
+			}
+		})
+	}
+
+	env.Go("index-join", func(p *sim.Proc) {
+		for _, wp := range workers {
+			wp.Done().WaitFired(p)
+		}
+		if onDone != nil {
+			onDone()
+		}
+	})
+	return res
+}
+
+// load builds the structures the workers will traverse. Read-only kinds
+// share one tree and one heap file; mutating kinds get one private set
+// per worker (a Tree or File must not be used concurrently with itself).
+func (m IndexMix) load(st storage.Store, sh *indexShared) error {
+	if m.Kind.private() {
+		for w := 0; w < m.Workers; w++ {
+			t, err := btree.Create(st)
+			if err != nil {
+				return err
+			}
+			sh.treeMeta = append(sh.treeMeta, t.Meta())
+			if m.Kind == IndexMixed {
+				f, err := heapfile.Create(st)
+				if err != nil {
+					return err
+				}
+				sh.heapMeta = append(sh.heapMeta, f.Meta())
+			}
+		}
+		return st.Commit()
+	}
+
+	f, err := heapfile.Create(st)
+	if err != nil {
+		return err
+	}
+	t, err := btree.Create(st)
+	if err != nil {
+		return err
+	}
+	sh.heapMeta = []int64{f.Meta()}
+	sh.treeMeta = []int64{t.Meta()}
+	rec := make([]byte, 16)
+	for key := int64(0); key < int64(m.Rows); key++ {
+		indexRecord(rec, key)
+		rid, err := f.Insert(rec)
+		if err != nil {
+			return err
+		}
+		if err := t.Insert(key, encodeRID(rid)); err != nil {
+			return err
+		}
+		sh.rids = append(sh.rids, rid)
+		if key%64 == 63 {
+			if err := st.Commit(); err != nil {
+				return err
+			}
+		}
+	}
+	return st.Commit()
+}
+
+// worker runs one client's measured phase and records its slice of the
+// final per-structure stats.
+func (m IndexMix) worker(p *sim.Proc, st storage.Store, sh *indexShared, w int, res *IndexResult) error {
+	rng := rand.New(rand.NewSource(m.Seed + int64(w)*7919))
+	switch m.Kind {
+	case IndexPoint:
+		return m.pointWorker(st, sh, w, rng, res)
+	case IndexRange:
+		return m.rangeWorker(st, sh, w, rng, res)
+	case IndexInsert:
+		return m.insertWorker(st, sh, w, rng, res)
+	case IndexHeapScan:
+		return m.heapScanWorker(st, sh, w, rng, res)
+	case IndexMixed:
+		return m.mixedWorker(st, sh, w, rng, res)
+	}
+	return errors.New("workload: unknown index kind")
+}
+
+// recordTree folds a tree's final height/splits/size into the result.
+func recordTree(t *btree.Tree, res *IndexResult) error {
+	h, err := t.Height()
+	if err != nil {
+		return err
+	}
+	if h > res.Height {
+		res.Height = h
+	}
+	s, err := t.Splits()
+	if err != nil {
+		return err
+	}
+	res.Splits += s
+	n, err := t.Size()
+	if err != nil {
+		return err
+	}
+	res.Keys += n
+	return nil
+}
+
+// recordHeap folds a heap file's final record count into the result.
+func recordHeap(f *heapfile.File, res *IndexResult) error {
+	n, err := f.Count()
+	if err != nil {
+		return err
+	}
+	res.Records += n
+	return nil
+}
+
+func (m IndexMix) pointWorker(st storage.Store, sh *indexShared, w int, rng *rand.Rand, res *IndexResult) error {
+	t, err := btree.Open(st, sh.treeMeta[0])
+	if err != nil {
+		return err
+	}
+	f, err := heapfile.Open(st, sh.heapMeta[0])
+	if err != nil {
+		return err
+	}
+	for i := 0; i < m.OpsPerWorker; i++ {
+		key := skewKey(rng, int64(m.Rows))
+		v, err := t.Search(key)
+		if err != nil {
+			if errors.Is(err, btree.ErrNotFound) {
+				res.NotFound++
+				res.Ops++
+				continue
+			}
+			return err
+		}
+		if _, err := f.Get(decodeRID(v)); err != nil {
+			return err
+		}
+		res.Ops++
+	}
+	if w == 0 {
+		if err := recordTree(t, res); err != nil {
+			return err
+		}
+		return recordHeap(f, res)
+	}
+	return nil
+}
+
+func (m IndexMix) rangeWorker(st storage.Store, sh *indexShared, w int, rng *rand.Rand, res *IndexResult) error {
+	t, err := btree.Open(st, sh.treeMeta[0])
+	if err != nil {
+		return err
+	}
+	span := m.Span
+	if span < 1 {
+		span = 1
+	}
+	for i := 0; i < m.OpsPerWorker; i++ {
+		max := int64(m.Rows) - span
+		var lo int64
+		if max > 0 {
+			lo = rng.Int63n(max)
+		}
+		visited := int64(0)
+		if err := t.Range(lo, lo+span-1, func(_, _ int64) error {
+			visited++
+			return nil
+		}); err != nil {
+			return err
+		}
+		res.Scanned += visited
+		res.Ops++
+	}
+	if w == 0 {
+		return recordTree(t, res)
+	}
+	return nil
+}
+
+func (m IndexMix) insertWorker(st storage.Store, sh *indexShared, w int, rng *rand.Rand, res *IndexResult) error {
+	t, err := btree.Open(st, sh.treeMeta[w])
+	if err != nil {
+		return err
+	}
+	for i := 0; i < m.OpsPerWorker; i++ {
+		key := rng.Int63()
+		if err := t.Insert(key, key); err != nil {
+			return err
+		}
+		if err := st.Commit(); err != nil {
+			return err
+		}
+		res.Ops++
+	}
+	return recordTree(t, res)
+}
+
+func (m IndexMix) heapScanWorker(st storage.Store, sh *indexShared, w int, rng *rand.Rand, res *IndexResult) error {
+	f, err := heapfile.Open(st, sh.heapMeta[0])
+	if err != nil {
+		return err
+	}
+	for i := 0; i < m.OpsPerWorker; i++ {
+		if i%8 == 0 {
+			visited := int64(0)
+			if err := f.Scan(func(_ heapfile.RID, _ []byte) error {
+				visited++
+				return nil
+			}); err != nil {
+				return err
+			}
+			res.Scanned += visited
+		} else {
+			rid := sh.rids[rng.Intn(len(sh.rids))]
+			if _, err := f.Get(rid); err != nil {
+				return err
+			}
+		}
+		res.Ops++
+	}
+	if w == 0 {
+		return recordHeap(f, res)
+	}
+	return nil
+}
+
+func (m IndexMix) mixedWorker(st storage.Store, sh *indexShared, w int, rng *rand.Rand, res *IndexResult) error {
+	t, err := btree.Open(st, sh.treeMeta[w])
+	if err != nil {
+		return err
+	}
+	f, err := heapfile.Open(st, sh.heapMeta[w])
+	if err != nil {
+		return err
+	}
+	rec := make([]byte, 16)
+	for seq := int64(0); seq < int64(m.OpsPerWorker); seq++ {
+		indexRecord(rec, seq)
+		rid, err := f.Insert(rec)
+		if err != nil {
+			return err
+		}
+		if err := t.Insert(seq, encodeRID(rid)); err != nil {
+			return err
+		}
+		if err := st.Commit(); err != nil {
+			return err
+		}
+		for l := 0; l < 2; l++ {
+			v, err := t.Search(rng.Int63n(seq + 1))
+			if err != nil {
+				return err
+			}
+			if _, err := f.Get(decodeRID(v)); err != nil {
+				return err
+			}
+		}
+		res.Ops++
+	}
+	if err := recordTree(t, res); err != nil {
+		return err
+	}
+	return recordHeap(f, res)
+}

@@ -320,6 +320,12 @@ func (db *DB) Update(pid int64, fn func(payload []byte)) error {
 	})
 }
 
+// Commit is a no-op that makes *DB satisfy storage.Store: every DB.Update
+// outside an explicit Tx is already its own committed transaction, so by
+// the time Commit is called there is nothing left to make durable. Use
+// Begin/Tx.Commit to group updates into one atomic transaction.
+func (db *DB) Commit() error { return nil }
+
 // Tx is a transaction: a sequence of reads and updates committed together.
 // A Tx must not be used concurrently with itself (different Txs may run
 // concurrently on the partitioned backend). On that backend a Tx spanning
