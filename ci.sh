@@ -36,11 +36,11 @@ if [[ $missing -ne 0 ]]; then
   exit 1
 fi
 
-# The public access-method packages hold a stricter bar: every exported
-# top-level declaration (and exported method) must carry a doc comment
-# on the line directly above it.
+# The public access-method packages and the policy layer hold a stricter
+# bar: every exported top-level declaration (and exported method) must
+# carry a doc comment on the line directly above it.
 undocumented=0
-for f in btree/*.go heapfile/*.go; do
+for f in btree/*.go heapfile/*.go internal/policy/*.go; do
   [[ "$f" == *_test.go ]] && continue
   awk -v file="$f" '
     /^(func|type|var|const) [A-Z]/ || /^func \([^)]*\) [A-Z]/ {
@@ -51,7 +51,7 @@ for f in btree/*.go heapfile/*.go; do
   ' "$f" || undocumented=1
 done
 if [[ $undocumented -ne 0 ]]; then
-  echo "exported-identifier doc audit FAILED (btree/heapfile)"
+  echo "exported-identifier doc audit FAILED (btree/heapfile/policy)"
   exit 1
 fi
 
@@ -62,7 +62,7 @@ echo "== go test -race =="
 go test -race $short ./...
 
 echo "== benchmark smoke (1 iteration each, allocs reported) =="
-go test -run '^$' -bench 'BenchmarkGetHit|BenchmarkGetMiss|BenchmarkUpdateCommit|BenchmarkGroupClean|BenchmarkTableChurn|BenchmarkMapChurn|BenchmarkSchedulerCalendar|BenchmarkSchedulerHeap' \
+go test -run '^$' -bench 'BenchmarkGetHit|BenchmarkGetMiss|BenchmarkUpdateCommit|BenchmarkGroupClean|BenchmarkTableChurn|BenchmarkMapChurn|BenchmarkSchedulerCalendar|BenchmarkSchedulerHeap|BenchmarkPolicy|BenchmarkSketch' \
   -benchtime=1x -benchmem .
 
 echo "== sharded kernel race tests (shards=4 widths under the race detector) =="
@@ -71,6 +71,7 @@ go test -race -run 'Cluster|Shard' ./internal/sim ./internal/engine ./internal/s
 echo "== concurrency race tests (partitioned backend, striped pool, group commit, server) =="
 go test -race -run 'Concurrent|CommitSync' .
 go test -race -run 'Striped' ./internal/bufpool
+go test -race ./internal/policy
 go test -race -run 'GroupCommitter' ./internal/wal
 go test -race ./internal/netproto ./cmd/bpeserve
 
@@ -84,6 +85,11 @@ echo "== index experiment determinism (traversal-driven matrix, serial vs 4 work
 /tmp/bpesim-ci -divisor 8192 -parallel 1 index > /tmp/bpesim-ci-index-serial.out 2>/dev/null
 /tmp/bpesim-ci -divisor 8192 -parallel 4 index > /tmp/bpesim-ci-index-parallel.out 2>/dev/null
 cmp /tmp/bpesim-ci-index-serial.out /tmp/bpesim-ci-index-parallel.out
+
+echo "== policy sweep determinism (4 designs × 4 policies × 4 workloads, serial vs 4 workers) =="
+/tmp/bpesim-ci -divisor 8192 -parallel 1 policy > /tmp/bpesim-ci-policy-serial.out 2>/dev/null
+/tmp/bpesim-ci -divisor 8192 -parallel 4 policy > /tmp/bpesim-ci-policy-parallel.out 2>/dev/null
+cmp /tmp/bpesim-ci-policy-serial.out /tmp/bpesim-ci-policy-parallel.out
 
 echo "== sharded determinism (full suite, shards=4 vs single-kernel-width sharded run) =="
 /tmp/bpesim-ci -divisor 8192 -parallel 1 -shards 1 all > /tmp/bpesim-ci-shard1.out 2>/dev/null
@@ -126,6 +132,7 @@ rm -rf "$smokedir" /tmp/bpeserve-ci /tmp/bpeload-ci /tmp/bpeserve-ci.out /tmp/bp
 
 rm -f /tmp/bpesim-ci /tmp/bpesim-ci-serial.out /tmp/bpesim-ci-parallel.out \
       /tmp/bpesim-ci-index-serial.out /tmp/bpesim-ci-index-parallel.out \
+      /tmp/bpesim-ci-policy-serial.out /tmp/bpesim-ci-policy-parallel.out \
       /tmp/bpesim-ci-shard1.out /tmp/bpesim-ci-shard4.out \
       /tmp/bpesim-ci-faults-serial.out /tmp/bpesim-ci-faults-parallel.out \
       /tmp/bpesim-ci-corrupt-serial.out /tmp/bpesim-ci-corrupt-parallel.out \

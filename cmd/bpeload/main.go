@@ -47,6 +47,7 @@ func run() error {
 		pages     = flag.Int64("pages", 65536, "page id space to draw from")
 		scanEvery = flag.Int("scan-every", 0, "every Nth read op is a 16-page scan (0 disables)")
 		seed      = flag.Int64("seed", 1, "workload RNG seed")
+		cachePol  = flag.String("policy", "", "server cache policy label for the summary (informational)")
 	)
 	flag.Parse()
 	if *readers < 0 || *writers < 0 || *readers+*writers == 0 {
@@ -96,6 +97,9 @@ func run() error {
 	}
 
 	fmt.Printf("bpeload: %d readers + %d writers for %v against %s\n", *readers, *writers, elapsed.Round(time.Millisecond), *addr)
+	if *cachePol != "" {
+		fmt.Printf("bpeload: server cache policy %s (as labelled by -policy)\n", *cachePol)
+	}
 	fmt.Printf("bpeload: effective parallelism %d of %d workers (GOMAXPROCS=%d)\n",
 		harness.EffectiveWorkers(total), total, runtime.GOMAXPROCS(0))
 	secs := elapsed.Seconds()

@@ -45,6 +45,7 @@ func run() error {
 		ssdFrames   = flag.Int("ssd", 16384, "SSD cache frames (0 disables)")
 		pageSize    = flag.Int("page-size", 256, "payload bytes per page")
 		design      = flag.String("design", "lc", "SSD design: nossd, cw, dw, lc, tac")
+		cachePol    = flag.String("policy", "lru2", "cache policy: lru2, arc, cflru, tinylfu")
 		concurrency = flag.Int("concurrency", runtime.GOMAXPROCS(0), "page-range partitions")
 		commitSync  = flag.String("commit-sync", "group", "commit durability: none, each, group")
 		gcDelay     = flag.Duration("gc-delay", 500*time.Microsecond, "group-commit max delay")
@@ -54,6 +55,10 @@ func run() error {
 	flag.Parse()
 
 	d, err := designOf(*design)
+	if err != nil {
+		return err
+	}
+	pol, err := turbobp.ParseCachePolicy(*cachePol)
 	if err != nil {
 		return err
 	}
@@ -71,6 +76,7 @@ func run() error {
 	}
 	db, err := turbobp.Open(turbobp.Options{
 		Design:              d,
+		Policy:              pol,
 		DBPages:             *pages,
 		PoolPages:           *pool,
 		SSDFrames:           *ssdFrames,
@@ -91,8 +97,8 @@ func run() error {
 		db.Close()
 		return err
 	}
-	fmt.Printf("bpeserve: listening on %s (pages=%d design=%s concurrency=%d commit-sync=%s)\n",
-		ln.Addr(), *pages, *design, *concurrency, *commitSync)
+	fmt.Printf("bpeserve: listening on %s (pages=%d design=%s policy=%s concurrency=%d commit-sync=%s)\n",
+		ln.Addr(), *pages, *design, pol, *concurrency, *commitSync)
 
 	stop := make(chan os.Signal, 1)
 	signal.Notify(stop, syscall.SIGINT, syscall.SIGTERM)

@@ -104,14 +104,24 @@ func writeBenchJSON(path string, scale harness.Scale) error {
 		rep.SerialTotalSecs, rep.Workers, rep.ParallelTotalSecs, rep.Speedup)
 
 	for name, fn := range map[string]func(*testing.B){
-		"GetHit":            microbench.GetHit,
-		"GetMiss":           microbench.GetMiss,
-		"UpdateCommit":      microbench.UpdateCommit,
-		"GroupClean":        microbench.GroupClean,
-		"TableChurn":        microbench.TableChurn,
-		"MapChurn":          microbench.MapChurn,
-		"SchedulerCalendar": microbench.SchedulerCalendar,
-		"SchedulerHeap":     microbench.SchedulerHeap,
+		"GetHit":             microbench.GetHit,
+		"GetMiss":            microbench.GetMiss,
+		"UpdateCommit":       microbench.UpdateCommit,
+		"GroupClean":         microbench.GroupClean,
+		"TableChurn":         microbench.TableChurn,
+		"MapChurn":           microbench.MapChurn,
+		"SchedulerCalendar":  microbench.SchedulerCalendar,
+		"SchedulerHeap":      microbench.SchedulerHeap,
+		"PolicyTouchLRU2":    microbench.PolicyTouchLRU2,
+		"PolicyTouchARC":     microbench.PolicyTouchARC,
+		"PolicyTouchCFLRU":   microbench.PolicyTouchCFLRU,
+		"PolicyTouchTinyLFU": microbench.PolicyTouchTinyLFU,
+		"PolicyEvictLRU2":    microbench.PolicyEvictLRU2,
+		"PolicyEvictARC":     microbench.PolicyEvictARC,
+		"PolicyEvictCFLRU":   microbench.PolicyEvictCFLRU,
+		"PolicyEvictTinyLFU": microbench.PolicyEvictTinyLFU,
+		"SketchIncrement":    microbench.SketchIncrement,
+		"SketchEstimate":     microbench.SketchEstimate,
 	} {
 		r := testing.Benchmark(fn)
 		rep.Microbench[name] = microResult{

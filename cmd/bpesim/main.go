@@ -47,6 +47,7 @@ import (
 	"runtime/pprof"
 
 	"turbobp/internal/harness"
+	"turbobp/internal/policy"
 )
 
 func main() {
@@ -55,6 +56,7 @@ func main() {
 	csvOut := flag.Bool("csv", false, "emit figure data as CSV instead of rendered text (figure experiments only)")
 	parallel := flag.Int("parallel", 0, "worker count for experiment cells (0 = GOMAXPROCS, 1 = serial)")
 	shards := flag.Int("shards", 0, "run OLTP experiments on the 8-way sharded kernel with this many threads per run (0 = single-kernel path; results are identical at any value >= 1)")
+	cachePol := flag.String("policy", "", "cache policy for every engine the experiments build: lru2 (default), arc, cflru, tinylfu; the policy experiment sweeps all four regardless")
 	benchJSON := flag.String("benchjson", "", "write a machine-readable benchmark report (wall-clock serial vs parallel, allocs/op) to this file and exit")
 	benchGuard := flag.String("benchguard", "", "re-run the hot-path microbenchmarks and fail if any regresses more than 25% against this benchjson report")
 	faultSeed := flag.Uint64("faultseed", harness.FaultSeed(), "seed for the faults experiment's injected fault schedules")
@@ -100,6 +102,12 @@ func main() {
 	harness.SetWorkers(*parallel)
 	harness.SetShards(*shards)
 	harness.SetFaultSeed(*faultSeed)
+	pol, err := policy.ParseKind(*cachePol)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "bpesim: %v\n", err)
+		os.Exit(2)
+	}
+	harness.SetPolicy(pol)
 	scale := harness.Scale{Divisor: *divisor}
 	if *benchJSON != "" {
 		if err := writeBenchJSON(*benchJSON, scale); err != nil {

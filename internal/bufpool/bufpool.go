@@ -12,9 +12,9 @@ import (
 	"fmt"
 	"time"
 
-	"turbobp/internal/lru2"
 	"turbobp/internal/page"
 	"turbobp/internal/pagetab"
+	"turbobp/internal/policy"
 )
 
 // Frame holds one resident page and its bookkeeping bits.
@@ -41,7 +41,8 @@ type Pool struct {
 	payload int
 	frames  []Frame
 	table   *pagetab.Table[*Frame] // resident pages, a flat open-addressing directory (single-latch mode)
-	repl    *lru2.Cache
+	kind    policy.Kind
+	repl    policy.Policy
 	free    []*Frame
 
 	// Striped-latch mode (nil stripes = single-latch mode; see striped.go).
@@ -50,8 +51,15 @@ type Pool struct {
 	clock   func() time.Duration
 }
 
-// New returns a pool of capacity frames holding payloadSize-byte payloads.
+// New returns a pool of capacity frames holding payloadSize-byte payloads,
+// using the default LRU-2 replacement policy.
 func New(capacity, payloadSize int) *Pool {
+	return NewWithPolicy(capacity, payloadSize, policy.LRU2)
+}
+
+// NewWithPolicy returns a pool whose victim selection is driven by the
+// given replacement policy. Keys handed to the policy are page ids.
+func NewWithPolicy(capacity, payloadSize int, kind policy.Kind) *Pool {
 	if capacity < 1 {
 		panic(fmt.Sprintf("bufpool: capacity %d", capacity))
 	}
@@ -59,8 +67,9 @@ func New(capacity, payloadSize int) *Pool {
 		payload: payloadSize,
 		frames:  make([]Frame, capacity),
 		table:   pagetab.New[*Frame](capacity),
-		repl:    lru2.New(),
+		kind:    kind,
 	}
+	p.repl = p.newRepl()
 	p.free = make([]*Frame, 0, capacity)
 	for i := capacity - 1; i >= 0; i-- {
 		p.frames[i].Pg.Payload = make([]byte, payloadSize)
@@ -68,6 +77,26 @@ func New(capacity, payloadSize int) *Pool {
 	}
 	return p
 }
+
+// newRepl builds a fresh policy instance for this pool, wiring the
+// dirty-awareness hook for policies that want it (CFLRU defers dirty
+// pages, so its victim scan asks the resident table for dirty state).
+func (p *Pool) newRepl() policy.Policy {
+	r := policy.New(p.kind, len(p.frames))
+	if da, ok := r.(policy.DirtyAware); ok {
+		da.SetDirtyFn(func(key int64) bool {
+			f, ok := p.get(page.ID(key))
+			return ok && f.Dirty
+		})
+	}
+	return r
+}
+
+// Policy returns the pool's replacement-policy kind.
+func (p *Pool) Policy() policy.Kind { return p.kind }
+
+// PolicyStats returns the replacement policy's decision counters.
+func (p *Pool) PolicyStats() policy.Stats { return p.repl.Stats() }
 
 // Capacity returns the total number of frames.
 func (p *Pool) Capacity() int { return len(p.frames) }
@@ -117,8 +146,8 @@ func (p *Pool) TakeFree() *Frame {
 	return f
 }
 
-// PopVictim selects the LRU-2 victim, removes it from the table and
-// replacement structures, and returns it. The caller owns the frame: it must
+// PopVictim selects the replacement policy's victim, removes it from the
+// table and replacement structures, and returns it. The caller owns the frame: it must
 // write out the page if dirty and then either Insert it under a new id or
 // Release it. Returns nil if the pool is empty.
 func (p *Pool) PopVictim() *Frame {
@@ -230,7 +259,7 @@ func (p *Pool) Reset() {
 	} else {
 		p.table.Reset()
 	}
-	p.repl = lru2.New()
+	p.repl = p.newRepl()
 	p.free = p.free[:0]
 	for i := len(p.frames) - 1; i >= 0; i-- {
 		f := &p.frames[i]
@@ -243,7 +272,7 @@ func (p *Pool) Reset() {
 	}
 }
 
-// ReplHistory exposes the LRU-2 history of a resident page (test hook).
+// ReplHistory exposes the replacement history of a resident page (test hook).
 func (p *Pool) ReplHistory(id page.ID) (last, prev time.Duration, seen bool) {
 	return p.repl.History(int64(id))
 }

@@ -1,11 +1,13 @@
 package bufpool
 
 import (
+	"sort"
 	"sync"
 	"time"
 
 	"turbobp/internal/page"
 	"turbobp/internal/pagetab"
+	"turbobp/internal/policy"
 )
 
 // This file adds the pool's striped-latch mode, used by the partitioned
@@ -56,7 +58,12 @@ const touchCap = 4096
 // shared atomic tick so latched reads and engine ops draw recency from one
 // scale.
 func NewStriped(capacity, payloadSize, stripes int, clock func() time.Duration) *Pool {
-	p := New(capacity, payloadSize)
+	return NewStripedWithPolicy(capacity, payloadSize, stripes, clock, policy.LRU2)
+}
+
+// NewStripedWithPolicy is NewStriped with an explicit replacement policy.
+func NewStripedWithPolicy(capacity, payloadSize, stripes int, clock func() time.Duration, kind policy.Kind) *Pool {
+	p := NewWithPolicy(capacity, payloadSize, kind)
 	if stripes < 1 {
 		stripes = 1
 	}
@@ -174,7 +181,12 @@ func (p *Pool) MutateFrame(f *Frame, fn func(payload []byte)) {
 
 // drainTouches replays buffered latched-read accesses into the replacement
 // cache. Called under the owner's serialization, right before victim
-// selection — the only moment recency is consulted.
+// selection — the only moment recency is consulted. Each stripe's batch is
+// sorted by (at, id) before replay: the append order of concurrent
+// ReadLatched callers is scheduling-dependent, and policies with admission
+// state (TinyLFU's doorkeeper and sketch) observe every Touch, so an
+// unsorted replay would leak thread timing into victim choice. Sorting
+// makes the replay a pure function of the recorded (id, at) set.
 func (p *Pool) drainTouches() {
 	for i := range p.stripes {
 		s := &p.stripes[i]
@@ -182,6 +194,12 @@ func (p *Pool) drainTouches() {
 		pend := s.touches
 		s.touches = nil
 		s.tmu.Unlock()
+		sort.Slice(pend, func(a, b int) bool {
+			if pend[a].at != pend[b].at {
+				return pend[a].at < pend[b].at
+			}
+			return pend[a].id < pend[b].id
+		})
 		for _, t := range pend {
 			if _, ok := s.table.Get(uint64(t.id)); ok {
 				p.repl.Touch(t.id, t.at)

@@ -16,6 +16,7 @@ import (
 	"turbobp/internal/fault"
 	"turbobp/internal/metrics"
 	"turbobp/internal/page"
+	"turbobp/internal/policy"
 	"turbobp/internal/sim"
 	"turbobp/internal/ssd"
 	"turbobp/internal/wal"
@@ -25,6 +26,11 @@ import (
 // defaults (Table 2) where one exists.
 type Config struct {
 	Design ssd.Design
+
+	// Policy selects the cache replacement/admission policy used by both
+	// the memory buffer pool and the SSD tier's clean-frame ordering. The
+	// zero value is the original LRU-2 behaviour.
+	Policy policy.Kind
 
 	DBPages     int64 // database size in pages
 	PoolPages   int   // memory buffer pool frames
@@ -205,6 +211,13 @@ type Stats struct {
 	// Cross-shard service counts (sharded kernel; see remote.go).
 	RemoteReads  int64 // page reads served for other shards
 	RemoteWrites int64 // page writes served for other shards
+
+	// Pool replacement-policy decision counters (policy.Stats mirrored
+	// into the engine totals at read time; all zero under default LRU-2).
+	PoolGhostHits  int64 // ARC ghost-list hits in the memory pool
+	PoolSplitPos   int64 // ARC adaptive T1 target (gauge, not a count)
+	PoolCleanFirst int64 // CFLRU evictions that skipped an older dirty page
+	PoolAdmitRej   int64 // TinyLFU admissions rejected by the frequency gate
 }
 
 // Latencies holds per-tier operation latency histograms: reads broken down
@@ -328,9 +341,9 @@ func NewWithDevices(env *sim.Env, cfg Config, dbDev, ssdDev, logDev device.Devic
 	// regardless of the (small) simulated payloads.
 	e.log = wal.New(env, logDev, logPageSize, 1<<30)
 	if cfg.PoolStripes > 0 {
-		e.pool = bufpool.NewStriped(cfg.PoolPages, cfg.PayloadSize, cfg.PoolStripes, cfg.PoolClock)
+		e.pool = bufpool.NewStripedWithPolicy(cfg.PoolPages, cfg.PayloadSize, cfg.PoolStripes, cfg.PoolClock, cfg.Policy)
 	} else {
-		e.pool = bufpool.New(cfg.PoolPages, cfg.PayloadSize)
+		e.pool = bufpool.NewWithPolicy(cfg.PoolPages, cfg.PayloadSize, cfg.Policy)
 	}
 	e.mgr = e.newManager()
 	e.classifier = newClassifier(cfg.Classifier)
@@ -359,6 +372,7 @@ func (e *Engine) newManager() *ssd.Manager {
 	}
 	return ssd.NewManager(e.env, dev, (*diskWriter)(e), ssd.Config{
 		Design:          e.cfg.Design,
+		Policy:          e.cfg.Policy,
 		Frames:          frames,
 		Partitions:      e.cfg.Partitions,
 		FillThreshold:   e.cfg.FillThreshold,
@@ -537,8 +551,17 @@ func (e *Engine) Env() *sim.Env { return e.env }
 // Config returns the effective configuration.
 func (e *Engine) Config() Config { return e.cfg }
 
-// Stats returns a copy of the engine counters.
-func (e *Engine) Stats() Stats { return e.stats }
+// Stats returns a copy of the engine counters, with the buffer pool's
+// replacement-policy counters folded in.
+func (e *Engine) Stats() Stats {
+	s := e.stats
+	ps := e.pool.PolicyStats()
+	s.PoolGhostHits = ps.GhostHits
+	s.PoolSplitPos = ps.SplitPos
+	s.PoolCleanFirst = ps.CleanFirstEvict
+	s.PoolAdmitRej = ps.AdmitRejects
+	return s
+}
 
 // SSD returns the SSD manager (for stats and tests).
 func (e *Engine) SSD() *ssd.Manager { return e.mgr }

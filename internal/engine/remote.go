@@ -68,5 +68,9 @@ func (s Stats) Add(o Stats) Stats {
 	s.TruthRandLabelRand += o.TruthRandLabelRand
 	s.RemoteReads += o.RemoteReads
 	s.RemoteWrites += o.RemoteWrites
+	s.PoolGhostHits += o.PoolGhostHits
+	s.PoolSplitPos += o.PoolSplitPos
+	s.PoolCleanFirst += o.PoolCleanFirst
+	s.PoolAdmitRej += o.PoolAdmitRej
 	return s
 }

@@ -59,6 +59,7 @@ func (s Scale) Minutes(m float64) time.Duration { return s.Hours(m / 60) }
 func (s Scale) Config(design ssd.Design, dbGB float64) engine.Config {
 	return engine.Config{
 		Design:      design,
+		Policy:      PolicyKind(),
 		DBPages:     s.Pages(dbGB),
 		PoolPages:   int(s.Pages(20)),
 		SSDFrames:   int(s.Pages(140)),

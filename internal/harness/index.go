@@ -6,6 +6,7 @@ import (
 
 	"turbobp/internal/device"
 	"turbobp/internal/engine"
+	"turbobp/internal/policy"
 	"turbobp/internal/sim"
 	"turbobp/internal/ssd"
 	"turbobp/internal/workload"
@@ -50,8 +51,8 @@ type IndexCell struct {
 
 // IndexMatrixResult is the rendered design × mix grid.
 type IndexMatrixResult struct {
-	Rows int // rows loaded per shared structure
-	Ops  int // operations per worker
+	Rows  int // rows loaded per shared structure
+	Ops   int // operations per worker
 	Cells []IndexCell
 }
 
@@ -74,9 +75,10 @@ func indexMix(s Scale, kind workload.IndexKind) workload.IndexMix {
 }
 
 // indexConfig sizes the engine for a mix.
-func indexConfig(design ssd.Design, m workload.IndexMix) engine.Config {
+func indexConfig(design ssd.Design, m workload.IndexMix, pol policy.Kind) engine.Config {
 	return engine.Config{
 		Design:        design,
+		Policy:        pol,
 		DBPages:       int64(m.Rows) * 2,
 		PoolPages:     m.Rows / 64,
 		SSDFrames:     m.Rows / 8,
@@ -87,11 +89,11 @@ func indexConfig(design ssd.Design, m workload.IndexMix) engine.Config {
 
 // runIndexCell executes one cell: build the engine, run the mix through
 // Task-form Store adapters, and compute measured-phase rates.
-func runIndexCell(s Scale, design ssd.Design, kind workload.IndexKind) (IndexCell, error) {
+func runIndexCell(s Scale, design ssd.Design, kind workload.IndexKind, pol policy.Kind) (IndexCell, error) {
 	mix := indexMix(s, kind)
 	cell := IndexCell{Design: design, Kind: kind, Mix: mix}
 	env := sim.NewEnv()
-	e := engine.New(env, indexConfig(design, mix))
+	e := engine.New(env, indexConfig(design, mix, pol))
 	if err := e.FormatDB(); err != nil {
 		return cell, err
 	}
@@ -139,10 +141,11 @@ func runIndexCell(s Scale, design ssd.Design, kind workload.IndexKind) (IndexCel
 // RunIndex executes the full design × mix grid on the worker pool.
 func RunIndex(s Scale) (*IndexMatrixResult, error) {
 	n := len(indexKinds) * len(indexDesigns)
+	pol := PolicyKind()
 	cells, err := RunGrid(n, func(i int) (IndexCell, error) {
 		kind := indexKinds[i/len(indexDesigns)]
 		design := indexDesigns[i%len(indexDesigns)]
-		return runIndexCell(s, design, kind)
+		return runIndexCell(s, design, kind, pol)
 	})
 	if err != nil {
 		return nil, err

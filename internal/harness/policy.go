@@ -1,0 +1,30 @@
+package harness
+
+import (
+	"sync"
+
+	"turbobp/internal/policy"
+)
+
+var (
+	policyMu  sync.Mutex
+	policyReq policy.Kind
+)
+
+// SetPolicy sets the cache policy applied to every engine the harness
+// builds afterwards (Scale.Config wires it into both tiers) and returns
+// the stored value. The zero value keeps the original LRU-2 behaviour,
+// so default runs stay byte-identical to the pre-policy goldens.
+func SetPolicy(k policy.Kind) policy.Kind {
+	policyMu.Lock()
+	policyReq = k
+	policyMu.Unlock()
+	return k
+}
+
+// PolicyKind reports the harness-wide cache policy.
+func PolicyKind() policy.Kind {
+	policyMu.Lock()
+	defer policyMu.Unlock()
+	return policyReq
+}

@@ -310,6 +310,14 @@ func Experiments() []Experiment {
 			r.Print(w)
 			return nil
 		}},
+		{"policy", "cache-policy sweep: 4 designs × 4 policies × 4 workloads", func(s Scale, w io.Writer) error {
+			r, err := RunPolicySweep(s)
+			if err != nil {
+				return err
+			}
+			r.Print(w)
+			return nil
+		}},
 	}
 }
 

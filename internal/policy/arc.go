@@ -1,0 +1,223 @@
+package policy
+
+import "time"
+
+// List tags for arc entries.
+const (
+	arcT1 uint8 = iota + 1 // resident, seen once recently
+	arcT2                  // resident, seen at least twice
+	arcB1                  // ghost of a T1 eviction
+	arcB2                  // ghost of a T2 eviction
+)
+
+// arc is the adaptive replacement cache (Megiddo & Modha): two resident
+// lists — T1 for recency, T2 for frequency — shadowed by ghost lists B1
+// and B2 that remember recently evicted keys. A hit in a ghost list is
+// evidence the corresponding resident list is undersized, so it moves
+// the adaptive target p. Unlike textbook ARC the cache does not size
+// itself: the owner (buffer pool or SSD shard) holds the frames and
+// calls Pop when it needs one, so arc only orders the victims and
+// maintains the ghosts.
+type arc struct {
+	cap            int
+	p              int // adaptive target size of T1
+	t1, t2, b1, b2 elist
+	table          map[int64]*entry
+	free           *entry
+	stats          Stats
+}
+
+func newARC(capacity int) *arc {
+	if capacity < 1 {
+		capacity = 1
+	}
+	a := &arc{cap: capacity, table: make(map[int64]*entry)}
+	a.t1.init()
+	a.t2.init()
+	a.b1.init()
+	a.b2.init()
+	return a
+}
+
+func (a *arc) list(where uint8) *elist {
+	switch where {
+	case arcT1:
+		return &a.t1
+	case arcT2:
+		return &a.t2
+	case arcB1:
+		return &a.b1
+	default:
+		return &a.b2
+	}
+}
+
+func (a *arc) alloc(key int64) *entry {
+	e := a.free
+	if e != nil {
+		a.free = e.next
+		e.next = nil
+	} else {
+		e = &entry{}
+	}
+	e.key = key
+	return e
+}
+
+func (a *arc) release(e *entry) {
+	delete(a.table, e.key)
+	e.next = a.free
+	a.free = e
+}
+
+// promote handles one access: resident entries move to T2's MRU end,
+// ghost hits additionally tune p, and unknown keys enter T1.
+func (a *arc) promote(key int64, last, old time.Duration) {
+	e := a.table[key]
+	if e == nil {
+		e = a.alloc(key)
+		e.where = arcT1
+		e.last, e.old = last, old
+		a.table[key] = e
+		a.t1.pushFront(e)
+		a.trimGhosts()
+		return
+	}
+	switch e.where {
+	case arcB1:
+		// Recency ghost hit: T1 was evicting too eagerly — grow its target.
+		a.stats.GhostHits++
+		d := 1
+		if a.b1.n > 0 && a.b2.n > a.b1.n {
+			d = a.b2.n / a.b1.n
+		}
+		a.p = min(a.cap, a.p+d)
+	case arcB2:
+		// Frequency ghost hit: shrink T1's target to protect T2.
+		a.stats.GhostHits++
+		d := 1
+		if a.b2.n > 0 && a.b1.n > a.b2.n {
+			d = a.b1.n / a.b2.n
+		}
+		a.p = max(0, a.p-d)
+	}
+	a.list(e.where).unlink(e)
+	e.where = arcT2
+	e.last, e.old = last, old
+	a.t2.pushFront(e)
+}
+
+// trimGhosts enforces |T1|+|B1| <= cap and a 2*cap total footprint.
+func (a *arc) trimGhosts() {
+	for a.t1.n+a.b1.n > a.cap && a.b1.n > 0 {
+		e := a.b1.back()
+		a.b1.unlink(e)
+		a.release(e)
+	}
+	for a.t1.n+a.t2.n+a.b1.n+a.b2.n > 2*a.cap && a.b2.n > 0 {
+		e := a.b2.back()
+		a.b2.unlink(e)
+		a.release(e)
+	}
+}
+
+// victimList picks the resident list the next eviction comes from: T1
+// when it exceeds its adaptive target (or T2 is empty), T2 otherwise.
+func (a *arc) victimList() *elist {
+	if a.t1.n > 0 && (a.t1.n > a.p || a.t2.n == 0) {
+		return &a.t1
+	}
+	if a.t2.n > 0 {
+		return &a.t2
+	}
+	if a.t1.n > 0 {
+		return &a.t1
+	}
+	return nil
+}
+
+// Touch records an access at now.
+func (a *arc) Touch(key int64, now time.Duration) {
+	last := now
+	old := never
+	if e := a.table[key]; e != nil {
+		old = e.last
+	}
+	a.promote(key, last, old)
+}
+
+// TouchHistory (re-)inserts key with an explicit history. Ghost hits
+// still adapt p: on the SSD tier a re-admission after eviction arrives
+// through this path and is exactly the signal ARC learns from.
+func (a *arc) TouchHistory(key int64, last, prev time.Duration) {
+	a.promote(key, last, prev)
+}
+
+// Remove forgets a resident key, leaving no ghost — an invalidation is
+// not an eviction. Ghost entries are left alone: owners call Remove
+// defensively while reclaiming a just-popped victim's frame, and that
+// must not erase the ghost Pop created.
+func (a *arc) Remove(key int64) {
+	e := a.table[key]
+	if e == nil || (e.where != arcT1 && e.where != arcT2) {
+		return
+	}
+	a.list(e.where).unlink(e)
+	a.release(e)
+}
+
+// Victim returns the key Pop would evict, without evicting it.
+func (a *arc) Victim() (int64, bool) {
+	l := a.victimList()
+	if l == nil {
+		return 0, false
+	}
+	return l.back().key, true
+}
+
+// Pop evicts the victim, moving it to the matching ghost list.
+func (a *arc) Pop() (int64, bool) {
+	l := a.victimList()
+	if l == nil {
+		return 0, false
+	}
+	e := l.back()
+	l.unlink(e)
+	if l == &a.t1 {
+		e.where = arcB1
+		a.b1.pushFront(e)
+	} else {
+		e.where = arcB2
+		a.b2.pushFront(e)
+	}
+	a.trimGhosts()
+	return e.key, true
+}
+
+// Len reports the resident entry count (ghosts excluded).
+func (a *arc) Len() int { return a.t1.n + a.t2.n }
+
+// Contains reports whether key is resident (ghosts excluded).
+func (a *arc) Contains(key int64) bool {
+	e := a.table[key]
+	return e != nil && (e.where == arcT1 || e.where == arcT2)
+}
+
+// History returns the recorded access history for a resident key.
+func (a *arc) History(key int64) (last, prev time.Duration, seen bool) {
+	e := a.table[key]
+	if e == nil || (e.where != arcT1 && e.where != arcT2) {
+		return 0, 0, false
+	}
+	return e.last, e.old, true
+}
+
+// Admit always accepts: ARC adapts through eviction, not admission.
+func (a *arc) Admit(int64, time.Duration) bool { return true }
+
+// Stats reports ghost hits and the current adaptive split target.
+func (a *arc) Stats() Stats {
+	s := a.stats
+	s.SplitPos = int64(a.p)
+	return s
+}

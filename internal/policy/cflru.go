@@ -1,0 +1,157 @@
+package policy
+
+import "time"
+
+// cflru is clean-first LRU (Park et al.): a single recency list whose
+// eviction scan walks a window at the cold end and prefers the first
+// clean entry, deferring dirty pages so their write-back (WAL flush on
+// the pool tier, SSD/disk write on eviction) is delayed and batched.
+// Without a dirty callback it degenerates to plain LRU.
+type cflru struct {
+	window  int // cold-end scan depth
+	list    elist
+	table   map[int64]*entry
+	free    *entry
+	dirtyFn func(key int64) bool
+	stats   Stats
+}
+
+func newCFLRU(capacity int) *cflru {
+	if capacity < 1 {
+		capacity = 1
+	}
+	w := capacity / 4
+	if w < 1 {
+		w = 1
+	}
+	c := &cflru{window: w, table: make(map[int64]*entry)}
+	c.list.init()
+	return c
+}
+
+// SetDirtyFn installs the dirty-state callback (DirtyAware).
+func (c *cflru) SetDirtyFn(fn func(key int64) bool) { c.dirtyFn = fn }
+
+// scan walks up to window entries from the LRU end and returns the
+// first clean one, along with whether any older dirty entry was passed
+// over. Falls back to the LRU entry when the window is all dirty.
+func (c *cflru) scan() (e *entry, skippedDirty bool) {
+	tail := c.list.back()
+	if tail == nil {
+		return nil, false
+	}
+	if c.dirtyFn == nil {
+		return tail, false
+	}
+	cur := tail
+	for i := 0; i < c.window && cur != &c.list.root; i++ {
+		if !c.dirtyFn(cur.key) {
+			return cur, cur != tail
+		}
+		cur = cur.prev
+	}
+	return tail, false
+}
+
+// Touch moves key to the MRU end, inserting it if absent.
+func (c *cflru) Touch(key int64, now time.Duration) {
+	e := c.table[key]
+	if e == nil {
+		e = c.alloc(key)
+		e.last, e.old = now, never
+		c.table[key] = e
+		c.list.pushFront(e)
+		return
+	}
+	c.list.unlink(e)
+	e.old = e.last
+	e.last = now
+	c.list.pushFront(e)
+}
+
+// TouchHistory (re-)inserts key at the MRU end with explicit history.
+func (c *cflru) TouchHistory(key int64, last, prev time.Duration) {
+	e := c.table[key]
+	if e == nil {
+		e = c.alloc(key)
+		c.table[key] = e
+	} else {
+		c.list.unlink(e)
+	}
+	e.last, e.old = last, prev
+	c.list.pushFront(e)
+}
+
+// Remove forgets key.
+func (c *cflru) Remove(key int64) {
+	e := c.table[key]
+	if e == nil {
+		return
+	}
+	c.list.unlink(e)
+	c.release(e)
+}
+
+// Victim returns the clean-first choice without removing it.
+func (c *cflru) Victim() (int64, bool) {
+	e, _ := c.scan()
+	if e == nil {
+		return 0, false
+	}
+	return e.key, true
+}
+
+// Pop evicts the clean-first choice, counting evictions that passed
+// over an older dirty entry.
+func (c *cflru) Pop() (int64, bool) {
+	e, skipped := c.scan()
+	if e == nil {
+		return 0, false
+	}
+	if skipped {
+		c.stats.CleanFirstEvict++
+	}
+	c.list.unlink(e)
+	key := e.key
+	c.release(e)
+	return key, true
+}
+
+// Len reports the tracked entry count.
+func (c *cflru) Len() int { return c.list.n }
+
+// Contains reports whether key is tracked.
+func (c *cflru) Contains(key int64) bool { return c.table[key] != nil }
+
+// History returns the recorded access history for key.
+func (c *cflru) History(key int64) (last, prev time.Duration, seen bool) {
+	e := c.table[key]
+	if e == nil {
+		return 0, 0, false
+	}
+	return e.last, e.old, true
+}
+
+// Admit always accepts: CFLRU shapes eviction, not admission.
+func (c *cflru) Admit(int64, time.Duration) bool { return true }
+
+// Stats reports clean-first eviction counts.
+func (c *cflru) Stats() Stats { return c.stats }
+
+func (c *cflru) alloc(key int64) *entry {
+	e := c.free
+	if e != nil {
+		c.free = e.next
+		e.next = nil
+	} else {
+		e = &entry{}
+	}
+	e.key = key
+	return e
+}
+
+func (c *cflru) release(e *entry) {
+	delete(c.table, e.key)
+	e.next = c.free
+	c.free = e
+}

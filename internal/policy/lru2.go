@@ -1,0 +1,52 @@
+package policy
+
+import (
+	"time"
+
+	"turbobp/internal/lru2"
+)
+
+// lru2Policy is the default policy: a transparent wrapper over the
+// arena-backed LRU-2 cache. Every method forwards verbatim, so the call
+// sequence — and therefore the victim order, the (at, seq) determinism
+// and the zero-allocation hot path — is byte-for-byte the pre-refactor
+// behavior.
+type lru2Policy struct {
+	c *lru2.Cache
+}
+
+func newLRU2() *lru2Policy { return &lru2Policy{c: lru2.New()} }
+
+// Touch forwards to lru2.Cache.Touch.
+func (p *lru2Policy) Touch(key int64, now time.Duration) { p.c.Touch(key, now) }
+
+// TouchHistory forwards to lru2.Cache.TouchHistory.
+func (p *lru2Policy) TouchHistory(key int64, last, prev time.Duration) {
+	p.c.TouchHistory(key, last, prev)
+}
+
+// Remove forwards to lru2.Cache.Remove.
+func (p *lru2Policy) Remove(key int64) { p.c.Remove(key) }
+
+// Victim forwards to lru2.Cache.Victim.
+func (p *lru2Policy) Victim() (int64, bool) { return p.c.Victim() }
+
+// Pop forwards to lru2.Cache.Pop.
+func (p *lru2Policy) Pop() (int64, bool) { return p.c.Pop() }
+
+// Len forwards to lru2.Cache.Len.
+func (p *lru2Policy) Len() int { return p.c.Len() }
+
+// Contains forwards to lru2.Cache.Contains.
+func (p *lru2Policy) Contains(key int64) bool { return p.c.Contains(key) }
+
+// History forwards to lru2.Cache.History.
+func (p *lru2Policy) History(key int64) (last, prev time.Duration, seen bool) {
+	return p.c.History(key)
+}
+
+// Admit always accepts: LRU-2 is eviction-only.
+func (p *lru2Policy) Admit(int64, time.Duration) bool { return true }
+
+// Stats returns zeroes: the default policy keeps no decision counters.
+func (p *lru2Policy) Stats() Stats { return Stats{} }

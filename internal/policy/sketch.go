@@ -1,0 +1,111 @@
+package policy
+
+// Sketch is a count-min frequency sketch: four rows of 8-bit counters,
+// each row probed through an independent mix of the key. Estimates are
+// the minimum across rows, so collisions only ever inflate a count.
+// Halve ages the whole sketch by shifting every counter right, which
+// keeps the frequency view recent (W-TinyLFU's reset operation).
+type Sketch struct {
+	rows [4][]uint8
+	mask uint64
+}
+
+// sketchSeeds decorrelate the four rows' probe positions.
+var sketchSeeds = [4]uint64{0x9e3779b97f4a7c15, 0xbf58476d1ce4e5b9, 0x94d049bb133111eb, 0xd6e8feb86659fd93}
+
+// NewSketch sizes a sketch for roughly capacity distinct keys (width is
+// the next power of two, at least 64).
+func NewSketch(capacity int) *Sketch {
+	w := 64
+	for w < capacity {
+		w <<= 1
+	}
+	s := &Sketch{mask: uint64(w - 1)}
+	for i := range s.rows {
+		s.rows[i] = make([]uint8, w)
+	}
+	return s
+}
+
+// mix is splitmix64's finalizer: a cheap, well-distributed hash.
+func mix(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// Increment bumps key's counter in every row, saturating at 255.
+func (s *Sketch) Increment(key int64) {
+	for i := range s.rows {
+		slot := mix(uint64(key)^sketchSeeds[i]) & s.mask
+		if s.rows[i][slot] < 255 {
+			s.rows[i][slot]++
+		}
+	}
+}
+
+// Estimate returns the minimum counter for key across rows.
+func (s *Sketch) Estimate(key int64) uint32 {
+	est := uint32(255)
+	for i := range s.rows {
+		slot := mix(uint64(key)^sketchSeeds[i]) & s.mask
+		if v := uint32(s.rows[i][slot]); v < est {
+			est = v
+		}
+	}
+	return est
+}
+
+// Halve ages the sketch: every counter is shifted right by one.
+func (s *Sketch) Halve() {
+	for i := range s.rows {
+		row := s.rows[i]
+		for j := range row {
+			row[j] >>= 1
+		}
+	}
+}
+
+// doorkeeper is a small bloom filter in front of the sketch: a key's
+// first access in the current window sets bits here instead of
+// occupying sketch counters, which filters one-hit wonders cheaply.
+type doorkeeper struct {
+	bits []uint64
+	mask uint64
+}
+
+func newDoorkeeper(capacity int) *doorkeeper {
+	w := 64
+	for w < capacity {
+		w <<= 1
+	}
+	return &doorkeeper{bits: make([]uint64, (2*w)/64), mask: uint64(2*w - 1)}
+}
+
+// add sets the key's two probe bits and reports whether both were
+// already set (i.e. the key was plausibly seen before).
+func (d *doorkeeper) add(key int64) bool {
+	h1 := mix(uint64(key) ^ sketchSeeds[0])
+	h2 := mix(uint64(key) ^ sketchSeeds[3])
+	p1, p2 := h1&d.mask, h2&d.mask
+	seen := d.bits[p1>>6]&(1<<(p1&63)) != 0 && d.bits[p2>>6]&(1<<(p2&63)) != 0
+	d.bits[p1>>6] |= 1 << (p1 & 63)
+	d.bits[p2>>6] |= 1 << (p2 & 63)
+	return seen
+}
+
+func (d *doorkeeper) has(key int64) bool {
+	h1 := mix(uint64(key) ^ sketchSeeds[0])
+	h2 := mix(uint64(key) ^ sketchSeeds[3])
+	p1, p2 := h1&d.mask, h2&d.mask
+	return d.bits[p1>>6]&(1<<(p1&63)) != 0 && d.bits[p2>>6]&(1<<(p2&63)) != 0
+}
+
+func (d *doorkeeper) reset() {
+	for i := range d.bits {
+		d.bits[i] = 0
+	}
+}

@@ -1,0 +1,200 @@
+package policy
+
+import "time"
+
+// tinylfu pairs a recency list with a count-min frequency sketch and a
+// doorkeeper (Einziger et al.'s TinyLFU). Admission is the headline: a
+// key must have been seen before in the current window — doorkeeper bit
+// plus a sketch count — before Admit lets it into the cache, which
+// filters one-hit wonders out of the SSD. Eviction samples the coldest
+// few entries and evicts the lowest-frequency one, so a hot page that
+// drifted to the cold end survives. The sketch halves every sampleMax
+// observations to age out stale frequency.
+type tinylfu struct {
+	list   elist
+	table  map[int64]*entry
+	free   *entry
+	sketch *Sketch
+	door   *doorkeeper
+
+	samples   int
+	sampleMax int
+	stats     Stats
+}
+
+// tlfuSample is how many cold-end entries the eviction scan compares.
+const tlfuSample = 5
+
+// tlfuAdmitMin is the windowed frequency a key needs to pass Admit:
+// doorkeeper bit (1) plus at least one sketch count.
+const tlfuAdmitMin = 2
+
+func newTinyLFU(capacity int) *tinylfu {
+	if capacity < 1 {
+		capacity = 1
+	}
+	t := &tinylfu{
+		table:     make(map[int64]*entry),
+		sketch:    NewSketch(capacity),
+		door:      newDoorkeeper(capacity),
+		sampleMax: capacity * 8,
+	}
+	t.list.init()
+	return t
+}
+
+// note feeds one observation of key into the frequency filter.
+func (t *tinylfu) note(key int64) {
+	if t.door.add(key) {
+		t.sketch.Increment(key)
+	}
+	t.samples++
+	if t.samples >= t.sampleMax {
+		t.samples = 0
+		t.sketch.Halve()
+		t.door.reset()
+	}
+}
+
+// estimate is key's windowed frequency: sketch count plus the
+// doorkeeper bit.
+func (t *tinylfu) estimate(key int64) uint32 {
+	est := t.sketch.Estimate(key)
+	if t.door.has(key) {
+		est++
+	}
+	return est
+}
+
+// Record feeds an access that does not move the resident list — the
+// owner calls it on every lookup, hit or miss, so the sketch sees the
+// full reference stream (Recorder).
+func (t *tinylfu) Record(key int64) { t.note(key) }
+
+// Touch records an access at now: feeds the filter and moves key to
+// the MRU end, inserting it if absent.
+func (t *tinylfu) Touch(key int64, now time.Duration) {
+	t.note(key)
+	e := t.table[key]
+	if e == nil {
+		e = t.alloc(key)
+		e.last, e.old = now, never
+		t.table[key] = e
+		t.list.pushFront(e)
+		return
+	}
+	t.list.unlink(e)
+	e.old = e.last
+	e.last = now
+	t.list.pushFront(e)
+}
+
+// TouchHistory (re-)inserts key at the MRU end with explicit history.
+// It also counts as an observation: SSD-tier moves arrive through here.
+func (t *tinylfu) TouchHistory(key int64, last, prev time.Duration) {
+	t.note(key)
+	e := t.table[key]
+	if e == nil {
+		e = t.alloc(key)
+		t.table[key] = e
+	} else {
+		t.list.unlink(e)
+	}
+	e.last, e.old = last, prev
+	t.list.pushFront(e)
+}
+
+// Remove forgets key.
+func (t *tinylfu) Remove(key int64) {
+	e := t.table[key]
+	if e == nil {
+		return
+	}
+	t.list.unlink(e)
+	t.release(e)
+}
+
+// coldest returns the lowest-frequency entry among the tlfuSample
+// entries nearest the LRU end; frequency ties keep the older entry.
+func (t *tinylfu) coldest() *entry {
+	cur := t.list.back()
+	if cur == nil {
+		return nil
+	}
+	best, bestEst := cur, t.estimate(cur.key)
+	cur = cur.prev
+	for i := 1; i < tlfuSample && cur != &t.list.root; i++ {
+		if est := t.estimate(cur.key); est < bestEst {
+			best, bestEst = cur, est
+		}
+		cur = cur.prev
+	}
+	return best
+}
+
+// Victim returns the frequency-informed choice without removing it.
+func (t *tinylfu) Victim() (int64, bool) {
+	e := t.coldest()
+	if e == nil {
+		return 0, false
+	}
+	return e.key, true
+}
+
+// Pop evicts the frequency-informed choice.
+func (t *tinylfu) Pop() (int64, bool) {
+	e := t.coldest()
+	if e == nil {
+		return 0, false
+	}
+	t.list.unlink(e)
+	key := e.key
+	t.release(e)
+	return key, true
+}
+
+// Len reports the tracked entry count.
+func (t *tinylfu) Len() int { return t.list.n }
+
+// Contains reports whether key is tracked.
+func (t *tinylfu) Contains(key int64) bool { return t.table[key] != nil }
+
+// History returns the recorded access history for key.
+func (t *tinylfu) History(key int64) (last, prev time.Duration, seen bool) {
+	e := t.table[key]
+	if e == nil {
+		return 0, 0, false
+	}
+	return e.last, e.old, true
+}
+
+// Admit consults the frequency filter: keys below the windowed minimum
+// are refused (and counted), keeping one-hit wonders out of the cache.
+func (t *tinylfu) Admit(key int64, _ time.Duration) bool {
+	if t.estimate(key) >= tlfuAdmitMin {
+		return true
+	}
+	t.stats.AdmitRejects++
+	return false
+}
+
+// Stats reports admission refusals.
+func (t *tinylfu) Stats() Stats { return t.stats }
+
+func (t *tinylfu) alloc(key int64) *entry {
+	e := t.free
+	if e != nil {
+		t.free = e.next
+		e.next = nil
+	} else {
+		e = &entry{}
+	}
+	e.key = key
+	return e
+}
+
+func (t *tinylfu) release(e *entry) {
+	delete(t.table, e.key)
+	e.next = t.free
+	t.free = e
+}

@@ -40,9 +40,9 @@ type Env struct {
 	stopped bool
 	running bool
 
-	dispatched  uint64 // logical events processed (queue pops + inline sleeps)
-	inlineDepth int    // current nesting of inline Task.Sleep continuations
-	inlineLimit int    // nesting cap before falling back to the queue
+	dispatched  uint64                             // logical events processed (queue pops + inline sleeps)
+	inlineDepth int                                // current nesting of inline Task.Sleep continuations
+	inlineLimit int                                // nesting cap before falling back to the queue
 	onDispatch  func(at time.Duration, seq uint64) // test hook, nil in production
 }
 

@@ -265,7 +265,7 @@ func (m *Manager) cleanOnce(p *sim.Proc) bool {
 			s := &m.shards[rec.shard]
 			s.dirty.Remove(int64(idx))
 			if rec.valid {
-				s.clean.TouchHistory(int64(idx), rec.last, rec.prev)
+				s.clean.TouchHistory(m.cleanKey(idx), rec.last, rec.prev)
 			}
 		}
 		m.frameIdle(idx)

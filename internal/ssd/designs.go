@@ -37,7 +37,7 @@ func (m *Manager) OnEvict(p *sim.Proc, pg *page.Page, dirty, random bool) error 
 		// "simultaneously" (§2.3.2): both writes are issued concurrently
 		// and the eviction completes when both have. The SSD copy equals
 		// the disk copy, so it is cached clean.
-		if !m.Qualifies(random) {
+		if !m.admits(pg.ID, random) {
 			return m.writeDisk(p, pg)
 		}
 		if m.throttled() {
@@ -69,7 +69,7 @@ func (m *Manager) OnEvict(p *sim.Proc, pg *page.Page, dirty, random bool) error 
 		// checkpoint LC stops caching new dirty pages (§3.2), and when the
 		// SSD cannot take the page (throttled, unqualified, or no clean
 		// frame reclaimable) the eviction falls back to a disk write.
-		if m.checkpointing || !m.Qualifies(random) {
+		if m.checkpointing || !m.admits(pg.ID, random) {
 			return m.writeDisk(p, pg)
 		}
 		if m.throttled() {
@@ -103,7 +103,7 @@ func (m *Manager) OnEvict(p *sim.Proc, pg *page.Page, dirty, random bool) error 
 func (m *Manager) evictClean(p *sim.Proc, pg *page.Page, random bool) error {
 	switch m.cfg.Design {
 	case CW, DW, LC:
-		if !m.Qualifies(random) {
+		if !m.admits(pg.ID, random) {
 			return nil
 		}
 		if m.throttled() {
@@ -122,7 +122,7 @@ func (m *Manager) evictClean(p *sim.Proc, pg *page.Page, random bool) error {
 // (§3.2), filling it with useful data faster. The engine has already
 // written the page to disk.
 func (m *Manager) OnCheckpointFlush(p *sim.Proc, pg *page.Page, random bool) error {
-	if m.cfg.Design != DW || !random || !m.Qualifies(random) || m.throttled() {
+	if m.cfg.Design != DW || !random || !m.admits(pg.ID, random) || m.throttled() {
 		return nil
 	}
 	_, err := m.admit(p, pg, false)

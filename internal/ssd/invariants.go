@@ -102,7 +102,7 @@ func (m *Manager) CheckInvariants() error {
 		if m.cfg.Design == TAC {
 			continue // TAC's lazy heap may legitimately hold stale entries
 		}
-		inClean := s.clean.Contains(int64(idx))
+		inClean := s.clean.Contains(m.cleanKey(idx))
 		inDirty := s.dirty.Contains(int64(idx))
 		switch {
 		case rec.dirty && !inDirty:

@@ -100,7 +100,7 @@ func (m *Manager) RestoreTable(blob []byte) error {
 		if m.cfg.Design == TAC {
 			m.pushTac(idx)
 		} else {
-			s.clean.TouchHistory(int64(idx), rec.last, rec.prev)
+			s.clean.TouchHistory(m.cleanKey(idx), rec.last, rec.prev)
 		}
 	}
 	return nil

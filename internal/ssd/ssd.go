@@ -25,6 +25,7 @@ import (
 	"turbobp/internal/lru2"
 	"turbobp/internal/page"
 	"turbobp/internal/pagetab"
+	"turbobp/internal/policy"
 	"turbobp/internal/sim"
 )
 
@@ -69,7 +70,11 @@ type Disk interface {
 // Config parameterizes the manager. The defaults mirror the paper's
 // Table 2.
 type Config struct {
-	Design        Design
+	Design Design
+	// Policy selects the replacement policy of the per-shard clean heaps
+	// and, for admission-gating policies (TinyLFU), the admission filter.
+	// The zero value is the paper's LRU-2.
+	Policy        policy.Kind
 	Frames        int           // S: SSD buffer-pool frames
 	Partitions    int           // N: shards (§3.3.4)
 	FillThreshold float64       // τ: aggressive-filling fraction (§3.3.1)
@@ -173,18 +178,18 @@ func (c *Config) setDefaults() {
 // page id, dirty bit, last two access times, latch and list pointers — the
 // pointers are implicit in Go's maps/heaps).
 type frameRec struct {
-	pid      page.ID
-	occupied bool
-	valid    bool // false while occupied = TAC's logical invalidation
-	dirty    bool
+	pid       page.ID
+	occupied  bool
+	valid     bool // false while occupied = TAC's logical invalidation
+	dirty     bool
 	io        int    // in-flight device transfers referencing this frame
 	lsn       uint64 // LSN of the cached version (guards cleaner races)
 	restored  bool   // entry came from a warm-restart table; validate on read
 	condemned bool   // contents proven corrupt; free as soon as idle (any design)
 	gen       uint64
-	last     time.Duration
-	prev     time.Duration
-	shard    int
+	last      time.Duration
+	prev      time.Duration
+	shard     int
 }
 
 // shard is one partition of the SSD buffer pool (§3.3.4): its own segment
@@ -192,7 +197,7 @@ type frameRec struct {
 type shard struct {
 	table pagetab.Table[int32] // SSD hash table entries owned by this shard
 	free  []int                // SSD free list
-	clean *lru2.Cache          // clean heap: LRU-2 over clean valid frames
+	clean policy.Policy        // clean heap: replacement policy over clean valid frames
 	dirty *lru2.Cache          // dirty heap: LRU-2 over dirty frames (LC only)
 	tac   tacHeap              // TAC replacement heap (temperature order)
 }
@@ -233,6 +238,13 @@ type Stats struct {
 	ScrubRepairs    int64 // frames the scrubber rewrote in place from the disk copy
 	Retired         int64 // slots permanently retired after repeated failures
 	Quarantines     int64 // quarantine transitions (0 or 1): SSD demoted to pass-through
+
+	// Per-policy counters, merged from the shard clean policies at read
+	// time (see docs: DESIGN.md "Policy layer").
+	PolicyGhostHits  int64 // ARC: accesses that hit a ghost list
+	PolicySplitPos   int64 // ARC: adaptive-split target, summed over shards (gauge)
+	PolicyCleanFirst int64 // CFLRU: victims chosen over an older dirty entry
+	PolicyAdmitRej   int64 // TinyLFU: admissions refused by the frequency filter
 }
 
 // Add returns the fieldwise sum of s and o; the sharded harness uses it
@@ -265,6 +277,10 @@ func (s Stats) Add(o Stats) Stats {
 	s.ScrubRepairs += o.ScrubRepairs
 	s.Retired += o.Retired
 	s.Quarantines += o.Quarantines
+	s.PolicyGhostHits += o.PolicyGhostHits
+	s.PolicySplitPos += o.PolicySplitPos
+	s.PolicyCleanFirst += o.PolicyCleanFirst
+	s.PolicyAdmitRej += o.PolicyAdmitRej
 	return s
 }
 
@@ -373,9 +389,10 @@ func NewManager(env *sim.Env, dev device.Device, disk Disk, cfg Config) *Manager
 		n = 1
 	}
 	m.shards = make([]shard, n)
+	perShard := cfg.Frames/n + 1
 	for i := range m.shards {
 		m.shards[i] = shard{
-			clean: lru2.New(),
+			clean: policy.New(cfg.Policy, perShard),
 			dirty: lru2.New(),
 		}
 	}
@@ -392,8 +409,64 @@ func NewManager(env *sim.Env, dev device.Device, disk Disk, cfg Config) *Manager
 // Config returns the effective configuration (defaults applied).
 func (m *Manager) Config() Config { return m.cfg }
 
-// Stats returns a copy of the counters.
-func (m *Manager) Stats() Stats { return m.stats }
+// Stats returns a copy of the counters, with the per-shard clean
+// policies' decision counters merged in.
+func (m *Manager) Stats() Stats {
+	s := m.stats
+	for i := range m.shards {
+		ps := m.shards[i].clean.Stats()
+		s.PolicyGhostHits += ps.GhostHits
+		s.PolicySplitPos += ps.SplitPos
+		s.PolicyCleanFirst += ps.CleanFirstEvict
+		s.PolicyAdmitRej += ps.AdmitRejects
+	}
+	return s
+}
+
+// cleanKey is the clean-policy key for frame idx: the frame index under
+// LRU2 — preserving the legacy (prev, last, key) tie-break order exactly
+// — and the page id under the adaptive policies, so ARC's ghost lists
+// and TinyLFU's sketch track pages across frame reuse.
+func (m *Manager) cleanKey(idx int) int64 {
+	if m.cfg.Policy == policy.LRU2 {
+		return int64(idx)
+	}
+	return int64(m.frames[idx].pid)
+}
+
+// victimFrame resolves a clean-policy victim key back to a frame index.
+func (m *Manager) victimFrame(s *shard, key int64) (int, bool) {
+	if m.cfg.Policy == policy.LRU2 {
+		return int(key), true
+	}
+	return s.lookup(page.ID(key))
+}
+
+// recordAccess feeds one lookup (hit or miss) to the shard policy's
+// frequency filter, when it keeps one (TinyLFU). Everything else is a
+// no-op: the type assertion fails for the list-based policies.
+func (m *Manager) recordAccess(s *shard, pid page.ID) {
+	if r, ok := s.clean.(policy.Recorder); ok {
+		r.Record(int64(pid))
+	}
+}
+
+// freqAdmit applies the replacement policy's admission gate (TinyLFU's
+// doorkeeper/sketch) to pid. Non-gating policies always pass, as does
+// the aggressive-filling phase — below τ the SSD wants bytes, not
+// selectivity.
+func (m *Manager) freqAdmit(s *shard, pid page.ID) bool {
+	if m.cfg.Policy == policy.LRU2 || m.aggressiveFill() {
+		return true
+	}
+	return s.clean.Admit(int64(pid), m.env.Now())
+}
+
+// admits combines the §3.3.1 admission policy (Qualifies) with the
+// replacement policy's frequency gate for pid.
+func (m *Manager) admits(pid page.ID, random bool) bool {
+	return m.Qualifies(random) && m.freqAdmit(m.shardOf(pid), pid)
+}
 
 // Enabled reports whether the manager caches anything.
 func (m *Manager) Enabled() bool {
@@ -523,7 +596,7 @@ func (m *Manager) condemnFrame(idx int) {
 		m.dirtyCount--
 		s.dirty.Remove(int64(idx))
 	}
-	s.clean.Remove(int64(idx))
+	s.clean.Remove(m.cleanKey(idx))
 	rec.valid = false
 	rec.condemned = true
 	if rec.io == 0 {
@@ -591,7 +664,7 @@ func (m *Manager) dropFrame(idx int) {
 		m.dirtyCount--
 		s.dirty.Remove(int64(idx))
 	}
-	s.clean.Remove(int64(idx))
+	s.clean.Remove(m.cleanKey(idx))
 	rec.valid = false
 	m.frameIdle(idx)
 }
@@ -641,6 +714,7 @@ func (m *Manager) Read(p *sim.Proc, pid page.ID, pg *page.Page) (bool, error) {
 		return false, device.ErrLost
 	}
 	s := m.shardOf(pid)
+	m.recordAccess(s, pid)
 	idx, ok := s.lookup(pid)
 	if !ok || !m.frames[idx].valid {
 		m.stats.Misses++
@@ -801,7 +875,7 @@ func (m *Manager) touch(idx int) {
 	if rec.dirty {
 		s.dirty.TouchHistory(int64(idx), rec.last, rec.prev)
 	} else {
-		s.clean.TouchHistory(int64(idx), rec.last, rec.prev)
+		s.clean.TouchHistory(m.cleanKey(idx), rec.last, rec.prev)
 	}
 }
 
@@ -825,7 +899,7 @@ func (m *Manager) freeFrame(idx int) {
 	}
 	s := &m.shards[rec.shard]
 	s.table.Delete(uint64(rec.pid))
-	s.clean.Remove(int64(idx))
+	s.clean.Remove(m.cleanKey(idx))
 	s.dirty.Remove(int64(idx))
 	if rec.dirty {
 		m.dirtyCount--
@@ -907,7 +981,7 @@ func (m *Manager) allocFrame(pid page.ID, dirty bool) int {
 		m.dirtyCount++
 		s.dirty.TouchHistory(int64(idx), rec.last, rec.prev)
 	} else {
-		s.clean.TouchHistory(int64(idx), rec.last, rec.prev)
+		s.clean.TouchHistory(m.cleanKey(idx), rec.last, rec.prev)
 	}
 	return idx
 }
@@ -922,7 +996,10 @@ func (m *Manager) popCleanVictim(s *shard) int {
 		if !ok {
 			break
 		}
-		idx := int(key)
+		idx, ok := m.victimFrame(s, key)
+		if !ok {
+			continue // pid-keyed policy invariant breach; drop the stale key
+		}
 		if m.frames[idx].io > 0 {
 			busy = append(busy, idx)
 			continue
@@ -932,7 +1009,7 @@ func (m *Manager) popCleanVictim(s *shard) int {
 	}
 	for _, idx := range busy {
 		rec := &m.frames[idx]
-		s.clean.TouchHistory(int64(idx), rec.last, rec.prev)
+		s.clean.TouchHistory(m.cleanKey(idx), rec.last, rec.prev)
 	}
 	return victim
 }
@@ -993,7 +1070,7 @@ func (m *Manager) admit(p *sim.Proc, pg *page.Page, dirty bool) (bool, error) {
 		// still around). Publish the new state before the device write.
 		if dirty && !rec.dirty {
 			m.dirtyCount++
-			s.clean.Remove(int64(idx))
+			s.clean.Remove(m.cleanKey(idx))
 		}
 		rec.valid = true
 		rec.dirty = rec.dirty || dirty

@@ -127,6 +127,9 @@ func (m *Manager) tacAdmit(p *sim.Proc, snap *page.Page) error {
 		_, err := m.finishAdmit(idx, m.writeFrame(p, idx, snap))
 		return err
 	}
+	if !m.freqAdmit(s, snap.ID) {
+		return nil // frequency gate (TinyLFU) refused the extent-path admit
+	}
 	idx := m.tacAllocFrame(snap.ID)
 	if idx < 0 {
 		return nil

@@ -98,6 +98,7 @@ func (m *Manager) ReadTask(t *sim.Task, pid page.ID, pg *page.Page, k func(bool,
 		return
 	}
 	s := m.shardOf(pid)
+	m.recordAccess(s, pid)
 	idx, ok := s.lookup(pid)
 	if !ok || !m.frames[idx].valid {
 		m.stats.Misses++
@@ -297,7 +298,7 @@ func (m *Manager) admitTask(t *sim.Task, pg *page.Page, dirty bool, k func(bool,
 		// Overwrite in place; publish the new state before the device write.
 		if dirty && !rec.dirty {
 			m.dirtyCount++
-			s.clean.Remove(int64(idx))
+			s.clean.Remove(m.cleanKey(idx))
 		}
 		rec.valid = true
 		rec.dirty = rec.dirty || dirty
@@ -423,7 +424,7 @@ func (m *Manager) OnEvictTask(t *sim.Task, pg *page.Page, dirty, random bool, k 
 		// evictClean: admit qualifying clean evictions (CW/DW/LC).
 		switch m.cfg.Design {
 		case CW, DW, LC:
-			if !m.Qualifies(random) {
+			if !m.admits(pg.ID, random) {
 				o.finish(nil)
 				return
 			}
@@ -446,7 +447,7 @@ func (m *Manager) OnEvictTask(t *sim.Task, pg *page.Page, dirty, random bool, k 
 	case DW:
 		// Dual-write: SSD and disk writes issued concurrently, the eviction
 		// completes when both have (§2.3.2).
-		if !m.Qualifies(random) {
+		if !m.admits(pg.ID, random) {
 			m.writeDiskTask(t, pg, o.finishF)
 			return
 		}
@@ -464,7 +465,7 @@ func (m *Manager) OnEvictTask(t *sim.Task, pg *page.Page, dirty, random bool, k 
 		return
 
 	case LC:
-		if m.checkpointing || !m.Qualifies(random) {
+		if m.checkpointing || !m.admits(pg.ID, random) {
 			m.writeDiskTask(t, pg, o.finishF)
 			return
 		}
@@ -620,6 +621,10 @@ func (m *Manager) tacAdmitTask(t *sim.Task, snap *page.Page, k func(error)) {
 		rec.lsn = snap.LSN
 		m.stats.Admissions++
 		m.frameWrite(t, idx, snap, nil, nil, k)
+		return
+	}
+	if !m.freqAdmit(s, snap.ID) {
+		k(nil) // frequency gate (TinyLFU) refused the extent-path admit
 		return
 	}
 	idx := m.tacAllocFrame(snap.ID)

@@ -54,6 +54,7 @@ import (
 	"turbobp/internal/engine"
 	"turbobp/internal/fault"
 	"turbobp/internal/page"
+	"turbobp/internal/policy"
 	"turbobp/internal/sim"
 	"turbobp/internal/ssd"
 )
@@ -78,11 +79,34 @@ const (
 	TAC = ssd.TAC
 )
 
+// CachePolicy selects the replacement/admission policy used by the memory
+// buffer pool and the SSD tier's clean-frame ordering.
+type CachePolicy = policy.Kind
+
+// The available cache policies.
+const (
+	// PolicyLRU2 is the original LRU-2 ordering (the default).
+	PolicyLRU2 = policy.LRU2
+	// PolicyARC is the adaptive replacement cache (ghost-list tuned).
+	PolicyARC = policy.ARC
+	// PolicyCFLRU prefers evicting clean pages over dirty ones.
+	PolicyCFLRU = policy.CFLRU
+	// PolicyTinyLFU gates admission on a count-min frequency sketch.
+	PolicyTinyLFU = policy.TinyLFU
+)
+
+// ParseCachePolicy resolves a policy name ("lru2", "arc", "cflru",
+// "tinylfu"; empty = LRU-2) to its CachePolicy value.
+func ParseCachePolicy(s string) (CachePolicy, error) { return policy.ParseKind(s) }
+
 // Options configures a DB. Zero values take the paper's defaults
 // (Table 2) where one exists.
 type Options struct {
 	// Design selects the dirty-page policy. Default: LC.
 	Design Design
+	// Policy selects the cache replacement/admission policy for both the
+	// memory pool and the SSD tier. Default: PolicyLRU2.
+	Policy CachePolicy
 
 	// DBPages is the database size in pages. Required.
 	DBPages int64
@@ -192,6 +216,7 @@ func Open(opts Options) (*DB, error) {
 	}
 	cfg := engine.Config{
 		Design:             opts.Design,
+		Policy:             opts.Policy,
 		DBPages:            opts.DBPages,
 		PoolPages:          opts.PoolPages,
 		SSDFrames:          opts.SSDFrames,
