@@ -74,6 +74,10 @@ go test -race -run 'Striped' ./internal/bufpool
 go test -race ./internal/policy
 go test -race -run 'GroupCommitter' ./internal/wal
 go test -race ./internal/netproto ./cmd/bpeserve
+go test -race -short ./internal/loadbench
+
+echo "== two-phase commit recovery tests (in-doubt resolution, multi-generation) =="
+go test -race -run 'TwoPhase|Reopen|CrossPartition' .
 
 echo "== golden determinism (full suite, serial vs 4 workers) =="
 go build -o /tmp/bpesim-ci ./cmd/bpesim
@@ -128,7 +132,15 @@ grep -E 'total: [1-9][0-9]* ops' /tmp/bpeload-ci.out
 # ...and the server must shut down cleanly with a summary.
 wait "$serve_pid"
 grep -E 'bpeserve: served [1-9][0-9]* ops' /tmp/bpeserve-ci.out
-rm -rf "$smokedir" /tmp/bpeserve-ci /tmp/bpeload-ci /tmp/bpeserve-ci.out /tmp/bpeload-ci.out
+rm -rf "$smokedir" /tmp/bpeserve-ci.out /tmp/bpeload-ci.out
+
+echo "== kill-9 chaos smoke (3 kill/restart cycles, acked commits re-verified, ~45s budget) =="
+chaosdir=$(mktemp -d /tmp/bpechaos-ci-dir.XXXXXX)
+timeout 45 /tmp/bpeload-ci -chaos 3 -server-bin /tmp/bpeserve-ci -dir "$chaosdir" \
+  -cycle 500ms > /tmp/bpechaos-ci.out 2>&1
+# Zero lost acked commits, zero torn pairs, zero stale or corrupt reads.
+grep -E 'lost=0 stale=0 corrupt=0 torn-pairs=0 phantom=0 verify-fails=0' /tmp/bpechaos-ci.out | tail -1
+rm -rf "$chaosdir" /tmp/bpeserve-ci /tmp/bpeload-ci /tmp/bpechaos-ci.out
 
 rm -f /tmp/bpesim-ci /tmp/bpesim-ci-serial.out /tmp/bpesim-ci-parallel.out \
       /tmp/bpesim-ci-index-serial.out /tmp/bpesim-ci-index-parallel.out \

@@ -3,9 +3,13 @@ package main
 import (
 	"bufio"
 	"bytes"
+	"encoding/binary"
+	"io"
 	"net"
+	"strings"
 	"sync"
 	"testing"
+	"time"
 
 	"turbobp"
 	"turbobp/internal/netproto"
@@ -14,6 +18,14 @@ import (
 // startTestServer runs the serve loop on an ephemeral port over a
 // partitioned DB and returns its address.
 func startTestServer(t *testing.T) string {
+	t.Helper()
+	addr, _ := startTestServerWith(t, nil)
+	return addr
+}
+
+// startTestServerWith is startTestServer with a config hook on the server
+// before it starts accepting; it also returns the server for direct poking.
+func startTestServerWith(t *testing.T, mut func(*server)) (string, *server) {
 	t.Helper()
 	db, err := turbobp.Open(turbobp.Options{
 		Design:      turbobp.LC,
@@ -29,6 +41,9 @@ func startTestServer(t *testing.T) string {
 		t.Fatalf("Open: %v", err)
 	}
 	srv := &server{db: db}
+	if mut != nil {
+		mut(srv)
+	}
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		t.Fatalf("Listen: %v", err)
@@ -39,17 +54,19 @@ func startTestServer(t *testing.T) string {
 			if err != nil {
 				return
 			}
+			srv.track(conn)
 			srv.wg.Add(1)
 			go srv.serve(conn)
 		}
 	}()
 	t.Cleanup(func() {
-		srv.closing.Store(true)
+		srv.beginDrain()
 		ln.Close()
+		srv.closeAll()
 		srv.wg.Wait()
 		db.Close()
 	})
-	return ln.Addr().String()
+	return ln.Addr().String(), srv
 }
 
 type testClient struct {
@@ -186,4 +203,168 @@ func TestServerConcurrentClients(t *testing.T) {
 		}(i)
 	}
 	wg.Wait()
+}
+
+// TestServerHealthAndStats pins the probe ops: health answers ok without
+// touching the database, stats reports the counters.
+func TestServerHealthAndStats(t *testing.T) {
+	addr := startTestServer(t)
+	c := dialTest(t, addr)
+	resp := c.call(t, netproto.Request{Op: netproto.OpHealth})
+	if resp.Status != netproto.StatusOK || string(resp.Data) != "ok" {
+		t.Fatalf("health: status=%d data=%s", resp.Status, resp.Data)
+	}
+	c.call(t, netproto.Request{Op: netproto.OpGet, Page: 1})
+	resp = c.call(t, netproto.Request{Op: netproto.OpStats})
+	if resp.Status != netproto.StatusOK || !strings.Contains(string(resp.Data), "reads=1") {
+		t.Fatalf("stats: status=%d data=%s", resp.Status, resp.Data)
+	}
+}
+
+// TestServerDeadlineExpired pins deadline enforcement: a request whose
+// budget has already run out by the time the server gets to it is answered
+// StatusDeadline without executing.
+func TestServerDeadlineExpired(t *testing.T) {
+	addr, srv := startTestServerWith(t, func(s *server) { s.slow = 20 * time.Millisecond })
+	c := dialTest(t, addr)
+	resp := c.call(t, netproto.Request{Op: netproto.OpGet, Page: 1, DeadlineMS: 1})
+	if resp.Status != netproto.StatusDeadline {
+		t.Fatalf("status = %d (%s), want StatusDeadline", resp.Status, resp.Data)
+	}
+	if srv.reads.Load() != 0 {
+		t.Fatal("expired request was executed anyway")
+	}
+	// A fresh budget on the same connection succeeds.
+	if resp = c.call(t, netproto.Request{Op: netproto.OpGet, Page: 1, DeadlineMS: 5000}); resp.Status != netproto.StatusOK {
+		t.Fatalf("after expiry: status=%d %s", resp.Status, resp.Data)
+	}
+}
+
+// TestServerShedsOverBudgetTx pins per-connection memory admission: updates
+// past -max-request-bytes are shed with a retryable status, and a commit
+// resets the budget.
+func TestServerShedsOverBudgetTx(t *testing.T) {
+	addr, srv := startTestServerWith(t, func(s *server) { s.maxConnBytes = 128 })
+	c := dialTest(t, addr)
+	payload := bytes.Repeat([]byte{0x7E}, 64)
+	for i := 0; i < 2; i++ {
+		if resp := c.call(t, netproto.Request{Op: netproto.OpUpdate, Page: int64(i), Data: payload}); resp.Status != netproto.StatusOK {
+			t.Fatalf("update %d: status=%d %s", i, resp.Status, resp.Data)
+		}
+	}
+	resp := c.call(t, netproto.Request{Op: netproto.OpUpdate, Page: 2, Data: payload})
+	if resp.Status != netproto.StatusShed {
+		t.Fatalf("over-budget update: status=%d, want StatusShed", resp.Status)
+	}
+	if !netproto.Retryable(resp.Status) {
+		t.Fatal("shed status not retryable")
+	}
+	if srv.sheds.Load() == 0 {
+		t.Fatal("shed not counted")
+	}
+	if resp = c.call(t, netproto.Request{Op: netproto.OpCommit}); resp.Status != netproto.StatusOK {
+		t.Fatalf("commit: %s", resp.Data)
+	}
+	// Budget reset: the same update now passes.
+	if resp = c.call(t, netproto.Request{Op: netproto.OpUpdate, Page: 2, Data: payload}); resp.Status != netproto.StatusOK {
+		t.Fatalf("post-commit update: status=%d %s", resp.Status, resp.Data)
+	}
+	// Oversized scans are shed too.
+	if resp = c.call(t, netproto.Request{Op: netproto.OpScan, Page: 0, N: 100}); resp.Status != netproto.StatusShed {
+		t.Fatalf("over-budget scan: status=%d, want StatusShed", resp.Status)
+	}
+}
+
+// TestServerDrainStatus pins the typed drain signal: while draining, data
+// ops and health probes answer StatusBusy instead of dropping.
+func TestServerDrainStatus(t *testing.T) {
+	addr, srv := startTestServerWith(t, nil)
+	c := dialTest(t, addr)
+	srv.draining.Store(true)
+	resp := c.call(t, netproto.Request{Op: netproto.OpGet, Page: 0})
+	if resp.Status != netproto.StatusBusy {
+		t.Fatalf("get while draining: status=%d, want StatusBusy", resp.Status)
+	}
+	if resp = c.call(t, netproto.Request{Op: netproto.OpHealth}); resp.Status != netproto.StatusBusy {
+		t.Fatalf("health while draining: status=%d, want StatusBusy", resp.Status)
+	}
+}
+
+// TestServerDrainInterruptsIdle pins the drain bound: connections blocked in
+// an idle read wake up and the serve loops exit promptly.
+func TestServerDrainInterruptsIdle(t *testing.T) {
+	addr, srv := startTestServerWith(t, nil)
+	dialTest(t, addr) // idle connection, blocked in ReadRequest
+	time.Sleep(20 * time.Millisecond)
+	srv.beginDrain()
+	done := make(chan struct{})
+	go func() { srv.wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("drain did not interrupt the idle connection")
+	}
+}
+
+// TestServerMalformedFrames pins service-level robustness: garbage and
+// oversized frames close that connection with no panic, and the server
+// keeps serving new connections.
+func TestServerMalformedFrames(t *testing.T) {
+	addr := startTestServer(t)
+
+	// Oversized dlen: header claims ~4GB of data.
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatalf("Dial: %v", err)
+	}
+	hdr := make([]byte, 21)
+	hdr[0] = netproto.OpUpdate
+	binary.LittleEndian.PutUint32(hdr[17:21], 0xFFFFFFF0)
+	conn.Write(hdr)
+	conn.SetReadDeadline(time.Now().Add(2 * time.Second))
+	if _, err := conn.Read(make([]byte, 1)); err == nil {
+		t.Fatal("server answered an oversized frame instead of closing")
+	}
+	conn.Close()
+
+	// Pure garbage.
+	conn, err = net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatalf("Dial: %v", err)
+	}
+	conn.Write(bytes.Repeat([]byte{0xFF}, 64))
+	conn.SetReadDeadline(time.Now().Add(2 * time.Second))
+	io.Copy(io.Discard, conn) // must terminate: server closes
+	conn.Close()
+
+	// The server is still healthy.
+	c := dialTest(t, addr)
+	if resp := c.call(t, netproto.Request{Op: netproto.OpHealth}); resp.Status != netproto.StatusOK {
+		t.Fatalf("health after malformed frames: status=%d", resp.Status)
+	}
+}
+
+// TestClientAgainstServer drives the reusable netproto.Client end to end:
+// deadline stamping, Get, Health and ServerStats against a live server.
+func TestClientAgainstServer(t *testing.T) {
+	addr := startTestServer(t)
+	cl, err := netproto.Dial(netproto.ClientConfig{Addr: addr, Deadline: 2 * time.Second, Seed: 7})
+	if err != nil {
+		t.Fatalf("Dial: %v", err)
+	}
+	defer cl.Close()
+	ok, err := cl.Health()
+	if err != nil || !ok {
+		t.Fatalf("Health = %v, %v", ok, err)
+	}
+	if _, err := cl.Get(5); err != nil {
+		t.Fatalf("Get: %v", err)
+	}
+	stats, err := cl.ServerStats()
+	if err != nil || !strings.Contains(stats, "reads=1") {
+		t.Fatalf("ServerStats = %q, %v", stats, err)
+	}
+	if got := cl.Stats(); got.Ops != 2 || got.Reconnects != 0 {
+		t.Fatalf("client stats = %+v", got)
+	}
 }

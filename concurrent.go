@@ -1,15 +1,15 @@
 package turbobp
 
 import (
-	"errors"
 	"fmt"
-	"sort"
+	"path/filepath"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"turbobp/internal/device"
 	"turbobp/internal/engine"
+	"turbobp/internal/fault"
 	"turbobp/internal/page"
 	"turbobp/internal/sim"
 	"turbobp/internal/ssd"
@@ -40,12 +40,19 @@ import (
 // (or none, on the latched read path); the group committer's internal lock
 // is taken with no other lock held.
 //
-// Cross-partition transactions commit their partitions in ascending order
-// followed by one group fsync. There is no two-phase commit: a crash
-// between partition commits can leave a transaction's updates durable in
-// one partition and lost in another (each partition individually recovers
-// to a consistent prefix). This is the same honesty trade the sharded
-// simulation kernel makes for its remote mini-transactions.
+// Cross-partition transactions are crash-atomic: Tx buffers its mutations
+// and Tx.Commit runs presumed-abort two-phase commit over the partitions'
+// WALs, coordinated by an append-only decision log — see twophase.go. The
+// per-partition WALs persist real record bytes (wal.SetPersist) so a later
+// process can reopen the directory (Options.OpenExisting) and recover:
+// wal.LoadDurable reloads each partition's durable stream, and
+// engine.RecoverDurable redoes committed transactions and rolls back
+// uncommitted ones from their logged before-images, resolving in-doubt
+// prepared transactions against the coordinator log.
+//
+// Fault injection composes with partitioning: each partition gets its own
+// deterministic injector seeded from Options.FaultSeed and the partition
+// index (fault.DeriveSeed), reachable via DB.PartitionFaults.
 
 // CommitSyncMode selects how the file backend makes commits durable on the
 // real device. The simulated backend ignores it.
@@ -104,6 +111,16 @@ type concurrent struct {
 	mode CommitSyncMode
 	gc   *wal.GroupCommitter // nil when mode == CommitSyncNone
 
+	coord   *coordLog     // two-phase-commit decision log (see twophase.go)
+	nextGtx atomic.Uint64 // global transaction id counter
+
+	// crash2PC, when set (tests only), is called at the two in-doubt
+	// stages of a cross-partition commit — "prepared" (prepares durable,
+	// no decision) and "decided" (decision durable, participants not yet
+	// committed). A non-nil return abandons the commit mid-protocol, as a
+	// kill would, so recovery tests can pin both resolutions.
+	crash2PC func(stage string) error
+
 	tick    atomic.Int64 // DB-wide LRU clock (see bufpool.NewStriped)
 	latched atomic.Int64 // reads served by the latched fast path
 	closed  atomic.Bool
@@ -142,6 +159,10 @@ func (c *concurrent) syncCommit() error {
 // openConcurrent builds the partitioned backend inside db: the owner files
 // are already open in db.files (db.pages, optional ssd.pages, wal.log, in
 // that order). cfg is the engine config the legacy path would have used.
+// When opts.OpenExisting is set the files hold a previous incarnation's
+// state: formatting is skipped and each partition instead reloads its
+// persisted WAL and runs commit-aware restart recovery, resolving in-doubt
+// two-phase transactions against the reloaded coordinator log.
 func openConcurrent(db *DB, cfg engine.Config, dbFile, ssdFile, logFile *device.File) error {
 	opts := db.opts
 	p := int64(opts.Concurrency)
@@ -168,6 +189,7 @@ func openConcurrent(db *DB, cfg engine.Config, dbFile, ssdFile, logFile *device.
 	ssdPer := div(opts.SSDFrames, int(p))
 	walPer := device.PageNum(walPagesTotal / p)
 
+	var maxGtx uint64
 	var base, ssdBase int64
 	for i := int64(0); i < p; i++ {
 		n := c.quot
@@ -197,6 +219,12 @@ func openConcurrent(db *DB, cfg engine.Config, dbFile, ssdFile, logFile *device.
 		pcfg.SSDFrames = ssdPer
 		pcfg.PoolStripes = poolStripesPerPartition
 		pcfg.PoolClock = clock
+		pcfg.CommitRecords = true
+		pcfg.WALPersist = true
+		pcfg.WALCapacity = walPer
+		if opts.FaultSeed != 0 {
+			pcfg.Faults = fault.New(fault.DeriveSeed(opts.FaultSeed, uint64(i)))
+		}
 		env := sim.NewEnv()
 		pt := &partition{
 			env:  env,
@@ -204,11 +232,41 @@ func openConcurrent(db *DB, cfg engine.Config, dbFile, ssdFile, logFile *device.
 			base: base,
 			n:    n,
 		}
-		if err := pt.eng.FormatDB(); err != nil {
+		if opts.OpenExisting {
+			if err := pt.eng.Log().LoadDurable(); err != nil {
+				return fmt.Errorf("reload partition %d: %w", i, err)
+			}
+			if gtx := pt.eng.AdoptDurableTxIDs(); gtx > maxGtx {
+				maxGtx = gtx
+			}
+		} else if err := pt.eng.FormatDB(); err != nil {
 			return fmt.Errorf("format partition %d: %w", i, err)
 		}
 		c.parts = append(c.parts, pt)
 		base += n
+	}
+
+	coord, err := openCoordLog(filepath.Join(opts.Dir, "txn.log"),
+		!opts.OpenExisting, opts.CommitSync != CommitSyncNone)
+	if err != nil {
+		return err
+	}
+	c.coord = coord
+	if coord.maxGtx > maxGtx {
+		maxGtx = coord.maxGtx
+	}
+	c.nextGtx.Store(maxGtx)
+
+	if opts.OpenExisting {
+		for i, pt := range c.parts {
+			err := pt.do("recover", func(p *sim.Proc) error {
+				return pt.eng.RecoverDurable(p, coord.isCommitted)
+			})
+			if err != nil {
+				coord.close()
+				return fmt.Errorf("recover partition %d: %w", i, err)
+			}
+		}
 	}
 
 	switch opts.CommitSync {
@@ -275,6 +333,12 @@ func (c *concurrent) update(db *DB, pid int64, fn func(payload []byte)) error {
 	return c.syncCommit()
 }
 
+// txUpdate buffers a transactional mutation. Nothing touches the engines
+// until Tx.Commit: deferring the writes lets the commit apply, prepare and
+// decide the whole transaction under every participant's mutex at once —
+// the window two-phase commit needs (see twophase.go). Mutations chain per
+// page, so fn runs at commit time against the payload as the transaction's
+// earlier mutations left it.
 func (c *concurrent) txUpdate(db *DB, tx *Tx, pid int64, fn func(payload []byte)) error {
 	if c.closed.Load() {
 		return ErrClosed
@@ -282,44 +346,8 @@ func (c *concurrent) txUpdate(db *DB, tx *Tx, pid int64, fn func(payload []byte)
 	if err := c.checkPage(pid, db.opts.DBPages); err != nil {
 		return err
 	}
-	pt, local := c.partOf(pid)
-	pt.mu.Lock()
-	defer pt.mu.Unlock()
-	id, ok := tx.ids[pt.base]
-	if !ok {
-		id = pt.eng.Begin()
-		tx.ids[pt.base] = id
-	}
-	return pt.do("tx-update", func(p *sim.Proc) error {
-		return pt.eng.Update(p, id, page.ID(local), fn)
-	})
-}
-
-func (c *concurrent) txCommit(db *DB, tx *Tx) error {
-	if c.closed.Load() {
-		return ErrClosed
-	}
-	// Ascending base order: the one lock-order rule for partition mutexes
-	// (held one at a time here, but kept consistent with Crash/Close).
-	bases := make([]int64, 0, len(tx.ids))
-	for b := range tx.ids {
-		bases = append(bases, b)
-	}
-	sort.Slice(bases, func(i, j int) bool { return bases[i] < bases[j] })
-	for _, b := range bases {
-		pt, _ := c.partOf(b)
-		id := tx.ids[b]
-		pt.mu.Lock()
-		err := pt.do("tx-commit", func(p *sim.Proc) error {
-			return pt.eng.Commit(p, id)
-		})
-		pt.mu.Unlock()
-		if err != nil {
-			return err
-		}
-		delete(tx.ids, b)
-	}
-	return c.syncCommit()
+	tx.writes[pid] = append(tx.writes[pid], fn)
+	return nil
 }
 
 func (c *concurrent) scan(db *DB, start int64, n int, fn func(pid int64, payload []byte) error) error {
@@ -433,6 +461,29 @@ func (c *concurrent) crash() error {
 	return nil
 }
 
+// failSSD arms whole-SSD loss in every partition: each partition's injector
+// fails its "ssd" region on the next operation, and each engine detects and
+// recovers independently (cache rebuild plus WAL redo under LC).
+func (c *concurrent) failSSD(db *DB) error {
+	if c.closed.Load() {
+		return ErrClosed
+	}
+	armed := 0
+	for _, pt := range c.parts {
+		pt.mu.Lock()
+		inj := pt.eng.Config().Faults
+		if inj != nil && pt.eng.SSDDevice() != nil {
+			inj.FailDeviceNow("ssd")
+			armed++
+		}
+		pt.mu.Unlock()
+	}
+	if armed == 0 {
+		return fmt.Errorf("turbobp: fault injection disabled or no SSD (set Options.FaultSeed and an SSD design)")
+	}
+	return nil
+}
+
 func (c *concurrent) recover() error {
 	if c.closed.Load() {
 		return ErrClosed
@@ -489,6 +540,7 @@ func (c *concurrent) stats(db *DB) Stats {
 	s.VirtualTime = vt
 	s.SSDLosses = es.SSDLosses
 	s.SSDRedoRecords = es.SSDLossRedo
+	s.SSDReadErrors = ms.ReadErrors
 	s.CorruptDetected = ms.CorruptDetected
 	s.CorruptRepaired = ms.CorruptRepaired
 	s.CorruptRedo = es.CorruptRedo
@@ -550,10 +602,10 @@ func (c *concurrent) close(db *DB) error {
 			err = cerr
 		}
 	}
+	if c.coord != nil {
+		if cerr := c.coord.close(); cerr != nil && err == nil {
+			err = cerr
+		}
+	}
 	return err
 }
-
-// errConcurrentFaults is returned by fault-injection entry points in
-// concurrent mode (Open already forces Concurrency to 1 when FaultSeed is
-// set, so these are unreachable through a correctly-opened DB).
-var errConcurrentFaults = errors.New("turbobp: fault injection requires Concurrency <= 1")

@@ -8,6 +8,8 @@ import (
 	"sync/atomic"
 	"testing"
 	"time"
+
+	"turbobp/internal/fault"
 )
 
 // openConcurrentDB opens a file-backed DB in partitioned mode for tests.
@@ -239,9 +241,11 @@ func TestConcurrentRequiresFileBackend(t *testing.T) {
 	}
 }
 
-// TestConcurrentFaultSeedForcesSerial pins that fault injection falls back
-// to the serialized backend (the injector is shared state).
-func TestConcurrentFaultSeedForcesSerial(t *testing.T) {
+// TestConcurrentFaultSeedPerPartition pins that fault injection composes
+// with partitioning: each partition gets its own deterministic injector
+// derived from the DB seed and the partition index, instead of the old
+// behavior of forcing the whole backend serial.
+func TestConcurrentFaultSeedPerPartition(t *testing.T) {
 	db, err := Open(Options{
 		DBPages: 64, PageSize: 64, Dir: t.TempDir(),
 		Concurrency: 4, FaultSeed: 42,
@@ -250,11 +254,78 @@ func TestConcurrentFaultSeedForcesSerial(t *testing.T) {
 		t.Fatalf("Open: %v", err)
 	}
 	defer db.Close()
-	if db.conc != nil {
-		t.Fatal("FaultSeed did not force the serialized backend")
+	if db.conc == nil {
+		t.Fatal("FaultSeed downgraded the backend to serial")
 	}
-	if db.Faults() == nil {
-		t.Fatal("injector missing")
+	if db.Faults() != nil {
+		t.Fatal("shared injector present; partitions must have their own")
+	}
+	seen := make(map[*fault.Injector]bool)
+	for i := 0; i < 4; i++ {
+		inj := db.PartitionFaults(i)
+		if inj == nil {
+			t.Fatalf("partition %d: no injector", i)
+		}
+		if seen[inj] {
+			t.Fatalf("partition %d shares an injector", i)
+		}
+		seen[inj] = true
+	}
+	if db.PartitionFaults(4) != nil || db.PartitionFaults(-1) != nil {
+		t.Fatal("out-of-range PartitionFaults returned an injector")
+	}
+	// Distinct partitions draw distinct deterministic streams.
+	if a, b := fault.DeriveSeed(42, 0), fault.DeriveSeed(42, 1); a == b {
+		t.Fatalf("DeriveSeed collision: %d", a)
+	}
+	if fault.DeriveSeed(42, 3) != fault.DeriveSeed(42, 3) {
+		t.Fatal("DeriveSeed not deterministic")
+	}
+}
+
+// TestConcurrentPartitionFaultRepair pins the satellite contract: a
+// fault-seeded 4-partition DB detects injected SSD read errors, degrades
+// them to disk traffic, and serves every page correctly throughout.
+func TestConcurrentPartitionFaultRepair(t *testing.T) {
+	const pages = 64
+	db, err := Open(Options{
+		DBPages: pages, PageSize: 64, PoolPages: 8, SSDFrames: 32, Design: LC,
+		Dir: t.TempDir(), Concurrency: 4, FaultSeed: 0xC0FFEE,
+	})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	defer db.Close()
+	for pid := int64(0); pid < pages; pid++ {
+		if err := db.Update(pid, func(p []byte) { p[0] = byte(pid + 1) }); err != nil {
+			t.Fatalf("Update(%d): %v", pid, err)
+		}
+	}
+	// Arm read errors on every partition's SSD region, then churn reads so
+	// the pool evicts to the SSD and trips the injected errors.
+	for i := 0; i < 4; i++ {
+		inj := db.PartitionFaults(i)
+		for k := 0; k < 4; k++ {
+			inj.ErrorRead("ssd", k*6+int(inj.Rand()%4))
+		}
+	}
+	buf := make([]byte, 64)
+	for round := 0; round < 30; round++ {
+		for pid := int64(0); pid < pages; pid++ {
+			if _, err := db.Read(pid, buf); err != nil {
+				t.Fatalf("Read(%d) round %d: %v", pid, round, err)
+			}
+			if buf[0] != byte(pid+1) {
+				t.Fatalf("Read(%d) round %d: got %#x, want %#x", pid, round, buf[0], byte(pid+1))
+			}
+		}
+	}
+	s := db.Stats()
+	if s.SSDReadErrors == 0 {
+		t.Fatal("no injected SSD read error was tripped; test is vacuous")
+	}
+	if s.SSDReads == 0 {
+		t.Fatal("SSD saw no traffic; test is vacuous")
 	}
 }
 

@@ -30,16 +30,44 @@ type File struct {
 // OpenFile creates (or truncates) path as a device of capacity pages of
 // pageSize bytes each.
 func OpenFile(path string, pageSize int, capacity PageNum) (*File, error) {
+	return openFile(path, pageSize, capacity, true)
+}
+
+// OpenFileExisting opens path as a device of capacity pages, keeping any
+// existing contents (the file is extended with zero pages if shorter). This
+// is the restart path: a database directory written by a previous process —
+// including one that was killed mid-write — reopens with its pages and its
+// persisted log intact.
+func OpenFileExisting(path string, pageSize int, capacity PageNum) (*File, error) {
+	return openFile(path, pageSize, capacity, false)
+}
+
+func openFile(path string, pageSize int, capacity PageNum, truncate bool) (*File, error) {
 	if pageSize <= 0 || capacity < 0 {
 		return nil, fmt.Errorf("device: bad file geometry pageSize=%d capacity=%d", pageSize, capacity)
 	}
-	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	flags := os.O_RDWR | os.O_CREATE
+	if truncate {
+		flags |= os.O_TRUNC
+	}
+	f, err := os.OpenFile(path, flags, 0o644)
 	if err != nil {
 		return nil, err
 	}
-	if err := f.Truncate(int64(pageSize) * int64(capacity)); err != nil {
+	want := int64(pageSize) * int64(capacity)
+	if truncate {
+		if err := f.Truncate(want); err != nil {
+			f.Close()
+			return nil, err
+		}
+	} else if st, err := f.Stat(); err != nil {
 		f.Close()
 		return nil, err
+	} else if st.Size() < want {
+		if err := f.Truncate(want); err != nil {
+			f.Close()
+			return nil, err
+		}
 	}
 	return &File{f: f, pageSize: pageSize, capacity: capacity, owner: true}, nil
 }

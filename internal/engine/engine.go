@@ -91,6 +91,21 @@ type Config struct {
 	RetireAfter     int
 	QuarantineAfter int
 
+	// WALPersist makes the log encode its flush batches onto the log device
+	// (see wal.Log.SetPersist); WALCapacity overrides the log device's page
+	// capacity (0 keeps the simulated default of 1<<30 pages). The file
+	// backend sets both so its log survives a process kill and fits its
+	// slice of the shared log file; the simulated backend leaves them zero
+	// (its goldens depend on the log staying a timing model).
+	WALPersist  bool
+	WALCapacity device.PageNum
+	// CommitRecords makes Commit append a wal.TypeCommit record before
+	// forcing the log, so restart recovery (RecoverDurable) can tell
+	// committed transactions from uncommitted ones. File backend only: the
+	// in-process Recover path ignores commit records, keeping the simulated
+	// backend's redo behaviour (and goldens) unchanged.
+	CommitRecords bool
+
 	// PoolStripes > 0 builds the buffer pool in striped-latch mode with
 	// that many page-latch stripes, and PoolClock (required then) becomes
 	// the pool's access-time source; see bufpool.NewStriped. Used by the
@@ -339,7 +354,14 @@ func NewWithDevices(env *sim.Env, cfg Config, dbDev, ssdDev, logDev device.Devic
 	// The log packs records into full 8 KB pages; the device charges one
 	// page-write per log page, so the page size here is the accounted 8 KB
 	// regardless of the (small) simulated payloads.
-	e.log = wal.New(env, logDev, logPageSize, 1<<30)
+	logCap := cfg.WALCapacity
+	if logCap <= 0 {
+		logCap = 1 << 30
+	}
+	e.log = wal.New(env, logDev, logPageSize, logCap)
+	if cfg.WALPersist {
+		e.log.SetPersist(true)
+	}
 	if cfg.PoolStripes > 0 {
 		e.pool = bufpool.NewStripedWithPolicy(cfg.PoolPages, cfg.PayloadSize, cfg.PoolStripes, cfg.PoolClock, cfg.Policy)
 	} else {
@@ -706,11 +728,14 @@ func (e *Engine) Begin() uint64 {
 // pre-wal-flush crashes with the transaction's records possibly volatile
 // (the commit may be lost), post-wal-flush crashes with the records durable
 // but the caller never acknowledged (the classic commit ambiguity).
-func (e *Engine) Commit(p *sim.Proc, _ uint64) error {
+func (e *Engine) Commit(p *sim.Proc, tx uint64) error {
 	if e.cfg.Faults.At(fault.SitePreWALFlush) {
 		return fault.ErrCrashPoint
 	}
 	t0 := e.env.Now()
+	if e.cfg.CommitRecords {
+		e.log.Append(wal.Record{Type: wal.TypeCommit, TxID: tx})
+	}
 	e.log.Flush(p, e.log.NextLSN()-1)
 	if e.cfg.Faults.At(fault.SitePostWALFlush) {
 		return fault.ErrCrashPoint
@@ -718,6 +743,44 @@ func (e *Engine) Commit(p *sim.Proc, _ uint64) error {
 	e.lat.Commit.Observe(e.env.Now() - t0)
 	e.stats.Commits++
 	return nil
+}
+
+// LogUndo appends a presumed-abort undo record: page pid's before-image,
+// captured by the caller immediately before the matching Update. Recovery
+// applies undo records of transactions that neither committed nor resolved
+// to commit, so a dirty eviction that forced (and wrote back) uncommitted
+// state cannot leak an aborted transaction's data into the database.
+func (e *Engine) LogUndo(pid page.ID, tx uint64, before []byte) uint64 {
+	return e.log.Append(wal.Record{Type: wal.TypeUndo, Page: pid, TxID: tx, Payload: before})
+}
+
+// Prepare writes and forces a two-phase-commit prepare record binding local
+// transaction tx to the coordinator's global transaction id gtx. After
+// Prepare returns, the participant is in-doubt: recovery resolves it by
+// asking the coordinator log (commit if a decision was recorded, abort
+// otherwise — presumed abort).
+func (e *Engine) Prepare(p *sim.Proc, tx, gtx uint64) error {
+	lsn := e.log.Append(wal.Record{Type: wal.TypePrepare, TxID: tx, StartLSN: gtx})
+	e.log.Flush(p, lsn)
+	return nil
+}
+
+// AdoptDurableTxIDs floors the engine's transaction-id counter past every
+// durable record's TxID — called after wal.LoadDurable on reopen, so a new
+// incarnation's transactions can never collide with recovered ones — and
+// returns the highest global (prepare) transaction id seen, so the
+// coordinator's counter can be floored the same way.
+func (e *Engine) AdoptDurableTxIDs() uint64 {
+	var maxGtx uint64
+	for _, rec := range e.log.Durable() {
+		if rec.TxID > e.nextTx {
+			e.nextTx = rec.TxID
+		}
+		if rec.Type == wal.TypePrepare && rec.StartLSN > maxGtx {
+			maxGtx = rec.StartLSN
+		}
+	}
+	return maxGtx
 }
 
 // chargeCPU occupies one hardware context for d of processing time.

@@ -95,6 +95,131 @@ func (e *Engine) RecoverSSDLoss(p *sim.Proc) error {
 	return nil
 }
 
+// TxResolver decides the fate of an in-doubt (prepared but undecided)
+// two-phase-commit participant: given the global transaction id from its
+// prepare record, return true to commit, false to abort. A nil resolver
+// aborts every in-doubt transaction (presumed abort with no coordinator).
+type TxResolver func(gtx uint64) bool
+
+// RecoverDurable is the restart-recovery pass of the file backend: called
+// on a freshly-built engine whose log was reloaded from the persisted
+// device (wal.LoadDurable), it replays the durable stream commit-aware.
+//
+// Unlike the in-process Recover — which redoes every update record, exactly
+// the right semantics for a log whose commits are implied by the force
+// discipline — RecoverDurable must separate transactions a killed process
+// had committed from ones it had not, because dirty evictions force the log
+// and write pages back regardless of commit status:
+//
+//   - Update records redo only when their transaction committed: a commit
+//     record follows it in the stream, or its prepare record's global id
+//     resolves to commit.
+//   - Undo records (before-images) of every other transaction apply in
+//     reverse log order, rolling back any uncommitted state an eviction
+//     leaked to the database device. Reverse order matters when several
+//     uncommitted transactions layered writes on one page: a later one's
+//     before-image captures an earlier one's uncommitted data, so unwinding
+//     newest-first ends on the oldest before-image — the committed state
+//     (log forcing is prefix-ordered, so no transaction that committed
+//     durably can follow an uncommitted one on the same page).
+//
+// Pages touched by redo or undo are left dirty in the pool, as a redo pass
+// leaves them; the next checkpoint (or Close) writes them back.
+func (e *Engine) RecoverDurable(p *sim.Proc, resolve TxResolver) error {
+	recs := e.log.Durable()
+	committed := make(map[uint64]bool)
+	prepared := make(map[uint64]uint64) // local tx id -> global tx id
+	for _, rec := range recs {
+		switch rec.Type {
+		case wal.TypeCommit:
+			committed[rec.TxID] = true
+		case wal.TypePrepare:
+			prepared[rec.TxID] = rec.StartLSN
+		}
+	}
+	txCommitted := func(tx uint64) bool {
+		if committed[tx] {
+			return true
+		}
+		if gtx, ok := prepared[tx]; ok {
+			return resolve != nil && resolve(gtx)
+		}
+		return false
+	}
+	from := uint64(0)
+	if cp, ok := e.log.LastCheckpoint(); ok {
+		from = cp.StartLSN
+	}
+	apply := func(rec wal.Record) error {
+		f, err := e.Get(p, rec.Page)
+		if err != nil {
+			return err
+		}
+		if !f.Dirty {
+			f.Dirty = true
+			f.RecLSN = rec.LSN
+			e.mgr.Invalidate(rec.Page)
+		}
+		e.pool.MutateFrame(f, func(payload []byte) { copy(payload, rec.Payload) })
+		f.Pg.LSN = rec.LSN
+		e.stats.RedoApplied++
+		return nil
+	}
+	// Redo pass, forward: committed transactions' after-images. Track the
+	// highest committed-update LSN seen per page — whether or not the
+	// physical apply was skipped — so the undo pass can tell live aborts
+	// from stale ones.
+	lastCommitted := make(map[page.ID]uint64)
+	for _, rec := range recs {
+		if rec.Type != wal.TypeUpdate || rec.LSN <= from {
+			continue
+		}
+		if !txCommitted(rec.TxID) {
+			e.stats.RedoSkipped++
+			continue
+		}
+		lastCommitted[rec.Page] = rec.LSN
+		f, err := e.Get(p, rec.Page)
+		if err != nil {
+			return err
+		}
+		if f.Pg.LSN >= rec.LSN {
+			e.stats.RedoSkipped++
+			continue // the disk already has this update or a newer one
+		}
+		if err := apply(rec); err != nil {
+			return err
+		}
+	}
+	// Undo pass, backward: uncommitted transactions' before-images,
+	// newest-first (see the doc comment for why order matters).
+	//
+	// An undo is skipped when a committed update to the same page carries a
+	// higher LSN. Within one process incarnation that cannot happen — the
+	// partition lock is held until commit or crash, so an uncommitted
+	// transaction's records are the last for its pages. But an in-doubt
+	// transaction aborted by a *previous* recovery leaves its records in
+	// the log unresolved: a later incarnation commits new writes to the
+	// same page, and on the next restart the stale before-image — captured
+	// before those writes — would clobber them. The later committed
+	// after-image was taken from post-abort state, so it already
+	// incorporates the rollback; the stale undo has nothing left to undo.
+	for i := len(recs) - 1; i >= 0; i-- {
+		rec := recs[i]
+		if rec.Type != wal.TypeUndo || rec.LSN <= from || txCommitted(rec.TxID) {
+			continue
+		}
+		if lastCommitted[rec.Page] > rec.LSN {
+			e.stats.RedoSkipped++
+			continue // stale abort, superseded by a later committed write
+		}
+		if err := apply(rec); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // Recover restarts the engine after a Crash: redo every durable update
 // record newer than the last checkpoint's start LSN against the disk
 // image. Pages touched by redo are left dirty in the pool, exactly as a

@@ -128,10 +128,13 @@ func (e *Engine) UpdateTask(t *sim.Task, tx uint64, pid page.ID, mutate func(pay
 }
 
 // CommitTask is the run-to-completion twin of Commit.
-func (e *Engine) CommitTask(t *sim.Task, _ uint64, k func(error)) {
+func (e *Engine) CommitTask(t *sim.Task, tx uint64, k func(error)) {
 	if e.cfg.Faults.At(fault.SitePreWALFlush) {
 		k(fault.ErrCrashPoint)
 		return
+	}
+	if e.cfg.CommitRecords {
+		e.log.Append(wal.Record{Type: wal.TypeCommit, TxID: tx})
 	}
 	o := e.getOp()
 	o.t, o.ck = t, k

@@ -114,6 +114,21 @@ func New(seed uint64) *Injector {
 	}
 }
 
+// DeriveSeed derives a per-partition injector seed from a DB-level seed
+// (one splitmix64 step over seed and the partition index), so a partitioned
+// run replays deterministically from a single Options.FaultSeed while each
+// partition's injector draws an independent stream.
+func DeriveSeed(seed, index uint64) uint64 {
+	z := seed + (index+1)*0x9E3779B97F4A7C15
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	z ^= z >> 31
+	if z == 0 {
+		z = 1
+	}
+	return z
+}
+
 // Rand returns the next value of the injector's deterministic PRNG
 // (splitmix64). Fault schedules that want "random" operation indices derive
 // them from here so the whole run replays from one seed.

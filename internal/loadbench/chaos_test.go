@@ -1,0 +1,77 @@
+package loadbench
+
+import (
+	"bytes"
+	"os/exec"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// TestStampRoundTrip pins the page-stamp format and its classifier.
+func TestStampRoundTrip(t *testing.T) {
+	buf := make([]byte, 64)
+	StampPage(buf, 42, 7, 3)
+	seq, wr, st := CheckPage(buf, 42)
+	if st != PageOK || seq != 7 || wr != 3 {
+		t.Fatalf("CheckPage = (%d, %d, %d)", seq, wr, st)
+	}
+	// The crc binds the stamp to its page id: the same bytes on another
+	// page read as corrupt, not as a valid foreign write.
+	if _, _, st := CheckPage(buf, 43); st != PageCorrupt {
+		t.Fatalf("stamp valid on wrong page: st=%d", st)
+	}
+	// A flipped byte is corrupt.
+	buf[3] ^= 0x40
+	if _, _, st := CheckPage(buf, 42); st != PageCorrupt {
+		t.Fatalf("torn stamp not detected: st=%d", st)
+	}
+	// A zero page is unwritten.
+	if _, _, st := CheckPage(make([]byte, 64), 42); st != PageUnwritten {
+		t.Fatalf("zero page st=%d", st)
+	}
+}
+
+// buildServer compiles cmd/bpeserve into dir and returns the binary path.
+func buildServer(t *testing.T, dir string) string {
+	t.Helper()
+	bin := filepath.Join(dir, "bpeserve")
+	cmd := exec.Command("go", "build", "-o", bin, "turbobp/cmd/bpeserve")
+	cmd.Dir = "../.."
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("build bpeserve: %v\n%s", err, out)
+	}
+	return bin
+}
+
+// TestChaosKill9 is the crash-recovery acceptance test: real bpeserve
+// process, committed load, kill -9 mid-load, restart with -open-existing,
+// re-verify every acked commit — twice — then a graceful SIGTERM drain.
+func TestChaosKill9(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns processes and sleeps; skipped in -short")
+	}
+	bin := buildServer(t, t.TempDir())
+	var log bytes.Buffer
+	rep, err := RunChaos(ChaosConfig{
+		ServerBin: bin,
+		Dir:       t.TempDir(),
+		Cycles:    2,
+		CycleLen:  400 * time.Millisecond,
+		Seed:      42,
+		Log:       &log,
+	})
+	if err != nil {
+		t.Fatalf("RunChaos: %v\n%s", err, log.Bytes())
+	}
+	if rep.Kills != 2 {
+		t.Fatalf("kills = %d, want 2", rep.Kills)
+	}
+	if rep.AckedCommits == 0 {
+		t.Fatalf("no commits were acknowledged; harness generated no load\n%s", log.Bytes())
+	}
+	if rep.Failed() {
+		t.Fatalf("chaos found violations: %s\n%s", rep, log.Bytes())
+	}
+	t.Logf("%s", rep)
+}

@@ -1,0 +1,173 @@
+package netproto
+
+import (
+	"bytes"
+	"encoding/binary"
+	"io"
+	"testing"
+)
+
+// TestDeadlineRoundTrip pins the v2 header: the deadline field survives
+// encode/decode alongside everything else.
+func TestDeadlineRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	in := Request{Op: OpUpdate, Page: 42, N: 7, DeadlineMS: 1500, Data: []byte("payload")}
+	if err := WriteRequest(&buf, &in); err != nil {
+		t.Fatalf("WriteRequest: %v", err)
+	}
+	var out Request
+	if err := ReadRequest(&buf, &out); err != nil {
+		t.Fatalf("ReadRequest: %v", err)
+	}
+	if out.Op != in.Op || out.Page != in.Page || out.N != in.N ||
+		out.DeadlineMS != in.DeadlineMS || !bytes.Equal(out.Data, in.Data) {
+		t.Fatalf("round trip mangled request: %+v -> %+v", in, out)
+	}
+}
+
+// TestRetryable pins the status taxonomy.
+func TestRetryable(t *testing.T) {
+	for _, s := range []byte{StatusShed, StatusDeadline, StatusBusy} {
+		if !Retryable(s) {
+			t.Errorf("status %d should be retryable", s)
+		}
+	}
+	for _, s := range []byte{StatusOK, StatusErr, 99} {
+		if Retryable(s) {
+			t.Errorf("status %d should not be retryable", s)
+		}
+	}
+}
+
+// oversizedHeader builds a request header claiming far more data than
+// MaxData allows.
+func oversizedHeader() []byte {
+	hdr := make([]byte, reqHeader)
+	hdr[0] = OpUpdate
+	binary.LittleEndian.PutUint32(hdr[17:21], 0xFFFFFFF0)
+	return hdr
+}
+
+// TestReadRequestMalformed pins the robustness contract: truncated,
+// oversized and garbage frames produce a typed error (or clean io.EOF on
+// an empty stream) — never a panic, a hang, or a giant allocation.
+func TestReadRequestMalformed(t *testing.T) {
+	valid := func() []byte {
+		var buf bytes.Buffer
+		WriteRequest(&buf, &Request{Op: OpGet, Page: 1, Data: []byte("abc")})
+		return buf.Bytes()
+	}()
+
+	cases := []struct {
+		name    string
+		input   []byte
+		wantEOF bool // io.EOF unchanged = clean end of stream
+	}{
+		{"empty", nil, true},
+		{"one byte", valid[:1], false},
+		{"half header", valid[:reqHeader/2], false},
+		{"header only, missing data", valid[:reqHeader], false},
+		{"truncated data", valid[:len(valid)-1], false},
+		{"oversized dlen", oversizedHeader(), false},
+		{"oversized dlen with junk body", append(oversizedHeader(), bytes.Repeat([]byte{0xAB}, 100)...), false},
+		{"garbage", bytes.Repeat([]byte{0xFF}, reqHeader-1), false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			req := Request{Data: make([]byte, 0, 64)}
+			err := ReadRequest(bytes.NewReader(tc.input), &req)
+			if tc.wantEOF {
+				if err != io.EOF {
+					t.Fatalf("err = %v, want io.EOF", err)
+				}
+				return
+			}
+			if err == nil {
+				t.Fatal("malformed frame decoded without error")
+			}
+			if err == io.EOF {
+				t.Fatal("mid-frame truncation reported as clean EOF")
+			}
+			if cap(req.Data) > MaxData {
+				t.Fatalf("malformed frame grew the buffer to %d", cap(req.Data))
+			}
+		})
+	}
+}
+
+// TestReadResponseMalformed is the client-side mirror.
+func TestReadResponseMalformed(t *testing.T) {
+	valid := func() []byte {
+		var buf bytes.Buffer
+		WriteResponse(&buf, &Response{Status: StatusOK, Data: []byte("abc")})
+		return buf.Bytes()
+	}()
+	oversized := make([]byte, 5)
+	binary.LittleEndian.PutUint32(oversized[1:5], 0xFFFFFFF0)
+
+	for _, tc := range []struct {
+		name  string
+		input []byte
+	}{
+		{"empty", nil},
+		{"half header", valid[:2]},
+		{"truncated data", valid[:len(valid)-1]},
+		{"oversized dlen", oversized},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			var resp Response
+			if err := ReadResponse(bytes.NewReader(tc.input), &resp); err == nil {
+				t.Fatal("malformed frame decoded without error")
+			}
+			if cap(resp.Data) > MaxData {
+				t.Fatalf("malformed frame grew the buffer to %d", cap(resp.Data))
+			}
+		})
+	}
+}
+
+// FuzzReadRequest throws arbitrary bytes at the request decoder: any input
+// must produce either a decoded request or an error — never a panic — and
+// a second read from the remainder must behave the same way.
+func FuzzReadRequest(f *testing.F) {
+	var seed bytes.Buffer
+	WriteRequest(&seed, &Request{Op: OpGet, Page: 3, DeadlineMS: 10, Data: []byte("x")})
+	f.Add(seed.Bytes())
+	f.Add([]byte{})
+	f.Add(oversizedHeader())
+	f.Add(bytes.Repeat([]byte{0x00}, 64))
+	f.Add(bytes.Repeat([]byte{0xFF}, 64))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r := bytes.NewReader(data)
+		var req Request
+		for i := 0; i < 4; i++ { // drain a few frames; must terminate
+			if err := ReadRequest(r, &req); err != nil {
+				return
+			}
+			if len(req.Data) > MaxData {
+				t.Fatalf("decoded data %d exceeds MaxData", len(req.Data))
+			}
+		}
+	})
+}
+
+// FuzzReadResponse is the client-side mirror.
+func FuzzReadResponse(f *testing.F) {
+	var seed bytes.Buffer
+	WriteResponse(&seed, &Response{Status: StatusShed, Data: []byte("busy")})
+	f.Add(seed.Bytes())
+	f.Add([]byte{})
+	f.Add(bytes.Repeat([]byte{0xFF}, 32))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r := bytes.NewReader(data)
+		var resp Response
+		for i := 0; i < 4; i++ {
+			if err := ReadResponse(r, &resp); err != nil {
+				return
+			}
+			if len(resp.Data) > MaxData {
+				t.Fatalf("decoded data %d exceeds MaxData", len(resp.Data))
+			}
+		}
+	})
+}

@@ -28,6 +28,18 @@ const (
 	TypeUpdate     Type = iota + 1 // page after-image
 	TypeCommit                     // transaction commit
 	TypeCheckpoint                 // end of a sharp checkpoint
+	// TypePrepare marks a local transaction as a prepared participant of a
+	// cross-partition two-phase commit. StartLSN (reused; prepares carry no
+	// checkpoint horizon) holds the global transaction id the coordinator
+	// log decides on; recovery resolves prepared-but-undecided transactions
+	// via presumed abort. See docs/FAILURES.md ("Service failure model").
+	TypePrepare
+	// TypeUndo carries a page's before-image, logged ahead of the matching
+	// update record when a buffered transaction applies at commit time.
+	// Recovery applies undo records of aborted (unresolved) transactions so
+	// an eviction that forced uncommitted records — and wrote uncommitted
+	// pages — cannot leak an aborted transaction's data into the database.
+	TypeUndo
 )
 
 // Record is one log entry. Update records carry the page's new payload;
@@ -177,6 +189,7 @@ type Log struct {
 	pendingB   int
 	durable    recDeque
 	slab       byteSlab
+	persist    bool // encode flush batches onto the device (file backend)
 
 	writePos device.PageNum
 	flushing bool
@@ -236,6 +249,67 @@ func (l *Log) NextLSN() uint64 { return l.nextLSN }
 // FlushedLSN returns the highest durable LSN.
 func (l *Log) FlushedLSN() uint64 { return l.flushedLSN }
 
+// SetPersist selects whether flushes encode the batch's records onto the
+// log device (true: the file backend, whose log must survive a process
+// kill) or write placeholder pages that only charge device time (false,
+// the default: the simulated backend, whose determinism contract and
+// goldens depend on the log staying a pure timing model). A persisted log
+// is read back with LoadDurable after reopening the device.
+func (l *Log) SetPersist(on bool) { l.persist = on }
+
+// buildFlushBufs prepares the page buffers for one flush batch. In persist
+// mode the batch is encoded (and the tail page zero-padded, so replay
+// detects the batch end); otherwise the buffers carry placeholder content
+// sized by the batch's estimated footprint.
+func (l *Log) buildFlushBufs(batch []Record, batchBytes int) ([][]byte, device.PageNum) {
+	var nPages device.PageNum
+	if l.persist {
+		enc := l.flushBuf[:0]
+		for _, r := range batch {
+			enc = EncodeRecord(enc, r)
+		}
+		nPages = device.PageNum((len(enc) + l.pageSize - 1) / l.pageSize)
+		need := int(nPages) * l.pageSize
+		for len(enc) < need {
+			enc = append(enc, 0)
+		}
+		l.flushBuf = enc
+	} else {
+		nPages = device.PageNum((batchBytes + l.pageSize - 1) / l.pageSize)
+		need := int(nPages) * l.pageSize
+		if cap(l.flushBuf) < need {
+			l.flushBuf = make([]byte, need)
+		}
+		l.flushBuf = l.flushBuf[:need]
+	}
+	bufs := l.flushBufs[:0]
+	if cap(bufs) < int(nPages) {
+		bufs = make([][]byte, 0, int(nPages))
+	}
+	for i := 0; i < int(nPages); i++ {
+		bufs = append(bufs, l.flushBuf[i*l.pageSize:(i+1)*l.pageSize])
+	}
+	l.flushBufs = bufs[:0]
+	return bufs, nPages
+}
+
+// advanceWritePos claims nPages of log-device space for a flush. The
+// placeholder (simulated) log wraps like a recycled physical log; a
+// persisted log must not — wrapping would overwrite records replay still
+// reads linearly — so exhausting its multi-gigabyte capacity is surfaced
+// loudly instead of silently corrupting the log.
+func (l *Log) advanceWritePos(nPages device.PageNum) device.PageNum {
+	start := l.writePos
+	if start+nPages > l.capacity {
+		if l.persist {
+			panic("wal: persisted log capacity exhausted (checkpoint/truncate cannot reclaim device space)")
+		}
+		start = 0 // wrap the circular log
+	}
+	l.writePos = start + nPages
+	return start
+}
+
 // Flush makes every record with LSN <= upTo durable, charging log-device
 // time. Concurrent flushes coalesce: a caller whose records are covered by
 // an in-flight flush waits for it instead of issuing another write.
@@ -255,22 +329,8 @@ func (l *Log) Flush(p *sim.Proc, upTo uint64) {
 		endLSN := batch[len(batch)-1].LSN
 		l.flushing = true
 
-		nPages := device.PageNum((batchBytes + l.pageSize - 1) / l.pageSize)
-		if need := int(nPages) * l.pageSize; cap(l.flushBuf) < need {
-			l.flushBuf = make([]byte, need)
-			l.flushBufs = make([][]byte, 0, int(nPages))
-		}
-		buf := l.flushBuf[:int(nPages)*l.pageSize]
-		bufs := l.flushBufs[:0]
-		for i := 0; i < int(nPages); i++ {
-			bufs = append(bufs, buf[i*l.pageSize:(i+1)*l.pageSize])
-		}
-		l.flushBufs = bufs[:0]
-		start := l.writePos
-		if start+nPages > l.capacity {
-			start = 0 // wrap the circular log
-		}
-		l.writePos = start + nPages
+		bufs, nPages := l.buildFlushBufs(batch, batchBytes)
+		start := l.advanceWritePos(nPages)
 		if err := l.dev.Write(p, start, bufs); err != nil {
 			// The simulated log device cannot fail in-range; surface loudly.
 			panic("wal: log device write failed: " + err.Error())
@@ -390,22 +450,8 @@ func (l *Log) FlushTask(t *sim.Task, upTo uint64, k func()) {
 	endLSN := batch[len(batch)-1].LSN
 	l.flushing = true
 
-	nPages := device.PageNum((batchBytes + l.pageSize - 1) / l.pageSize)
-	if need := int(nPages) * l.pageSize; cap(l.flushBuf) < need {
-		l.flushBuf = make([]byte, need)
-		l.flushBufs = make([][]byte, 0, int(nPages))
-	}
-	buf := l.flushBuf[:int(nPages)*l.pageSize]
-	bufs := l.flushBufs[:0]
-	for i := 0; i < int(nPages); i++ {
-		bufs = append(bufs, buf[i*l.pageSize:(i+1)*l.pageSize])
-	}
-	l.flushBufs = bufs[:0]
-	start := l.writePos
-	if start+nPages > l.capacity {
-		start = 0 // wrap the circular log
-	}
-	l.writePos = start + nPages
+	bufs, nPages := l.buildFlushBufs(batch, batchBytes)
+	start := l.advanceWritePos(nPages)
 	if l.fl == nil {
 		l.fl = &flight{l: l}
 		l.fl.onWritten = l.fl.written

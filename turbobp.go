@@ -38,14 +38,24 @@
 // concurrent committers into shared fsync flights (group commit), so a
 // commit that has returned is durable — it rode some completed fsync —
 // while N concurrent commits cost ~1 fsync instead of N. A transaction
-// spanning multiple partitions commits them in ascending page order with
-// no cross-partition atomicity on crash: each partition independently
-// recovers a consistent prefix of its own history.
+// spanning multiple partitions is crash-atomic: Tx.Commit runs
+// presumed-abort two-phase commit over the per-partition WALs with a
+// coordinator decision log (see twophase.go), so after a crash and reopen
+// (Options.OpenExisting) the transaction is either fully committed or
+// fully rolled back — never split.
+//
+// The file backend's state survives process restarts: Open with
+// Options.OpenExisting reattaches to a directory a previous process (even
+// one killed with SIGKILL) left behind, reloads the persisted WALs, redoes
+// committed transactions and rolls back uncommitted ones. See
+// docs/FAILURES.md for the full failure model.
 package turbobp
 
 import (
+	"encoding/json"
 	"errors"
 	"fmt"
+	"os"
 	"path/filepath"
 	"sync"
 	"time"
@@ -140,17 +150,27 @@ type Options struct {
 	// Empty selects the simulated backend.
 	Dir string
 
+	// OpenExisting reattaches to a Dir a previous process left behind
+	// instead of formatting it: the persisted WALs reload, committed
+	// transactions redo, uncommitted ones roll back from their logged
+	// before-images, and in-doubt two-phase transactions resolve against
+	// the coordinator log. The directory's geometry (recorded in meta.json
+	// at first open) must match these Options. Requires Dir.
+	OpenExisting bool
+
 	// FaultSeed, when nonzero, enables the deterministic fault-injection
 	// layer: the DB's devices are wrapped so that I/O errors, torn writes,
 	// silent corruption and whole-SSD loss can be injected (see Faults and
 	// FailSSD), and the engine's crash points become armable. The same seed
 	// replays the same fault schedule. Zero disables injection at no cost.
+	// With Concurrency > 1 each partition gets its own injector, seeded
+	// deterministically from this seed and the partition index; reach them
+	// through PartitionFaults.
 	FaultSeed uint64
 
 	// Concurrency partitions the file backend's page range into this many
 	// independently-locked engines (see the package doc). 0 and 1 keep the
-	// classic fully-serialized backend. Requires Dir to be set; forced to 1
-	// when FaultSeed is nonzero (the injector is shared state).
+	// classic fully-serialized backend. Requires Dir to be set.
 	Concurrency int
 	// CommitSync selects commit durability on the file backend: none
 	// (default, legacy), one fsync per commit, or group commit.
@@ -200,11 +220,11 @@ func Open(opts Options) (*DB, error) {
 	if opts.SSDFrames <= 0 && opts.Design != NoSSD {
 		opts.SSDFrames = 4 * opts.PoolPages
 	}
-	if opts.FaultSeed != 0 {
-		opts.Concurrency = 1 // the injector is shared, non-thread-safe state
-	}
 	if opts.Concurrency > 1 && opts.Dir == "" {
 		return nil, errors.New("turbobp: Options.Concurrency > 1 requires the file backend (set Options.Dir)")
+	}
+	if opts.OpenExisting && opts.Dir == "" {
+		return nil, errors.New("turbobp: Options.OpenExisting requires the file backend (set Options.Dir)")
 	}
 	if opts.CommitSync == CommitSyncGroup {
 		if opts.GroupCommitMaxBatch <= 0 {
@@ -239,15 +259,31 @@ func Open(opts Options) (*DB, error) {
 	if opts.Dir == "" {
 		db.eng = engine.New(env, cfg)
 	} else {
+		if opts.OpenExisting {
+			if err := verifyMeta(opts); err != nil {
+				return nil, err
+			}
+		} else if err := writeMeta(opts); err != nil {
+			return nil, err
+		}
+		openFile := device.OpenFile
+		if opts.OpenExisting {
+			openFile = device.OpenFileExisting
+		}
 		cfg.CPUPerAccess = -1 // real CPUs charge themselves
+		cfg.CommitRecords = true
+		cfg.WALPersist = true
+		cfg.WALCapacity = walPagesTotal
 		filePage := page.HeaderSize + opts.PageSize
-		dbFile, err := device.OpenFile(filepath.Join(opts.Dir, "db.pages"), filePage, device.PageNum(opts.DBPages))
+		dbFile, err := openFile(filepath.Join(opts.Dir, "db.pages"), filePage, device.PageNum(opts.DBPages))
 		if err != nil {
 			return nil, fmt.Errorf("turbobp: %w", err)
 		}
 		db.files = append(db.files, dbFile)
 		var ssdDev device.Device
 		if opts.Design != NoSSD && opts.SSDFrames > 0 {
+			// The SSD cache never carries state across restarts (the paper's
+			// §6 cold-restart assumption), so even a reopen starts it fresh.
 			ssdFile, err := device.OpenFile(filepath.Join(opts.Dir, "ssd.pages"), filePage, device.PageNum(opts.SSDFrames))
 			if err != nil {
 				db.closeFiles()
@@ -256,7 +292,7 @@ func Open(opts Options) (*DB, error) {
 			db.files = append(db.files, ssdFile)
 			ssdDev = ssdFile
 		}
-		logFile, err := device.OpenFile(filepath.Join(opts.Dir, "wal.log"), 8192, 1<<20)
+		logFile, err := openFile(filepath.Join(opts.Dir, "wal.log"), 8192, walPagesTotal)
 		if err != nil {
 			db.closeFiles()
 			return nil, fmt.Errorf("turbobp: %w", err)
@@ -271,15 +307,88 @@ func Open(opts Options) (*DB, error) {
 				db.closeFiles()
 				return nil, fmt.Errorf("turbobp: %w", err)
 			}
-			return db, nil // partitions are built and formatted
+			return db, nil // partitions are built and formatted (or recovered)
 		}
 		db.eng = engine.NewWithDevices(env, cfg, dbFile, ssdDev, logFile)
+		if opts.OpenExisting {
+			if err := db.eng.Log().LoadDurable(); err != nil {
+				db.closeFiles()
+				return nil, fmt.Errorf("turbobp: reload: %w", err)
+			}
+			db.eng.AdoptDurableTxIDs()
+			err := db.doLocked("recover", func(p *sim.Proc) error {
+				return db.eng.RecoverDurable(p, nil)
+			})
+			if err != nil {
+				db.closeFiles()
+				return nil, fmt.Errorf("turbobp: recover: %w", err)
+			}
+			return db, nil
+		}
 	}
 	if err := db.eng.FormatDB(); err != nil {
 		db.closeFiles()
 		return nil, fmt.Errorf("turbobp: format: %w", err)
 	}
 	return db, nil
+}
+
+// dbMeta is the geometry record written to Dir/meta.json at first open and
+// verified on OpenExisting: the fields that determine the on-disk layout
+// (file sizes, partition boundaries, WAL slicing) must match exactly or the
+// reopened engines would read another geometry's bytes as their own.
+type dbMeta struct {
+	Version     int   `json:"version"`
+	Design      int   `json:"design"`
+	DBPages     int64 `json:"db_pages"`
+	PageSize    int   `json:"page_size"`
+	SSDFrames   int   `json:"ssd_frames"`
+	Concurrency int   `json:"concurrency"`
+}
+
+func metaOf(opts Options) dbMeta {
+	conc := opts.Concurrency
+	if conc < 1 {
+		conc = 1
+	}
+	frames := opts.SSDFrames
+	if opts.Design == NoSSD {
+		frames = 0
+	}
+	return dbMeta{
+		Version:     1,
+		Design:      int(opts.Design),
+		DBPages:     opts.DBPages,
+		PageSize:    opts.PageSize,
+		SSDFrames:   frames,
+		Concurrency: conc,
+	}
+}
+
+func writeMeta(opts Options) error {
+	data, err := json.Marshal(metaOf(opts))
+	if err != nil {
+		return fmt.Errorf("turbobp: meta: %w", err)
+	}
+	if err := os.WriteFile(filepath.Join(opts.Dir, "meta.json"), data, 0o644); err != nil {
+		return fmt.Errorf("turbobp: meta: %w", err)
+	}
+	return nil
+}
+
+func verifyMeta(opts Options) error {
+	data, err := os.ReadFile(filepath.Join(opts.Dir, "meta.json"))
+	if err != nil {
+		return fmt.Errorf("turbobp: OpenExisting: %s is not a turbobp directory: %w", opts.Dir, err)
+	}
+	var have dbMeta
+	if err := json.Unmarshal(data, &have); err != nil {
+		return fmt.Errorf("turbobp: OpenExisting: corrupt meta.json: %w", err)
+	}
+	if want := metaOf(opts); have != want {
+		return fmt.Errorf("turbobp: OpenExisting: geometry mismatch: directory has %+v, options give %+v", have, want)
+	}
+	return nil
 }
 
 func (db *DB) closeFiles() {
@@ -353,19 +462,22 @@ func (db *DB) Commit() error { return nil }
 
 // Tx is a transaction: a sequence of reads and updates committed together.
 // A Tx must not be used concurrently with itself (different Txs may run
-// concurrently on the partitioned backend). On that backend a Tx spanning
-// several partitions commits them in ascending page order without
-// cross-partition atomicity on crash; see the package doc.
+// concurrently on the partitioned backend). On that backend the updates
+// buffer until Commit, which applies them under every touched partition's
+// lock and — when the transaction spans partitions — runs two-phase commit
+// so the whole transaction is crash-atomic (see twophase.go). Buffering
+// means Tx.Read does not observe the transaction's own uncommitted updates;
+// mutation closures run at Commit against the then-current payload.
 type Tx struct {
-	db  *DB
-	id  uint64
-	ids map[int64]uint64 // partitioned backend: partition base -> local tx id
+	db     *DB
+	id     uint64
+	writes map[int64][]func([]byte) // partitioned backend: buffered mutations
 }
 
 // Begin starts a transaction.
 func (db *DB) Begin() *Tx {
 	if db.conc != nil {
-		return &Tx{db: db, ids: make(map[int64]uint64)}
+		return &Tx{db: db, writes: make(map[int64][]func([]byte))}
 	}
 	return &Tx{db: db, id: db.eng.Begin()}
 }
@@ -476,22 +588,42 @@ func (db *DB) Recover() error {
 // Faults returns the DB's fault injector, or nil when Options.FaultSeed was
 // zero. Use it to arm crash points and schedule device faults; the device
 // names are "db", "ssd" and "wal". See docs/FAILURES.md for the failure
-// model and each design's recovery semantics.
+// model and each design's recovery semantics. On the partitioned backend
+// each partition has its own injector — use PartitionFaults.
 func (db *DB) Faults() *fault.Injector {
 	if db.conc != nil {
-		return nil // FaultSeed forces Concurrency to 1; unreachable via Open
+		return nil // per-partition injectors; see PartitionFaults
 	}
 	return db.eng.Config().Faults
+}
+
+// PartitionFaults returns partition i's fault injector on the partitioned
+// backend (nil when fault injection is off or i is out of range); on the
+// serialized backends partition 0 is the whole DB, so PartitionFaults(0) is
+// Faults(). Injectors are engine-private state: arm schedules only while the
+// DB is quiescent (no operations in flight).
+func (db *DB) PartitionFaults(i int) *fault.Injector {
+	if db.conc == nil {
+		if i == 0 {
+			return db.Faults()
+		}
+		return nil
+	}
+	if i < 0 || i >= len(db.conc.parts) {
+		return nil
+	}
+	return db.conc.parts[i].eng.Config().Faults
 }
 
 // FailSSD makes the SSD device fail on its next operation, modeling a
 // whole-SSD loss during forward processing. The engine detects the loss,
 // replaces the device, rebuilds the cache and — under LC — redoes the
 // uniquely-dirty SSD pages from the WAL; no committed update is lost.
-// Stats.SSDLosses and Stats.SSDRedoRecords report what happened.
+// Stats.SSDLosses and Stats.SSDRedoRecords report what happened. On the
+// partitioned backend every partition's SSD region fails at once.
 func (db *DB) FailSSD() error {
 	if db.conc != nil {
-		return errConcurrentFaults
+		return db.conc.failSSD(db)
 	}
 	db.mu.Lock()
 	defer db.mu.Unlock()
@@ -578,6 +710,7 @@ type Stats struct {
 	// Fault-injection outcomes (zero unless Options.FaultSeed is set).
 	SSDLosses      int64 // whole-SSD failures survived
 	SSDRedoRecords int64 // WAL redo records applied to rebuild lost dirty SSD pages
+	SSDReadErrors  int64 // SSD read attempts that failed and degraded to disk traffic
 
 	// Silent-corruption defense (zero unless faults were injected or the
 	// scrubber found decayed cells; see docs/FAILURES.md).
@@ -619,6 +752,7 @@ func (db *DB) Stats() Stats {
 
 		SSDLosses:      es.SSDLosses,
 		SSDRedoRecords: es.SSDLossRedo,
+		SSDReadErrors:  ms.ReadErrors,
 
 		CorruptDetected: ms.CorruptDetected,
 		CorruptRepaired: ms.CorruptRepaired,

@@ -1,0 +1,342 @@
+package turbobp
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+)
+
+// killForTest abandons a DB the way SIGKILL would: file descriptors close
+// with no checkpoint, no final WAL flush and no fsync. Everything the
+// engines wrote through the OS survives in the files (kill-9 semantics);
+// everything in process memory — buffer pools, pending log records — is
+// gone. The DB is unusable afterwards; reopen the directory with
+// Options.OpenExisting.
+func killForTest(db *DB) {
+	db.mu.Lock()
+	db.closed = true
+	db.mu.Unlock()
+	if db.conc != nil {
+		db.conc.closed.Store(true)
+		if db.conc.coord != nil {
+			db.conc.coord.close()
+		}
+	}
+	for _, f := range db.files {
+		f.Close()
+	}
+}
+
+func reopenOpts(dir string, existing bool) Options {
+	return Options{
+		DBPages: 64, PageSize: 64, PoolPages: 16, Design: NoSSD,
+		Dir: dir, Concurrency: 4, OpenExisting: existing,
+	}
+}
+
+func mustOpen(t *testing.T, opts Options) *DB {
+	t.Helper()
+	db, err := Open(opts)
+	if err != nil {
+		t.Fatalf("Open(existing=%v): %v", opts.OpenExisting, err)
+	}
+	return db
+}
+
+func writePage(t *testing.T, db *DB, pid int64, val byte) {
+	t.Helper()
+	if err := db.Update(pid, func(p []byte) {
+		for i := range p {
+			p[i] = val
+		}
+	}); err != nil {
+		t.Fatalf("Update(%d): %v", pid, err)
+	}
+}
+
+func readPage(t *testing.T, db *DB, pid int64) []byte {
+	t.Helper()
+	buf := make([]byte, db.PageSize())
+	if _, err := db.Read(pid, buf); err != nil {
+		t.Fatalf("Read(%d): %v", pid, err)
+	}
+	return buf
+}
+
+func wantFill(t *testing.T, db *DB, pid int64, val byte, what string) {
+	t.Helper()
+	got := readPage(t, db, pid)
+	if !bytes.Equal(got, bytes.Repeat([]byte{val}, len(got))) {
+		t.Fatalf("%s: page %d = %v..., want all %#x", what, pid, got[:4], val)
+	}
+}
+
+// TestReopenDurability pins the basic restart contract on the partitioned
+// backend: every acknowledged autocommit update survives an abrupt kill and
+// an OpenExisting reopen, with no checkpoint and no clean Close in between.
+func TestReopenDurability(t *testing.T) {
+	dir := t.TempDir()
+	db := mustOpen(t, reopenOpts(dir, false))
+	for pid := int64(0); pid < 64; pid++ {
+		writePage(t, db, pid, byte(pid+1))
+	}
+	killForTest(db)
+
+	db2 := mustOpen(t, reopenOpts(dir, true))
+	defer db2.Close()
+	for pid := int64(0); pid < 64; pid++ {
+		wantFill(t, db2, pid, byte(pid+1), "after kill+reopen")
+	}
+}
+
+// TestReopenDurabilitySerial is the same contract on the serialized file
+// backend (Concurrency 1), which reopens through the single-engine path.
+func TestReopenDurabilitySerial(t *testing.T) {
+	dir := t.TempDir()
+	opts := reopenOpts(dir, false)
+	opts.Concurrency = 1
+	db := mustOpen(t, opts)
+	for pid := int64(0); pid < 16; pid++ {
+		writePage(t, db, pid, byte(pid+1))
+	}
+	killForTest(db)
+
+	opts.OpenExisting = true
+	db2 := mustOpen(t, opts)
+	defer db2.Close()
+	for pid := int64(0); pid < 16; pid++ {
+		wantFill(t, db2, pid, byte(pid+1), "after kill+reopen (serial)")
+	}
+}
+
+// TestReopenAfterClose pins that a cleanly closed directory also reopens.
+func TestReopenAfterClose(t *testing.T) {
+	dir := t.TempDir()
+	db := mustOpen(t, reopenOpts(dir, false))
+	writePage(t, db, 3, 0xAB)
+	if err := db.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	db2 := mustOpen(t, reopenOpts(dir, true))
+	defer db2.Close()
+	wantFill(t, db2, 3, 0xAB, "after close+reopen")
+}
+
+// TestCrossPartitionCommitAtomic pins the happy path: a transaction
+// spanning partitions commits everywhere, survives a kill, and both pages
+// carry the new value after reopen.
+func TestCrossPartitionCommitAtomic(t *testing.T) {
+	dir := t.TempDir()
+	db := mustOpen(t, reopenOpts(dir, false))
+	p1, p2 := int64(3), int64(60) // partitions 0 and 3 (16 pages each)
+	writePage(t, db, p1, 0x11)
+	writePage(t, db, p2, 0x11)
+
+	tx := db.Begin()
+	set := func(p []byte) {
+		for i := range p {
+			p[i] = 0x22
+		}
+	}
+	if err := tx.Update(p1, set); err != nil {
+		t.Fatalf("tx.Update: %v", err)
+	}
+	if err := tx.Update(p2, set); err != nil {
+		t.Fatalf("tx.Update: %v", err)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatalf("tx.Commit: %v", err)
+	}
+	wantFill(t, db, p1, 0x22, "in-process")
+	wantFill(t, db, p2, 0x22, "in-process")
+	killForTest(db)
+
+	db2 := mustOpen(t, reopenOpts(dir, true))
+	defer db2.Close()
+	wantFill(t, db2, p1, 0x22, "after kill+reopen")
+	wantFill(t, db2, p2, 0x22, "after kill+reopen")
+}
+
+// crash2PCAt opens a fresh 4-partition DB, seeds two pages in different
+// partitions with 0xAA, then runs a cross-partition transaction whose
+// commit is abandoned mid-protocol at the given stage ("prepared": prepares
+// durable, no decision; "decided": decision durable, participants not
+// committed) and kills the process image. Returns the reopened DB.
+func crash2PCAt(t *testing.T, stage string) (*DB, int64, int64) {
+	t.Helper()
+	dir := t.TempDir()
+	db := mustOpen(t, reopenOpts(dir, false))
+	p1, p2 := int64(5), int64(50)
+	writePage(t, db, p1, 0xAA)
+	writePage(t, db, p2, 0xAA)
+
+	errCrash := errors.New("crash2PC")
+	db.conc.crash2PC = func(s string) error {
+		if s == stage {
+			return errCrash
+		}
+		return nil
+	}
+	tx := db.Begin()
+	set := func(p []byte) {
+		for i := range p {
+			p[i] = 0xBB
+		}
+	}
+	if err := tx.Update(p1, set); err != nil {
+		t.Fatalf("tx.Update: %v", err)
+	}
+	if err := tx.Update(p2, set); err != nil {
+		t.Fatalf("tx.Update: %v", err)
+	}
+	if err := tx.Commit(); !errors.Is(err, errCrash) {
+		t.Fatalf("tx.Commit = %v, want the injected crash", err)
+	}
+	killForTest(db)
+
+	db2 := mustOpen(t, reopenOpts(dir, true))
+	t.Cleanup(func() { db2.Close() })
+	return db2, p1, p2
+}
+
+// TestTwoPhaseInDoubtAborts pins presumed abort: a transaction killed after
+// its prepares were forced but before the coordinator logged a decision
+// rolls back completely on reopen — both pages keep their old value, even
+// though the new values' redo records are durable in the WALs.
+func TestTwoPhaseInDoubtAborts(t *testing.T) {
+	db, p1, p2 := crash2PCAt(t, "prepared")
+	wantFill(t, db, p1, 0xAA, "in-doubt abort")
+	wantFill(t, db, p2, 0xAA, "in-doubt abort")
+}
+
+// TestTwoPhaseDecidedCommits pins the other resolution: once the decision
+// record is durable the transaction commits on reopen even though no
+// participant had written its commit record — recovery finishes the job.
+func TestTwoPhaseDecidedCommits(t *testing.T) {
+	db, p1, p2 := crash2PCAt(t, "decided")
+	wantFill(t, db, p1, 0xBB, "decided commit")
+	wantFill(t, db, p2, 0xBB, "decided commit")
+}
+
+// TestTwoPhaseRecoveredStateSurvivesNextReopen pins idempotence: resolving
+// in-doubt transactions and then killing again without new writes must
+// resolve the same way on the next reopen.
+func TestTwoPhaseRecoveredStateSurvivesNextReopen(t *testing.T) {
+	db, p1, p2 := crash2PCAt(t, "prepared")
+	dir := db.opts.Dir
+	killForTest(db)
+	db2 := mustOpen(t, reopenOpts(dir, true))
+	defer db2.Close()
+	wantFill(t, db2, p1, 0xAA, "second reopen")
+	wantFill(t, db2, p2, 0xAA, "second reopen")
+}
+
+// TestOpenExistingGeometryGuard pins the meta.json check: reopening with a
+// different geometry must fail loudly instead of misreading the files.
+func TestOpenExistingGeometryGuard(t *testing.T) {
+	dir := t.TempDir()
+	db := mustOpen(t, reopenOpts(dir, false))
+	killForTest(db)
+
+	bad := reopenOpts(dir, true)
+	bad.DBPages = 128
+	if _, err := Open(bad); err == nil || !strings.Contains(err.Error(), "geometry mismatch") {
+		t.Fatalf("Open with wrong DBPages: %v, want geometry mismatch", err)
+	}
+	if _, err := Open(reopenOpts(t.TempDir(), true)); err == nil {
+		t.Fatal("OpenExisting on an empty directory succeeded")
+	}
+	if _, err := Open(Options{DBPages: 64, OpenExisting: true}); err == nil {
+		t.Fatal("OpenExisting without Dir succeeded")
+	}
+}
+
+// TestTxReadDoesNotSeeBufferedWrites pins the documented buffering
+// semantics on the partitioned backend.
+func TestTxReadDoesNotSeeBufferedWrites(t *testing.T) {
+	dir := t.TempDir()
+	db := mustOpen(t, reopenOpts(dir, false))
+	defer db.Close()
+	writePage(t, db, 7, 0x01)
+	tx := db.Begin()
+	if err := tx.Update(7, func(p []byte) { p[0] = 0xFF }); err != nil {
+		t.Fatalf("tx.Update: %v", err)
+	}
+	if got := readPage(t, db, 7); got[0] != 0x01 {
+		t.Fatalf("buffered write visible before commit: %#x", got[0])
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatalf("tx.Commit: %v", err)
+	}
+	if got := readPage(t, db, 7); got[0] != 0xFF {
+		t.Fatalf("committed write not visible: %#x", got[0])
+	}
+}
+
+// TestTwoPhaseStaleInDoubtAcrossGenerations is the regression test for a
+// bug only multi-generation histories expose: an in-doubt transaction that
+// generation N leaves behind is aborted by generation N+1's recovery in
+// memory only — nothing durable marks the abort, so its undo record stays
+// unresolved in the log. Generation N+1 then commits new writes to the
+// same pages, and generation N+2's recovery must NOT let the stale
+// before-image — captured before those writes — clobber them during the
+// backward undo pass.
+func TestTwoPhaseStaleInDoubtAcrossGenerations(t *testing.T) {
+	dir := t.TempDir()
+	p1, p2 := int64(35), int64(50) // different partitions with P=4
+	pairTx := func(db *DB, val byte) error {
+		tx := db.Begin()
+		set := func(p []byte) {
+			for i := range p {
+				p[i] = val
+			}
+		}
+		if err := tx.Update(p1, set); err != nil {
+			return err
+		}
+		if err := tx.Update(p2, set); err != nil {
+			return err
+		}
+		return tx.Commit()
+	}
+
+	// Generation 1: committed history, then an in-doubt tx (prepared on
+	// both partitions, no coordinator decision) at kill time.
+	db := mustOpen(t, reopenOpts(dir, false))
+	for v := byte(1); v <= 5; v++ {
+		if err := pairTx(db, v); err != nil {
+			t.Fatalf("gen1 tx %d: %v", v, err)
+		}
+	}
+	errCrash := errors.New("crash")
+	db.conc.crash2PC = func(s string) error {
+		if s == "prepared" {
+			return errCrash
+		}
+		return nil
+	}
+	if err := pairTx(db, 99); !errors.Is(err, errCrash) {
+		t.Fatalf("in-doubt tx: %v", err)
+	}
+	killForTest(db)
+
+	// Generation 2: recovery aborts the in-doubt tx (presumed abort),
+	// then newer transactions commit over the same pages.
+	db = mustOpen(t, reopenOpts(dir, true))
+	wantFill(t, db, p1, 5, "gen2 start")
+	wantFill(t, db, p2, 5, "gen2 start")
+	for v := byte(6); v <= 10; v++ {
+		if err := pairTx(db, v); err != nil {
+			t.Fatalf("gen2 tx %d: %v", v, err)
+		}
+	}
+	killForTest(db)
+
+	// Generation 3: the stale undo from generation 1 must not regress the
+	// pages below generation 2's committed state.
+	db = mustOpen(t, reopenOpts(dir, true))
+	defer db.Close()
+	wantFill(t, db, p1, 10, "gen3")
+	wantFill(t, db, p2, 10, "gen3")
+}
